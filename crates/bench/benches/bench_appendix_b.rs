@@ -1,0 +1,61 @@
+//! The Appendix B kernels (Figures 6–10): CCDFs, eigensolvers,
+//! eccentricity, vertex cover, biconnectivity, tolerance, clustering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_generators::canonical::mesh;
+use topogen_generators::degseq::degree_ccdf;
+use topogen_generators::plrg::{plrg, PlrgParams};
+use topogen_graph::bicon::biconnected_components;
+use topogen_graph::components::largest_component;
+use topogen_metrics::clustering::graph_clustering;
+use topogen_metrics::cover::vertex_cover_size;
+use topogen_metrics::eccentricity::eccentricity_sample;
+use topogen_metrics::spectrum::eigenvalue_spectrum;
+use topogen_metrics::tolerance::{tolerance_curve, Removal};
+
+fn bench_appendix_b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("appendix-b");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    let p = largest_component(&plrg(
+        &PlrgParams {
+            n: 1300,
+            alpha: 2.246,
+            max_degree: None,
+        },
+        &mut rng,
+    ))
+    .0;
+    let m = mesh(30, 30);
+
+    g.bench_function("fig6/ccdf-plrg", |b| b.iter(|| degree_ccdf(&p)));
+    g.bench_function("fig7/lanczos20-plrg", |b| {
+        b.iter(|| eigenvalue_spectrum(&p, 20, 1))
+    });
+    g.bench_function("fig7/eccentricity150-plrg", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            eccentricity_sample(&p, 150, &mut r)
+        })
+    });
+    g.bench_function("fig8/vertex-cover-plrg", |b| {
+        b.iter(|| vertex_cover_size(&p))
+    });
+    g.bench_function("fig8/biconnectivity-plrg", |b| {
+        b.iter(|| biconnected_components(&p).component_count)
+    });
+    g.bench_function("fig9/tolerance-attack-plrg", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            tolerance_curve(&p, Removal::Attack, &[0.0, 0.1], 10, &mut r)
+        })
+    });
+    g.bench_function("fig10/clustering-mesh", |b| b.iter(|| graph_clustering(&m)));
+    g.bench_function("fig10/clustering-plrg", |b| b.iter(|| graph_clustering(&p)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_appendix_b);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! The §5 kernels behind Figures 3–5 and 14: traversal-set
+//! accumulation and weighted-vertex-cover link values, plain and policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_generators::canonical::kary_tree;
+use topogen_generators::plrg::{plrg, PlrgParams};
+use topogen_graph::components::largest_component;
+use topogen_hierarchy::linkvalue::{link_values, PathMode};
+use topogen_hierarchy::traversal::link_traversals;
+use topogen_measured::as_graph::{internet_as, InternetAsParams};
+
+fn bench_linkvalues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/link-values");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let plrg_g = largest_component(&plrg(
+        &PlrgParams {
+            n: 400,
+            alpha: 2.246,
+            max_degree: None,
+        },
+        &mut rng,
+    ))
+    .0;
+    let tree = kary_tree(3, 5);
+
+    g.bench_function("traversal-sets/plrg400", |b| {
+        b.iter(|| link_traversals(&plrg_g, &PathMode::Shortest))
+    });
+    g.bench_function("link-values/plrg400", |b| {
+        b.iter(|| link_values(&plrg_g, &PathMode::Shortest))
+    });
+    g.bench_function("link-values/tree364", |b| {
+        b.iter(|| link_values(&tree, &PathMode::Shortest))
+    });
+
+    // Policy link values on a smaller annotated Internet.
+    let m = internet_as(
+        &InternetAsParams {
+            n: 400,
+            ..InternetAsParams::default_scaled()
+        },
+        &mut rng,
+    );
+    g.bench_function("link-values/as400-policy", |b| {
+        b.iter(|| link_values(&m.graph, &PathMode::Policy(&m.annotations)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linkvalues);
+criterion_main!(benches);

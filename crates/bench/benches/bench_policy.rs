@@ -1,0 +1,37 @@
+//! The Appendix E kernels: valley-free BFS, policy balls, BGP table
+//! simulation, and Gao inference over the synthetic Internet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_measured::as_graph::{internet_as, InternetAsParams};
+use topogen_policy::balls::policy_ball;
+use topogen_policy::bgp::{routing_table, routing_tables, top_degree_nodes};
+use topogen_policy::gao::{infer_relationships, GaoConfig};
+use topogen_policy::valley::policy_shortest_path_dag;
+
+fn bench_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15/policy");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(11);
+    let m = internet_as(&InternetAsParams::default_scaled(), &mut rng);
+    let stub = (m.graph.node_count() - 1) as u32;
+
+    g.bench_function("valley-bfs/as1100", |b| {
+        b.iter(|| policy_shortest_path_dag(&m.graph, &m.annotations, stub))
+    });
+    g.bench_function("policy-ball-h4/as1100", |b| {
+        b.iter(|| policy_ball(&m.graph, &m.annotations, stub, 4))
+    });
+    g.bench_function("bgp-table/as1100", |b| {
+        b.iter(|| routing_table(&m.graph, &m.annotations, 0))
+    });
+    let tables = routing_tables(&m.graph, &m.annotations, &top_degree_nodes(&m.graph, 3));
+    g.bench_function("gao-inference/as1100x3", |b| {
+        b.iter(|| infer_relationships(&m.graph, &tables, &GaoConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR]
+//!
+//! experiments:
+//!   tab1                 Figure 1: the topology table
+//!   fig2                 Figure 2: expansion/resilience/distortion, all panels
+//!   fig3|fig4            Figures 3/4: link-value rank distributions
+//!   fig5                 Figure 5: link-value ↔ degree correlations
+//!   fig6                 Appendix A: degree CCDFs
+//!   fig7                 Appendix B: eigenvalues + eccentricity
+//!   fig8                 Appendix B: vertex cover + biconnectivity
+//!   fig9                 Appendix B: attack + error tolerance
+//!   fig10                clustering coefficient curves + global table
+//!   fig11                Appendix C: parameter exploration
+//!   fig12                Appendix D: degree-based variants
+//!   fig13                Appendix D: Modified B-A/Brite + deterministic wiring
+//!   fig14                Appendix D.2: variant link values
+//!   fig15                Appendix E: policy-ball example + router overlay
+//!   tab-signature        §4.4: the L/H signature table
+//!   tab-hierarchy        §5.1: the strict/moderate/loose table
+//!   bgp-vs-policy        Gao–Rexford BGP vs the paper's shortest-valley-free model
+//!   robustness-snapshots     §3.1.1: stability across snapshots/sizes
+//!   robustness-incompleteness §3.1.1: vantage/loss incompleteness
+//!   ablation-ts          footnote 17: TS redundancy trade-off
+//!   ablation-extremes    §4.4: extreme parameter regimes
+//!   ablation-distortion  spanning-tree local-search quality
+//!   all                  everything above
+//! ```
+
+use std::io::Write as _;
+use topogen_bench::experiments as exp;
+use topogen_bench::ExpCtx;
+use topogen_core::report::{render_figure, FigureData, TableData};
+use topogen_core::zoo::Scale;
+use topogen_metrics::tolerance::Removal;
+
+struct Output {
+    json_dir: Option<String>,
+}
+
+impl Output {
+    fn table(&self, t: &TableData) {
+        println!("== {} ==", t.id);
+        println!("{}", t.render());
+        self.dump(&t.id, serde_json::to_string_pretty(t).unwrap());
+    }
+
+    fn figure(&self, f: &FigureData) {
+        println!("== {} ==", f.id);
+        println!("{}", render_figure(f));
+        self.dump(&f.id, serde_json::to_string_pretty(f).unwrap());
+    }
+
+    fn dump(&self, id: &str, json: String) {
+        if let Some(dir) = &self.json_dir {
+            let path = format!("{dir}/{id}.json");
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(json.as_bytes());
+                }
+                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR]"
+        );
+        eprintln!("run `repro list` for the experiment index");
+        std::process::exit(2);
+    }
+    let mut ctx = ExpCtx::default();
+    let mut json_dir = None;
+    let mut cmd = String::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                ctx.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => panic!("unknown scale {other:?}"),
+                };
+            }
+            "--seed" => {
+                ctx.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be u64");
+            }
+            "--thorough" => ctx.quick = false,
+            "--json" => {
+                let dir = it.next().expect("--json needs a directory");
+                std::fs::create_dir_all(&dir).expect("create json dir");
+                json_dir = Some(dir);
+            }
+            other if cmd.is_empty() => cmd = other.to_string(),
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    let out = Output { json_dir };
+    run_cmd(&cmd, &ctx, &out);
+}
+
+fn run_cmd(cmd: &str, ctx: &ExpCtx, out: &Output) {
+    match cmd {
+        "list" => {
+            println!("tab1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11");
+            println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
+            println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
+            println!("ablation-ts ablation-extremes ablation-distortion all");
+        }
+        "tab1" => out.table(&exp::tab1::run(ctx)),
+        "fig2" => {
+            for panel in ["canonical", "measured", "generated", "degree-based"] {
+                for metric in exp::fig2::Metric::all() {
+                    out.figure(&exp::fig2::run(ctx, panel, metric));
+                }
+            }
+            println!("# qualitative checks (paper §4.1–4.3):");
+            for (claim, holds) in exp::fig2::qualitative_checks(ctx) {
+                println!("#   [{}] {}", if holds { "PASS" } else { "FAIL" }, claim);
+            }
+        }
+        "fig3" | "fig4" => out.figure(&exp::fig3::run(ctx)),
+        "fig5" => out.table(&exp::fig5::run(ctx)),
+        "fig6" => out.figure(&exp::fig6::run(ctx)),
+        "fig7" => {
+            out.figure(&exp::fig7::run_eigen(ctx));
+            out.figure(&exp::fig7::run_diameter(ctx));
+        }
+        "fig8" => {
+            out.figure(&exp::fig8::run_cover(ctx));
+            out.figure(&exp::fig8::run_bicon(ctx));
+        }
+        "fig9" => {
+            out.figure(&exp::fig9::run(ctx, Removal::Attack));
+            out.figure(&exp::fig9::run(ctx, Removal::Error));
+        }
+        "fig10" => {
+            out.figure(&exp::fig10::run(ctx));
+            out.table(&exp::fig10::whole_graph_table(ctx));
+        }
+        "fig11" => out.table(&exp::fig11::run(ctx)),
+        "fig12" => {
+            let (ccdf, figs) = exp::fig12::run(ctx);
+            out.figure(&ccdf);
+            for f in figs {
+                out.figure(&f);
+            }
+        }
+        "fig13" => out.table(&exp::fig12::run_modified(ctx)),
+        "fig14" => out.figure(&exp::fig3::run_variants(ctx)),
+        "fig15" => {
+            out.table(&exp::fig15::run(ctx));
+            out.table(&exp::fig15::run_overlay(ctx));
+        }
+        "tab-signature" => out.table(&exp::signatures::run_signature_table(ctx)),
+        "tab-hierarchy" => out.table(&exp::signatures::run_hierarchy_table(ctx)),
+        "bgp-vs-policy" => out.table(&exp::bgp::run(ctx)),
+        "robustness-snapshots" => out.table(&exp::robustness::run_snapshots(ctx)),
+        "robustness-incompleteness" => out.table(&exp::robustness::run_incompleteness(ctx)),
+        "ablation-ts" => out.table(&exp::ablations::run_ts_redundancy(ctx)),
+        "ablation-extremes" => out.table(&exp::ablations::run_extremes(ctx)),
+        "ablation-distortion" => out.table(&exp::ablations::run_distortion_polish(ctx)),
+        "all" => {
+            for c in [
+                "tab1",
+                "tab-signature",
+                "tab-hierarchy",
+                "fig2",
+                "fig3",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "bgp-vs-policy",
+                "robustness-snapshots",
+                "robustness-incompleteness",
+                "ablation-ts",
+                "ablation-extremes",
+                "ablation-distortion",
+            ] {
+                eprintln!(">>> {c}");
+                run_cmd(c, ctx, out);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; run `repro list`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 10: clustering coefficient vs ball size, plus the §4.4
+//! whole-graph clustering observation (PLRG tracks the AS graph under
+//! ball-growing, but not on the whole graph).
+
+use crate::experiments::build_zoo;
+use crate::ExpCtx;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_core::report::{FigureData, Series, TableData};
+use topogen_metrics::balls::{sample_centers, PlainBalls};
+use topogen_metrics::clustering::{clustering_curve, graph_clustering};
+
+/// The ball-growing clustering curves.
+pub fn run(ctx: &ExpCtx) -> FigureData {
+    let centers_n = if ctx.quick { 8 } else { 24 };
+    let max_ball = if ctx.quick { 1_500 } else { 5_000 };
+    let zoo = build_zoo(ctx.scale, ctx.seed);
+    let mut series = Vec::new();
+    for t in &zoo {
+        let src = PlainBalls { graph: &t.graph };
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xC1);
+        let centers = sample_centers(t.graph.node_count(), centers_n, &mut rng);
+        let curve = clustering_curve(&src, &centers, if ctx.quick { 40 } else { 64 }, max_ball);
+        let x: Vec<f64> = curve.iter().map(|p| p.avg_size).collect();
+        let y: Vec<f64> = curve.iter().map(|p| p.value).collect();
+        series.push(Series::new(&t.name, &x, &y));
+    }
+    FigureData {
+        id: "fig10-clustering".into(),
+        x_label: "ball size".into(),
+        y_label: "clustering coefficient".into(),
+        series,
+    }
+}
+
+/// Whole-graph clustering coefficients (the §4.4 caveat table).
+pub fn whole_graph_table(ctx: &ExpCtx) -> TableData {
+    let zoo = build_zoo(ctx.scale, ctx.seed);
+    let rows = zoo
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.clone(),
+                graph_clustering(&t.graph)
+                    .map(|c| format!("{c:.4}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    TableData {
+        id: "fig10-global-clustering".into(),
+        header: vec!["Topology".into(), "global clustering".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_clustering_zero() {
+        let t = whole_graph_table(&ExpCtx::default());
+        for name in ["Tree", "Mesh"] {
+            let row = t.rows.iter().find(|r| r[0] == name).unwrap();
+            let c: f64 = row[1].parse().unwrap();
+            assert_eq!(c, 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn curves_bounded() {
+        let f = run(&ExpCtx::default());
+        for s in &f.series {
+            assert!(s.y.iter().all(|&c| (0.0..=1.0).contains(&c)), "{}", s.label);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod bgp;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig15;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod robustness;
+pub mod signatures;
+pub mod tab1;
+
+use topogen_core::zoo::{build, BuiltTopology, Scale, TopologySpec};
+
+/// Build the Figure 1 zoo (shared by most experiments). Cached per call
+/// site; building is seconds-scale at `Scale::Small`.
+pub fn build_zoo(scale: Scale, seed: u64) -> Vec<BuiltTopology> {
+    TopologySpec::figure1_zoo(scale)
+        .iter()
+        .map(|s| build(s, scale, seed))
+        .collect()
+}
+
+/// The canonical / measured / generated grouping the paper's figures use.
+pub fn group_of(name: &str) -> &'static str {
+    match name {
+        "Tree" | "Mesh" | "Random" | "Complete" | "Linear" => "canonical",
+        "AS" | "RL" => "measured",
+        "B-A" | "Brite" | "BT" | "Inet" | "AB" => "degree-based",
+        _ => "generated",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups() {
+        assert_eq!(group_of("Tree"), "canonical");
+        assert_eq!(group_of("AS"), "measured");
+        assert_eq!(group_of("PLRG"), "generated");
+        assert_eq!(group_of("BT"), "degree-based");
+    }
+}

@@ -1,0 +1,73 @@
+//! # topogen-bench
+//!
+//! The experiment harness: one function per table/figure of the paper,
+//! each returning the same rows/series the paper reports (as
+//! [`topogen_core::report`] records), plus the `repro` binary that
+//! prints them and Criterion benches over the computational kernels.
+//!
+//! Experiment index (see DESIGN.md §4 for the full mapping):
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | `tab1` | Figure 1 topology table | [`experiments::tab1::run`] |
+//! | `fig2` | Figure 2(a–l) expansion/resilience/distortion | [`experiments::fig2::run`] |
+//! | `fig3` / `fig4` | link-value rank distributions | [`experiments::fig3::run`] |
+//! | `fig5` | link-value ↔ degree correlation | [`experiments::fig5::run`] |
+//! | `fig6` | Appendix A degree CCDFs | [`experiments::fig6::run`] |
+//! | `fig7` | eigenvalues & eccentricity distributions | [`experiments::fig7::run_eigen`] |
+//! | `fig8` | vertex cover & biconnectivity growth | [`experiments::fig8::run_cover`] |
+//! | `fig9` | attack & error tolerance | [`experiments::fig9::run`] |
+//! | `fig10` | clustering coefficient curves | [`experiments::fig10::run`] |
+//! | `fig11` | Appendix C parameter exploration | [`experiments::fig11::run`] |
+//! | `fig12` / `fig13` | degree-based variants & PLRG re-wiring | [`experiments::fig12::run`] |
+//! | `fig14` | link values of PLRG variants | [`experiments::fig3::run_variants`] |
+//! | `fig15` | policy-induced ball example | [`experiments::fig15::run`] |
+//! | `tab-signature` | §3.2.1 + §4.4 L/H tables | [`experiments::signatures::run_signature_table`] |
+//! | `tab-hierarchy` | §5.1 strict/moderate/loose table | [`experiments::signatures::run_hierarchy_table`] |
+//! | `bgp-vs-policy` | Gao–Rexford BGP vs the paper's policy model | [`experiments::bgp::run`] |
+//! | `robustness-snapshots` | §3.1.1 snapshot stability | [`experiments::robustness::run_snapshots`] |
+//! | `robustness-incompleteness` | §3.1.1 incompleteness caveat | [`experiments::robustness::run_incompleteness`] |
+//! | `ablation-ts` | footnote 17 TS redundancy trade-off | [`experiments::ablations::run_ts_redundancy`] |
+//! | `ablation-extremes` | §4.4 extreme-parameter regimes | [`experiments::ablations::run_extremes`] |
+//! | `ablation-distortion` | spanning-tree polish quality | [`experiments::ablations::run_distortion_polish`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use topogen_core::zoo::Scale;
+
+/// Shared experiment context.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpCtx {
+    /// Topology scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Quick (CI) vs thorough sampling budgets.
+    pub quick: bool,
+}
+
+impl Default for ExpCtx {
+    fn default() -> Self {
+        ExpCtx {
+            scale: Scale::Small,
+            seed: 42,
+            quick: true,
+        }
+    }
+}
+
+impl ExpCtx {
+    /// Suite parameters matching this context.
+    pub fn suite_params(&self) -> topogen_core::suite::SuiteParams {
+        let mut p = if self.quick {
+            topogen_core::suite::SuiteParams::quick()
+        } else {
+            topogen_core::suite::SuiteParams::thorough()
+        };
+        p.seed = self.seed ^ 0x5EED;
+        p
+    }
+}

@@ -1,0 +1,151 @@
+//! Hierarchy-analysis glue (§5): link values, classification, and the
+//! degree correlation for a built topology, with and without policy.
+
+use crate::zoo::BuiltTopology;
+use serde::{Deserialize, Serialize};
+use topogen_graph::prune::core as core_prune;
+use topogen_hierarchy::classify::HierarchyClass;
+use topogen_hierarchy::correlation::link_value_degree_correlation;
+use topogen_hierarchy::linkvalue::{link_value_stats, link_values, PathMode};
+
+/// Everything §5 reports about one topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HierarchyReport {
+    /// Topology name.
+    pub name: String,
+    /// Whether policy-constrained paths were used.
+    pub policy: bool,
+    /// Normalized link values, sorted descending.
+    pub values: Vec<f64>,
+    /// Max normalized value.
+    pub max: f64,
+    /// Median normalized value.
+    pub median: f64,
+    /// strict / moderate / loose.
+    pub class: String,
+    /// Pearson correlation with min endpoint degree (Figure 5).
+    pub degree_correlation: Option<f64>,
+}
+
+/// Options for the hierarchy analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct HierOptions {
+    /// Use valley-free paths (requires annotations).
+    pub policy: bool,
+    /// Reduce to the degree>1 core first — the paper's treatment of the
+    /// RL graph (footnote 29), applied when graphs exceed
+    /// `core_threshold` nodes.
+    pub core_threshold: usize,
+}
+
+impl Default for HierOptions {
+    fn default() -> Self {
+        HierOptions {
+            policy: false,
+            core_threshold: 3_000,
+        }
+    }
+}
+
+/// Run the §5 analysis.
+///
+/// # Panics
+/// Panics if `opts.policy` is set but the topology has no annotations
+/// (policy analysis is only defined for the annotated AS graph).
+pub fn hierarchy_report(t: &BuiltTopology, opts: &HierOptions) -> HierarchyReport {
+    // Core-prune very large graphs, as the paper did for RL. The pruned
+    // graph loses the annotation alignment, so policy analysis skips the
+    // pruning (the annotated AS graphs are small enough anyway).
+    let (work, pruned): (std::borrow::Cow<'_, topogen_graph::Graph>, bool) =
+        if !opts.policy && t.graph.node_count() > opts.core_threshold {
+            (std::borrow::Cow::Owned(core_prune(&t.graph).0), true)
+        } else {
+            (std::borrow::Cow::Borrowed(&t.graph), false)
+        };
+    let mode = if opts.policy {
+        PathMode::Policy(
+            t.annotations
+                .as_ref()
+                .expect("policy hierarchy needs annotations"),
+        )
+    } else {
+        PathMode::Shortest
+    };
+    let mut values = link_values(&work, &mode);
+    let degree_correlation = link_value_degree_correlation(&work, &values);
+    let class = topogen_hierarchy::classify_hierarchy(&values);
+    let stats = link_value_stats(&values);
+    values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    HierarchyReport {
+        name: if pruned {
+            format!("{} (core)", t.name)
+        } else {
+            t.name.clone()
+        },
+        policy: opts.policy,
+        values,
+        max: stats.max,
+        median: stats.median,
+        class: class.to_string(),
+        degree_correlation,
+    }
+}
+
+/// Re-expose the class enum for downstream matching.
+pub fn class_of(report: &HierarchyReport) -> HierarchyClass {
+    match report.class.as_str() {
+        "strict" => HierarchyClass::Strict,
+        "loose" => HierarchyClass::Loose,
+        _ => HierarchyClass::Moderate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build, Scale, TopologySpec};
+
+    #[test]
+    fn tree_reports_strict() {
+        let t = build(&TopologySpec::Tree { k: 3, depth: 4 }, Scale::Small, 1);
+        let r = hierarchy_report(&t, &HierOptions::default());
+        assert_eq!(r.class, "strict");
+        assert!(r.max > 0.25);
+        assert!(!r.policy);
+        assert_eq!(class_of(&r), HierarchyClass::Strict);
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let t = build(&TopologySpec::Mesh { side: 8 }, Scale::Small, 1);
+        let r = hierarchy_report(&t, &HierOptions::default());
+        assert!(r.values.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(r.values.len(), t.graph.edge_count());
+    }
+
+    #[test]
+    fn core_pruning_applies_to_big_graphs() {
+        let t = build(&TopologySpec::Tree { k: 3, depth: 6 }, Scale::Small, 1);
+        let opts = HierOptions {
+            policy: false,
+            core_threshold: 100,
+        };
+        let r = hierarchy_report(&t, &opts);
+        // A tree's core is empty → no link values.
+        assert!(r.name.contains("core"));
+        assert!(r.values.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn policy_without_annotations_panics() {
+        let t = build(&TopologySpec::Mesh { side: 5 }, Scale::Small, 1);
+        let _ = hierarchy_report(
+            &t,
+            &HierOptions {
+                policy: true,
+                core_threshold: 3000,
+            },
+        );
+    }
+}

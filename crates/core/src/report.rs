@@ -1,0 +1,166 @@
+//! Rendering and serialization of experiment outputs.
+//!
+//! Every figure/table reproduction emits one of these records; the
+//! `repro` binary prints the text rendering and can dump the JSON for
+//! archival (EXPERIMENTS.md quotes these outputs).
+
+use serde::{Deserialize, Serialize};
+
+/// A named data series (one curve of a figure).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (the paper's legend entry, e.g. "PLRG").
+    pub label: String,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Y values (NaN-free: unavailable points are omitted).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Build from parallel slices, dropping non-finite points.
+    pub fn new(label: impl Into<String>, x: &[f64], y: &[f64]) -> Series {
+        assert_eq!(x.len(), y.len());
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (&a, &b) in x.iter().zip(y) {
+            if a.is_finite() && b.is_finite() {
+                xs.push(a);
+                ys.push(b);
+            }
+        }
+        Series {
+            label: label.into(),
+            x: xs,
+            y: ys,
+        }
+    }
+}
+
+/// A reproduced figure: several series plus axis labels.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Experiment id, e.g. "fig2-expansion-canonical".
+    pub id: String,
+    /// Axis labels.
+    pub x_label: String,
+    /// Axis labels.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// A reproduced table: header plus rows of cells.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableData {
+    /// Experiment id, e.g. "tab-signature".
+    pub id: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Render as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                line.push_str(&format!("{:w$}  ", c, w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a figure as aligned text columns (one block per series) —
+/// gnuplot-ready and diffable.
+pub fn render_figure(fig: &FigureData) -> String {
+    let mut out = format!("# {}\n# x: {}   y: {}\n", fig.id, fig.x_label, fig.y_label);
+    for s in &fig.series {
+        out.push_str(&format!("\n# series: {}\n", s.label));
+        for (x, y) in s.x.iter().zip(&s.y) {
+            out.push_str(&format!("{x:.6e} {y:.6e}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_drops_nan() {
+        let s = Series::new("t", &[1.0, 2.0, 3.0], &[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.x, vec![1.0, 3.0]);
+        assert_eq!(s.y, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = TableData {
+            id: "t".into(),
+            header: vec!["Topology".into(), "Sig".into()],
+            rows: vec![
+                vec!["Mesh".into(), "LHH".into()],
+                vec!["PLRG".into(), "HHL".into()],
+            ],
+        };
+        let r = t.render();
+        assert!(r.contains("Topology"));
+        assert!(r.lines().count() >= 4);
+        // Columns aligned: both data lines have "LHH"/"HHL" at the same
+        // offset.
+        let lines: Vec<&str> = r.lines().collect();
+        let off1 = lines[2].find("LHH").unwrap();
+        let off2 = lines[3].find("HHL").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn figure_text_roundtrip() {
+        let f = FigureData {
+            id: "fig".into(),
+            x_label: "h".into(),
+            y_label: "E".into(),
+            series: vec![Series::new("a", &[0.0, 1.0], &[0.5, 1.0])],
+        };
+        let txt = render_figure(&f);
+        assert!(txt.contains("series: a"));
+        assert!(txt.contains("5.000000e-1") || txt.contains("5e-1"));
+        // JSON serializable.
+        let j = serde_json::to_string(&f).unwrap();
+        let back: FigureData = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.series[0].y, f.series[0].y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn series_length_mismatch_panics() {
+        let _ = Series::new("x", &[1.0], &[1.0, 2.0]);
+    }
+}

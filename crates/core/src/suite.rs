@@ -1,0 +1,218 @@
+//! The metric suite: expansion, resilience, distortion — with policy
+//! variants for annotated topologies — and the resulting L/H signature.
+
+use crate::classify::{
+    classify_distortion, classify_expansion, classify_resilience, ClassifyThresholds, Signature,
+};
+use crate::zoo::BuiltTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_metrics::balls::{sample_centers, BallSource, PlainBalls, PolicyBalls};
+use topogen_metrics::distortion::{distortion_curve, DistortionParams};
+use topogen_metrics::expansion::expansion_curve;
+use topogen_metrics::resilience::{resilience_curve, ResilienceParams};
+use topogen_metrics::CurvePoint;
+
+/// Sampling and budget knobs for one suite run.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteParams {
+    /// Ball centers sampled per metric (the paper samples "a
+    /// sufficiently large number of randomly chosen nodes" for big
+    /// graphs).
+    pub centers: usize,
+    /// Sources sampled for the expansion average.
+    pub expansion_sources: usize,
+    /// Maximum ball radius (should exceed the diameter for full curves).
+    pub max_radius: u32,
+    /// Largest ball (in nodes) fed to the partitioner / distortion
+    /// heuristics.
+    pub max_ball_nodes: usize,
+    /// Partitioner restarts.
+    pub restarts: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SuiteParams {
+    /// Fast settings for tests and CI (seconds per topology).
+    pub fn quick() -> Self {
+        SuiteParams {
+            centers: 10,
+            expansion_sources: 60,
+            max_radius: 40,
+            max_ball_nodes: 900,
+            restarts: 2,
+            seed: 0x51DE,
+        }
+    }
+
+    /// Thorough settings for the figure reproductions.
+    pub fn thorough() -> Self {
+        SuiteParams {
+            centers: 32,
+            expansion_sources: 400,
+            max_radius: 64,
+            max_ball_nodes: 2_500,
+            restarts: 4,
+            seed: 0x51DE,
+        }
+    }
+}
+
+/// The three curves plus the signature.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// E(h) per radius.
+    pub expansion: Vec<f64>,
+    /// R(n) curve.
+    pub resilience: Vec<CurvePoint>,
+    /// D(n) curve.
+    pub distortion: Vec<CurvePoint>,
+    /// The L/H signature under default thresholds.
+    pub signature: Signature,
+}
+
+/// Run the three metrics over plain shortest-path balls.
+pub fn run_suite(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
+    let src = PlainBalls { graph: &t.graph };
+    run_with_source(&src, t.graph.node_count(), params)
+}
+
+/// Run the three metrics over policy-induced balls (Appendix E); the
+/// topology must carry annotations.
+///
+/// # Panics
+/// Panics if `t.annotations` is `None`.
+pub fn run_suite_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
+    let ann = t
+        .annotations
+        .as_ref()
+        .expect("policy suite needs an annotated topology");
+    let src = PolicyBalls {
+        graph: &t.graph,
+        annotations: ann,
+    };
+    run_with_source(&src, t.graph.node_count(), params)
+}
+
+/// Run the three metrics over policy-constrained *router-level* balls
+/// (Appendix E's RL(Policy) construction); the topology must carry the
+/// AS overlay data (`MeasuredRl` does).
+///
+/// # Panics
+/// Panics if `t.router_as` or `t.as_overlay` is `None`.
+pub fn run_suite_rl_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
+    let router_as = t.router_as.as_ref().expect("RL policy needs router_as");
+    let ov = t
+        .as_overlay
+        .as_ref()
+        .expect("RL policy needs the AS overlay");
+    let overlay = topogen_policy::overlay::RouterOverlay::new(
+        &t.graph,
+        router_as,
+        &ov.as_graph,
+        &ov.annotations,
+    );
+    let src = topogen_metrics::balls::OverlayBalls { overlay };
+    run_with_source(&src, t.graph.node_count(), params)
+}
+
+fn run_with_source<S: BallSource>(src: &S, n: usize, params: &SuiteParams) -> SuiteResult {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let exp_sources = sample_centers(n, params.expansion_sources, &mut rng);
+    let expansion = expansion_curve(src, &exp_sources, params.max_radius);
+
+    let centers = sample_centers(n, params.centers, &mut rng);
+    let res_params = ResilienceParams {
+        restarts: params.restarts,
+        max_ball_nodes: params.max_ball_nodes,
+        seed: params.seed ^ 0x7E5,
+    };
+    let resilience = resilience_curve(src, &centers, params.max_radius, &res_params);
+
+    let dis_params = DistortionParams {
+        max_ball_nodes: params.max_ball_nodes,
+        use_bartal: true,
+        polish: false,
+        seed: params.seed ^ 0xD157,
+    };
+    let distortion = distortion_curve(src, &centers, params.max_radius, &dis_params);
+
+    let th = ClassifyThresholds::default();
+    let signature = Signature {
+        expansion: classify_expansion(&expansion, &th),
+        resilience: classify_resilience(&resilience, &th),
+        distortion: classify_distortion(&distortion, &th),
+    };
+    SuiteResult {
+        expansion,
+        resilience,
+        distortion,
+        signature,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build, Scale, TopologySpec};
+
+    fn sig(spec: &TopologySpec) -> String {
+        let t = build(spec, Scale::Small, 42);
+        run_suite(&t, &SuiteParams::quick()).signature.to_string()
+    }
+
+    #[test]
+    fn canonical_signatures_match_paper_table() {
+        // §3.2.1's calibration table.
+        assert_eq!(sig(&TopologySpec::Tree { k: 3, depth: 6 }), "HLL", "Tree");
+        assert_eq!(sig(&TopologySpec::Mesh { side: 30 }), "LHH", "Mesh");
+        assert_eq!(
+            sig(&TopologySpec::Random { n: 1200, p: 0.0035 }),
+            "HHH",
+            "Random"
+        );
+        assert_eq!(sig(&TopologySpec::Linear { n: 600 }), "LLL", "Linear");
+    }
+
+    #[test]
+    fn complete_graph_signature() {
+        assert_eq!(sig(&TopologySpec::Complete { n: 150 }), "HHL", "Complete");
+    }
+
+    #[test]
+    fn plrg_matches_internet_signature() {
+        // §4.4's headline: PLRG (and the measured graphs) are HHL.
+        assert_eq!(
+            sig(&TopologySpec::Plrg(topogen_generators::plrg::PlrgParams {
+                n: 1300,
+                alpha: 2.246,
+                max_degree: None
+            })),
+            "HHL",
+            "PLRG"
+        );
+    }
+
+    #[test]
+    fn measured_as_is_hhl() {
+        assert_eq!(sig(&TopologySpec::MeasuredAs), "HHL", "AS");
+    }
+
+    #[test]
+    fn rl_policy_suite_keeps_signature() {
+        // Appendix E's router-level policy construction: the RL graph
+        // stays HHL under policy-constrained balls.
+        let t = build(&TopologySpec::MeasuredRl, Scale::Small, 42);
+        let r = run_suite_rl_policy(&t, &SuiteParams::quick());
+        assert_eq!(r.signature.to_string(), "HHL");
+    }
+
+    #[test]
+    fn policy_suite_runs_on_as() {
+        let t = build(&TopologySpec::MeasuredAs, Scale::Small, 42);
+        let r = run_suite_policy(&t, &SuiteParams::quick());
+        // Policy routing does not change the classification (§4.4).
+        assert_eq!(r.signature.to_string(), "HHL");
+    }
+}

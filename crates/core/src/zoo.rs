@@ -1,0 +1,372 @@
+//! The topology zoo of Figure 1, plus the degree-based variants of
+//! Appendix D and the synthetic measured graphs.
+//!
+//! Every spec builds deterministically from a seed, returns its largest
+//! connected component (the paper's analysis graph), and — for the
+//! synthetic AS/RL graphs — carries relationship annotations so the
+//! policy-routing variants of every experiment can run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_generators::ba::{albert_barabasi, barabasi_albert, AlbertBarabasiParams, BaParams};
+use topogen_generators::brite::{brite, BriteParams};
+use topogen_generators::canonical;
+use topogen_generators::connectivity::rewire_as_plrg;
+use topogen_generators::glp::{glp, GlpParams};
+use topogen_generators::inet::{inet, InetParams};
+use topogen_generators::plrg::{plrg, PlrgParams};
+use topogen_generators::tiers::{tiers, TiersParams};
+use topogen_generators::transit_stub::{transit_stub, TransitStubParams};
+use topogen_generators::waxman::{waxman, WaxmanParams};
+use topogen_graph::components::largest_component;
+use topogen_graph::{Graph, NodeId};
+use topogen_measured::as_graph::{internet_as, InternetAsParams};
+use topogen_measured::rl_graph::{expand_to_routers, RouterExpansionParams};
+use topogen_policy::rel::AsAnnotations;
+
+/// Run scale: CI-sized graphs versus the paper's Figure 1 sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Hundreds-to-a-few-thousand nodes; minutes-of-CPU experiments.
+    Small,
+    /// The paper's sizes (PLRG ≈ 9000, Tiers 5000, AS ≈ 11000, RL huge);
+    /// expect long runtimes on the heavier metrics.
+    Paper,
+}
+
+/// A buildable topology from the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// Canonical k-ary tree.
+    Tree {
+        /// Branching factor.
+        k: usize,
+        /// Depth.
+        depth: usize,
+    },
+    /// Canonical rectangular grid.
+    Mesh {
+        /// Side length (rows = cols).
+        side: usize,
+    },
+    /// Canonical linear chain.
+    Linear {
+        /// Node count.
+        n: usize,
+    },
+    /// Complete graph.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// Erdős–Rényi random graph G(n, p).
+    Random {
+        /// Node count before largest-component extraction.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Waxman random graph.
+    Waxman(WaxmanParams),
+    /// GT-ITM Transit-Stub.
+    TransitStub(TransitStubParams),
+    /// Tiers.
+    Tiers(TiersParams),
+    /// Power-law random graph.
+    Plrg(PlrgParams),
+    /// Barabási–Albert.
+    Ba(BaParams),
+    /// Albert–Barabási with link addition/rewiring.
+    AlbertBarabasi(AlbertBarabasiParams),
+    /// BRITE-like.
+    Brite(BriteParams),
+    /// Bu–Towsley GLP (the paper's "BT").
+    Glp(GlpParams),
+    /// Inet-like.
+    Inet(InetParams),
+    /// GT-ITM N-level hierarchy (Zegura et al.'s original structural
+    /// model).
+    NLevel(topogen_generators::nlevel::NLevelParams),
+    /// "Modified" variant (Figure 13): build the inner spec, then
+    /// reconnect its degree sequence with the PLRG method.
+    PlrgRewired(Box<TopologySpec>),
+    /// Synthetic measured AS graph (with annotations).
+    MeasuredAs,
+    /// Synthetic measured router-level graph.
+    MeasuredRl,
+}
+
+impl TopologySpec {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::Tree { .. } => "Tree".into(),
+            TopologySpec::Mesh { .. } => "Mesh".into(),
+            TopologySpec::Linear { .. } => "Linear".into(),
+            TopologySpec::Complete { .. } => "Complete".into(),
+            TopologySpec::Random { .. } => "Random".into(),
+            TopologySpec::Waxman(_) => "Waxman".into(),
+            TopologySpec::TransitStub(_) => "TS".into(),
+            TopologySpec::Tiers(_) => "Tiers".into(),
+            TopologySpec::Plrg(_) => "PLRG".into(),
+            TopologySpec::Ba(_) => "B-A".into(),
+            TopologySpec::AlbertBarabasi(_) => "AB".into(),
+            TopologySpec::Brite(_) => "Brite".into(),
+            TopologySpec::Glp(_) => "BT".into(),
+            TopologySpec::Inet(_) => "Inet".into(),
+            TopologySpec::NLevel(_) => "N-Level".into(),
+            TopologySpec::PlrgRewired(inner) => format!("Modified {}", inner.name()),
+            TopologySpec::MeasuredAs => "AS".into(),
+            TopologySpec::MeasuredRl => "RL".into(),
+        }
+    }
+
+    /// The paper's Figure 1 zoo at the requested scale: Tree, Mesh,
+    /// Random, Waxman, TS, Tiers, PLRG, AS, RL.
+    pub fn figure1_zoo(scale: Scale) -> Vec<TopologySpec> {
+        match scale {
+            Scale::Paper => vec![
+                TopologySpec::Tree { k: 3, depth: 6 },
+                TopologySpec::Mesh { side: 30 },
+                TopologySpec::Random { n: 5018, p: 0.0008 },
+                TopologySpec::Waxman(WaxmanParams::paper_default()),
+                TopologySpec::TransitStub(TransitStubParams::paper_default()),
+                TopologySpec::Tiers(TiersParams::paper_default()),
+                TopologySpec::Plrg(PlrgParams::paper_default()),
+                TopologySpec::MeasuredAs,
+                TopologySpec::MeasuredRl,
+            ],
+            Scale::Small => vec![
+                TopologySpec::Tree { k: 3, depth: 6 },
+                TopologySpec::Mesh { side: 30 },
+                TopologySpec::Random { n: 1200, p: 0.0035 },
+                TopologySpec::Waxman(WaxmanParams {
+                    n: 1200,
+                    alpha: 0.02,
+                    beta: 0.3,
+                }),
+                TopologySpec::TransitStub(TransitStubParams::paper_default()),
+                TopologySpec::Tiers(TiersParams {
+                    mans_per_wan: 10,
+                    lans_per_man: 8,
+                    wan_nodes: 350,
+                    man_nodes: 20,
+                    lan_nodes: 5,
+                    ..TiersParams::paper_default()
+                }),
+                TopologySpec::Plrg(PlrgParams {
+                    n: 1300,
+                    alpha: 2.246,
+                    max_degree: None,
+                }),
+                TopologySpec::MeasuredAs,
+                TopologySpec::MeasuredRl,
+            ],
+        }
+    }
+
+    /// The degree-based generator panel of Figure 2(j–l)/Appendix D.
+    pub fn degree_based_zoo(scale: Scale) -> Vec<TopologySpec> {
+        let n = match scale {
+            Scale::Small => 1300,
+            Scale::Paper => 9000,
+        };
+        vec![
+            TopologySpec::Ba(BaParams { n, m: 2 }),
+            TopologySpec::Brite(BriteParams::paper_default(n)),
+            TopologySpec::Glp(GlpParams::paper_as_fit(n)),
+            TopologySpec::Inet(InetParams::paper_default(n)),
+            TopologySpec::Plrg(PlrgParams {
+                n,
+                alpha: 2.246,
+                max_degree: None,
+            }),
+        ]
+    }
+}
+
+/// The AS-level context a router-level topology was expanded from —
+/// everything the Appendix E router policy construction needs.
+#[derive(Clone, Debug)]
+pub struct AsOverlayData {
+    /// The AS graph.
+    pub as_graph: Graph,
+    /// Its relationship annotations.
+    pub annotations: AsAnnotations,
+}
+
+/// A built topology: the largest connected component plus metadata.
+#[derive(Clone, Debug)]
+pub struct BuiltTopology {
+    /// Display name.
+    pub name: String,
+    /// The analysis graph (largest connected component).
+    pub graph: Graph,
+    /// Relationship annotations, present for the synthetic AS graph
+    /// (policy experiments run only when this is set).
+    pub annotations: Option<AsAnnotations>,
+    /// For MeasuredRl: owning AS of each router (in LCC ids).
+    pub router_as: Option<Vec<NodeId>>,
+    /// For MeasuredRl: the AS graph + annotations it was expanded from
+    /// (enables the RL(Policy) experiments).
+    pub as_overlay: Option<AsOverlayData>,
+    /// The spec that produced it.
+    pub spec: TopologySpec,
+}
+
+/// Build a topology deterministically from `seed`.
+pub fn build(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name = spec.name();
+    let (graph, annotations, router_as) = match spec {
+        TopologySpec::Tree { k, depth } => (canonical::kary_tree(*k, *depth), None, None),
+        TopologySpec::Mesh { side } => (canonical::mesh(*side, *side), None, None),
+        TopologySpec::Linear { n } => (canonical::linear(*n), None, None),
+        TopologySpec::Complete { n } => (canonical::complete(*n), None, None),
+        TopologySpec::Random { n, p } => (
+            largest_component(&canonical::random_gnp(*n, *p, &mut rng)).0,
+            None,
+            None,
+        ),
+        TopologySpec::Waxman(p) => (largest_component(&waxman(p, &mut rng)).0, None, None),
+        TopologySpec::TransitStub(p) => (transit_stub(p, &mut rng).graph, None, None),
+        TopologySpec::Tiers(p) => (tiers(p, &mut rng).graph, None, None),
+        TopologySpec::Plrg(p) => (largest_component(&plrg(p, &mut rng)).0, None, None),
+        TopologySpec::Ba(p) => (barabasi_albert(p, &mut rng), None, None),
+        TopologySpec::AlbertBarabasi(p) => (
+            largest_component(&albert_barabasi(p, &mut rng)).0,
+            None,
+            None,
+        ),
+        TopologySpec::Brite(p) => (brite(p, &mut rng), None, None),
+        TopologySpec::Glp(p) => (largest_component(&glp(p, &mut rng)).0, None, None),
+        TopologySpec::Inet(p) => (largest_component(&inet(p, &mut rng)).0, None, None),
+        TopologySpec::NLevel(p) => (topogen_generators::nlevel::n_level(p, &mut rng), None, None),
+        TopologySpec::PlrgRewired(inner) => {
+            let base = build(inner, scale, seed);
+            let rewired = rewire_as_plrg(&base.graph, &mut rng);
+            (largest_component(&rewired).0, None, None)
+        }
+        TopologySpec::MeasuredAs => {
+            let params = match scale {
+                Scale::Small => InternetAsParams::default_scaled(),
+                Scale::Paper => InternetAsParams::paper_scale(),
+            };
+            let m = internet_as(&params, &mut rng);
+            // The generator guarantees connectivity, so annotations stay
+            // aligned with the graph's edge order.
+            (m.graph, Some(m.annotations), None)
+        }
+        TopologySpec::MeasuredRl => {
+            let params = match scale {
+                Scale::Small => InternetAsParams::default_scaled(),
+                Scale::Paper => InternetAsParams::paper_scale(),
+            };
+            let m = internet_as(&params, &mut rng);
+            let rl = expand_to_routers(&m, &RouterExpansionParams::default(), &mut rng);
+            return BuiltTopology {
+                name,
+                graph: rl.graph,
+                annotations: None,
+                router_as: Some(rl.router_as),
+                as_overlay: Some(AsOverlayData {
+                    as_graph: m.graph,
+                    annotations: m.annotations,
+                }),
+                spec: spec.clone(),
+            };
+        }
+    };
+    BuiltTopology {
+        name,
+        graph,
+        annotations,
+        router_as,
+        as_overlay: None,
+        spec: spec.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen_graph::components::is_connected;
+
+    #[test]
+    fn figure1_zoo_builds_connected() {
+        for spec in TopologySpec::figure1_zoo(Scale::Small) {
+            if spec == TopologySpec::MeasuredRl {
+                continue; // exercised separately (slow)
+            }
+            let t = build(&spec, Scale::Small, 7);
+            assert!(
+                is_connected(&t.graph),
+                "{} not connected ({} nodes)",
+                t.name,
+                t.graph.node_count()
+            );
+            assert!(t.graph.node_count() >= 100, "{} too small", t.name);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(
+            TopologySpec::Plrg(PlrgParams::paper_default()).name(),
+            "PLRG"
+        );
+        assert_eq!(TopologySpec::MeasuredAs.name(), "AS");
+        assert_eq!(
+            TopologySpec::PlrgRewired(Box::new(TopologySpec::Ba(BaParams { n: 10, m: 1 }))).name(),
+            "Modified B-A"
+        );
+    }
+
+    #[test]
+    fn measured_as_has_annotations() {
+        let t = build(&TopologySpec::MeasuredAs, Scale::Small, 1);
+        assert!(t.annotations.is_some());
+        let ann = t.annotations.as_ref().unwrap();
+        // Alignment invariant: one relationship per edge.
+        assert_eq!(
+            ann.counts().0 + ann.counts().1 + ann.counts().2,
+            t.graph.edge_count()
+        );
+    }
+
+    #[test]
+    fn measured_rl_has_router_map() {
+        let t = build(&TopologySpec::MeasuredRl, Scale::Small, 1);
+        assert!(t.router_as.is_some());
+        assert_eq!(t.router_as.as_ref().unwrap().len(), t.graph.node_count());
+        assert!(is_connected(&t.graph));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let s = TopologySpec::Plrg(PlrgParams {
+            n: 500,
+            alpha: 2.3,
+            max_degree: None,
+        });
+        let a = build(&s, Scale::Small, 9);
+        let b = build(&s, Scale::Small, 9);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+    }
+
+    #[test]
+    fn rewired_variant_builds() {
+        let s = TopologySpec::PlrgRewired(Box::new(TopologySpec::Ba(BaParams { n: 300, m: 2 })));
+        let t = build(&s, Scale::Small, 3);
+        assert!(t.graph.node_count() > 200);
+    }
+
+    #[test]
+    fn degree_based_zoo_heavy_tailed() {
+        for spec in TopologySpec::degree_based_zoo(Scale::Small) {
+            let t = build(&spec, Scale::Small, 11);
+            let ratio = t.graph.max_degree() as f64 / t.graph.average_degree();
+            assert!(ratio > 5.0, "{}: max/mean degree ratio {ratio}", t.name);
+        }
+    }
+}

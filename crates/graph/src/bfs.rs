@@ -1,0 +1,267 @@
+//! Breadth-first search primitives.
+//!
+//! The paper's ball-growing methodology (§3.2.1) is built entirely on
+//! hop-count shortest paths: balls of radius `h`, reachable-set sizes per
+//! radius (the expansion metric), and — for the hierarchy analysis of §5 —
+//! shortest-path counts σ and the shortest-path DAG used to distribute
+//! equal-cost traversal weights over links (footnote 27).
+
+use crate::{Graph, NodeId, UNREACHED};
+use std::collections::VecDeque;
+
+/// Hop distances from `src` to every node (`UNREACHED` where unreachable).
+pub fn distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    distances_bounded(g, src, u32::MAX)
+}
+
+/// Hop distances from `src`, exploring only up to `max_h` hops.
+/// Nodes farther than `max_h` are left `UNREACHED`.
+pub fn distances_bounded(g: &Graph, src: NodeId, max_h: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.node_count()];
+    dist[src as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        if du >= max_h {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within `h` hops of `src` (including `src`), in BFS order.
+pub fn ball_nodes(g: &Graph, src: NodeId, h: u32) -> Vec<NodeId> {
+    let dist = distances_bounded(g, src, h);
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHED)
+        .map(|(i, _)| i as NodeId)
+        .collect();
+    // BFS order by distance, ties by id — deterministic.
+    out.sort_by_key(|&v| (dist[v as usize], v));
+    out
+}
+
+/// For one source, the number of nodes at *exactly* each hop distance
+/// `0..=max_h` (index 0 counts the source itself).
+pub fn ring_sizes(g: &Graph, src: NodeId, max_h: u32) -> Vec<usize> {
+    let dist = distances_bounded(g, src, max_h);
+    let mut rings = vec![0usize; max_h as usize + 1];
+    for &d in &dist {
+        if d != UNREACHED {
+            rings[d as usize] += 1;
+        }
+    }
+    rings
+}
+
+/// Eccentricity of `src`: the maximum finite hop distance to any reachable
+/// node.
+pub fn eccentricity(g: &Graph, src: NodeId) -> u32 {
+    distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Result of a full single-source shortest-path analysis: distances, the
+/// number of distinct shortest paths σ to each node, and for each node the
+/// list of DAG predecessors (neighbors one hop closer to the source).
+#[derive(Clone, Debug)]
+pub struct ShortestPathDag {
+    /// Hop distance from the source (UNREACHED if disconnected).
+    pub dist: Vec<u32>,
+    /// σ\[v\]: number of distinct shortest paths source→v (saturating; the
+    /// count can explode combinatorially on dense graphs, so it is an
+    /// `f64` — only *ratios* of σ are ever consumed, per footnote 27).
+    pub sigma: Vec<f64>,
+    /// Predecessors of each node in the shortest-path DAG.
+    pub preds: Vec<Vec<NodeId>>,
+    /// Nodes in non-decreasing distance order (valid processing order).
+    pub order: Vec<NodeId>,
+    /// The source node.
+    pub source: NodeId,
+}
+
+/// Compute the shortest-path DAG from `src` (Brandes-style forward pass).
+pub fn shortest_path_dag(g: &Graph, src: NodeId) -> ShortestPathDag {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut order = Vec::with_capacity(n);
+    dist[src as usize] = 0;
+    sigma[src as usize] = 1.0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            let dv = dist[v as usize];
+            if dv == UNREACHED {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+            if dist[v as usize] == du + 1 {
+                sigma[v as usize] += sigma[u as usize];
+                preds[v as usize].push(u);
+            }
+        }
+    }
+    ShortestPathDag {
+        dist,
+        sigma,
+        preds,
+        order,
+        source: src,
+    }
+}
+
+/// Average shortest-path length over all connected ordered pairs, computed
+/// by running BFS from every node in `sources` (pass all nodes for the
+/// exact value, or a sample for an estimate). Returns `None` when no pair
+/// is connected.
+pub fn average_path_length(g: &Graph, sources: &[NodeId]) -> Option<f64> {
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &s in sources {
+        for &d in &distances(g, s) {
+            if d != UNREACHED && d > 0 {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3-4.
+    fn path5() -> Graph {
+        Graph::from_edges(5, (0..4).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path5();
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_distances() {
+        let g = path5();
+        let d = distances_bounded(&g, 0, 2);
+        assert_eq!(d, vec![0, 1, 2, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn disconnected_unreached() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let d = distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn ball_nodes_radius() {
+        let g = path5();
+        assert_eq!(ball_nodes(&g, 2, 0), vec![2]);
+        assert_eq!(ball_nodes(&g, 2, 1), vec![2, 1, 3]);
+        assert_eq!(ball_nodes(&g, 0, 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_sizes_on_star() {
+        let g = Graph::from_edges(5, (1..5).map(|i| (0, i)));
+        assert_eq!(ring_sizes(&g, 0, 2), vec![1, 4, 0]);
+        assert_eq!(ring_sizes(&g, 1, 2), vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn eccentricity_values() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+        let iso = Graph::empty(3);
+        assert_eq!(eccentricity(&iso, 0), 0);
+    }
+
+    #[test]
+    fn sigma_counts_equal_cost_paths() {
+        // 4-cycle: two shortest paths between opposite corners.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let dag = shortest_path_dag(&g, 0);
+        assert_eq!(dag.dist, vec![0, 1, 2, 1]);
+        assert_eq!(dag.sigma[2], 2.0);
+        assert_eq!(dag.sigma[1], 1.0);
+        let mut preds2 = dag.preds[2].clone();
+        preds2.sort_unstable();
+        assert_eq!(preds2, vec![1, 3]);
+    }
+
+    #[test]
+    fn dag_order_is_by_distance() {
+        let g = path5();
+        let dag = shortest_path_dag(&g, 0);
+        let ds: Vec<u32> = dag.order.iter().map(|&v| dag.dist[v as usize]).collect();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(dag.order.len(), 5);
+    }
+
+    #[test]
+    fn apl_on_path() {
+        let g = path5();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        // Sum over ordered pairs of |i-j| = 2*(4*1+3*2+2*3+1*4)=40; pairs=20.
+        assert_eq!(average_path_length(&g, &nodes), Some(2.0));
+    }
+
+    #[test]
+    fn apl_disconnected_none() {
+        let g = Graph::empty(3);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(average_path_length(&g, &nodes), None);
+    }
+
+    #[test]
+    fn grid_sigma() {
+        // 3x3 grid; paths from corner (0) to opposite corner (8):
+        // number of monotone lattice paths = C(4,2) = 6.
+        let mut edges = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < 3 {
+                    edges.push((v, v + 3));
+                }
+            }
+        }
+        let g = Graph::from_edges(9, edges);
+        let dag = shortest_path_dag(&g, 0);
+        assert_eq!(dag.dist[8], 4);
+        assert_eq!(dag.sigma[8], 6.0);
+    }
+}

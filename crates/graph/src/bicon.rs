@@ -1,0 +1,251 @@
+//! Biconnected components and articulation points (iterative Tarjan).
+//!
+//! The paper's Appendix B (Figure 8(d–f)) plots the number of biconnected
+//! components inside balls of growing size, following Zegura et al.'s
+//! original biconnectivity analysis \[50\].
+
+use crate::{Graph, NodeId};
+
+/// Result of the biconnectivity analysis.
+#[derive(Clone, Debug)]
+pub struct Biconnectivity {
+    /// Number of biconnected components (edge-sharing equivalence classes;
+    /// every bridge is its own component).
+    pub component_count: usize,
+    /// For each edge (indexed as in [`Graph::edges`]) the biconnected
+    /// component it belongs to.
+    pub edge_component: Vec<u32>,
+    /// Articulation points (cut vertices), sorted.
+    pub articulation_points: Vec<NodeId>,
+}
+
+/// Compute biconnected components with an iterative DFS (the measured
+/// router graph is deep enough to overflow the stack recursively).
+pub fn biconnected_components(g: &Graph) -> Biconnectivity {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut is_art = vec![false; n];
+    let mut edge_component = vec![u32::MAX; m];
+    let mut comp = 0u32;
+    let mut timer = 1u32;
+    let mut edge_stack: Vec<usize> = Vec::new(); // edge indices
+
+    // Iterative DFS frame: (node, parent, neighbor cursor, child count for root).
+    struct Frame {
+        v: NodeId,
+        parent: NodeId,
+        next: usize,
+        root_children: usize,
+    }
+
+    for start in 0..n as NodeId {
+        if disc[start as usize] != 0 {
+            continue;
+        }
+        disc[start as usize] = timer;
+        low[start as usize] = timer;
+        timer += 1;
+        let mut stack = vec![Frame {
+            v: start,
+            parent: NodeId::MAX,
+            next: 0,
+            root_children: 0,
+        }];
+        while let Some(top) = stack.last_mut() {
+            let v = top.v;
+            let parent = top.parent;
+            let neigh = g.neighbors(v);
+            if top.next < neigh.len() {
+                let w = neigh[top.next];
+                top.next += 1;
+                if w == parent {
+                    // Skip exactly one traversal back to the parent; the
+                    // graph is simple so there is exactly one such edge.
+                    // Mark parent consumed so parallel logic stays simple.
+                    // (Set parent to MAX so a second w==parent can't occur;
+                    // in a simple graph it cannot anyway.)
+                    top.parent = NodeId::MAX;
+                    continue;
+                }
+                let ei = g.edge_index(v, w).expect("neighbor implies edge");
+                if disc[w as usize] == 0 {
+                    // Tree edge.
+                    edge_stack.push(ei);
+                    if parent == NodeId::MAX && stack.len() == 1 {
+                        // (root child counting handled on return)
+                    }
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        v: w,
+                        parent: v,
+                        next: 0,
+                        root_children: 0,
+                    });
+                } else if disc[w as usize] < disc[v as usize] {
+                    // Back edge to an ancestor.
+                    edge_stack.push(ei);
+                    if disc[w as usize] < low[v as usize] {
+                        low[v as usize] = disc[w as usize];
+                    }
+                }
+                // Forward "back edges" to descendants (disc[w] > disc[v])
+                // were already handled when the descendant saw v.
+            } else {
+                // All neighbors of v processed; pop and update parent.
+                let frame = stack.pop().unwrap();
+                let root = stack.len() == 1;
+                if let Some(pf) = stack.last_mut() {
+                    let p = pf.v;
+                    if low[frame.v as usize] < low[p as usize] {
+                        low[p as usize] = low[frame.v as usize];
+                    }
+                    if root {
+                        pf.root_children += 1;
+                    }
+                    if (!root && low[frame.v as usize] >= disc[p as usize])
+                        || (root && pf.root_children > 1)
+                    {
+                        is_art[p as usize] = true;
+                    }
+                    if low[frame.v as usize] >= disc[p as usize] {
+                        // Pop one biconnected component: all edges pushed
+                        // since (and including) tree edge (p, frame.v).
+                        let cut = g.edge_index(p, frame.v).expect("tree edge");
+                        loop {
+                            let e = edge_stack.pop().expect("component edge");
+                            edge_component[e] = comp;
+                            if e == cut {
+                                break;
+                            }
+                        }
+                        comp += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let articulation_points = (0..n as NodeId).filter(|&v| is_art[v as usize]).collect();
+    Biconnectivity {
+        component_count: comp as usize,
+        edge_component,
+        articulation_points,
+    }
+}
+
+/// Convenience: just the number of biconnected components.
+pub fn biconnected_component_count(g: &Graph) -> usize {
+    biconnected_components(g).component_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_is_one_component() {
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 1);
+        assert!(b.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn triangle_is_biconnected() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 1);
+        assert!(b.articulation_points.is_empty());
+        assert!(b.edge_component.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn path_every_edge_own_component() {
+        let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 4);
+        assert_eq!(b.articulation_points, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bowtie_two_triangles() {
+        // Two triangles sharing node 2.
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 2);
+        assert_eq!(b.articulation_points, vec![2]);
+        // Edges of the same triangle share a component.
+        let c01 = b.edge_component[g.edge_index(0, 1).unwrap()];
+        let c12 = b.edge_component[g.edge_index(1, 2).unwrap()];
+        let c34 = b.edge_component[g.edge_index(3, 4).unwrap()];
+        assert_eq!(c01, c12);
+        assert_ne!(c01, c34);
+    }
+
+    #[test]
+    fn star_center_is_articulation() {
+        let g = Graph::from_edges(5, (1..5).map(|i| (0, i)));
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 4);
+        assert_eq!(b.articulation_points, vec![0]);
+    }
+
+    #[test]
+    fn disconnected_graphs_sum() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 3); // triangle + 2 bridges
+    }
+
+    #[test]
+    fn cycle_is_single_component() {
+        let g = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 1);
+        assert!(b.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 with tail 2-3.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 2);
+        assert_eq!(b.articulation_points, vec![2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        let b = biconnected_components(&g);
+        assert_eq!(b.component_count, 0);
+        assert!(b.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn every_edge_assigned() {
+        let g = Graph::from_edges(
+            8,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let b = biconnected_components(&g);
+        assert!(b.edge_component.iter().all(|&c| c != u32::MAX));
+        // {0,1,2} triangle; (2,3) bridge; {3,4,5} triangle; (5,6) bridge;
+        // (6,7) bridge — five biconnected components in total.
+        assert_eq!(b.component_count, 5);
+    }
+}

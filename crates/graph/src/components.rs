@@ -1,0 +1,154 @@
+//! Connected components and largest-component extraction.
+//!
+//! Several generators in the paper (PLRG in particular, see footnote 6;
+//! Waxman under extreme geographic bias, §4.4) can produce disconnected
+//! graphs; the paper always analyzes the largest connected component.
+
+use crate::subgraph::{induced_subgraph, SubgraphMap};
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Component labeling: `label[v]` is the component index of `v` and
+/// `sizes[c]` the size of component `c`. Components are numbered in
+/// discovery order of their smallest node.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component index per node.
+    pub label: Vec<u32>,
+    /// Size (node count) per component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index of the largest component (ties broken by lowest index).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Whether the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.count() == 1
+    }
+}
+
+/// Label connected components via BFS.
+pub fn components(g: &Graph) -> Components {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut q = VecDeque::new();
+    for s in 0..n as NodeId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        label[s as usize] = c;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = c;
+                    q.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// Whether `g` is connected. The empty graph is vacuously connected; a
+/// graph with ≥2 nodes and no path between some pair is not.
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || components(g).is_connected()
+}
+
+/// Extract the largest connected component as a new graph, together with
+/// the node mapping back to the original ids.
+pub fn largest_component(g: &Graph) -> (Graph, SubgraphMap) {
+    let comps = components(g);
+    match comps.largest() {
+        None => (Graph::empty(0), SubgraphMap::empty()),
+        Some(c) => {
+            let keep: Vec<NodeId> = (0..g.node_count() as NodeId)
+                .filter(|&v| comps.label[v as usize] == c)
+                .collect();
+            induced_subgraph(g, &keep)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let c = components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.is_connected());
+        assert_eq!(c.sizes, vec![4]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        let g = Graph::from_edges(5, vec![(0, 1), (2, 3)]);
+        let c = components(&g);
+        assert_eq!(c.count(), 3); // {0,1}, {2,3}, {4}
+        assert_eq!(c.sizes, vec![2, 2, 1]);
+        assert_eq!(c.largest(), Some(0)); // tie broken by lowest index
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Triangle {0,1,2} plus edge {3,4} plus isolated 5.
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let (lcc, map) = largest_component(&g);
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 3);
+        let originals: Vec<NodeId> = (0..3).map(|v| map.to_original(v)).collect();
+        assert_eq!(originals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_of_empty() {
+        let (lcc, _) = largest_component(&Graph::empty(0));
+        assert_eq!(lcc.node_count(), 0);
+    }
+
+    #[test]
+    fn labels_partition_nodes() {
+        let g = Graph::from_edges(7, vec![(0, 1), (2, 3), (3, 4), (5, 6)]);
+        let c = components(&g);
+        let total: usize = c.sizes.iter().sum();
+        assert_eq!(total, 7);
+        for v in 0..7 {
+            assert!((c.label[v] as usize) < c.count());
+        }
+        // Nodes in the same edge share a label.
+        for e in g.edges() {
+            assert_eq!(c.label[e.a as usize], c.label[e.b as usize]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Unit-capacity maximum flow (Edmonds–Karp on the residual digraph).
+//!
+//! Used by the "expected max-flow between the center of a ball ... and
+//! any node on the surface of the ball" metric the paper lists among its
+//! additional experiments (footnote 22), and handy as an exact
+//! cross-check for small-cut assertions: by Menger's theorem, the
+//! unit-capacity max flow between `s` and `t` equals the number of
+//! edge-disjoint paths, i.e. the minimum edge cut separating them.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Maximum `s`–`t` flow treating every undirected edge as capacity 1 in
+/// each direction. Returns 0 when `s == t` is false but they are
+/// disconnected, and panics on `s == t`.
+///
+/// Complexity O(E · maxflow) — fine for the ball-sized subgraphs and the
+/// bounded degrees this repository feeds it.
+pub fn max_flow_unit(g: &Graph, s: NodeId, t: NodeId) -> u64 {
+    assert_ne!(s, t, "max flow needs distinct endpoints");
+    let m = g.edge_count();
+    // Residual capacities per direction: fwd[i] is a→b, bwd[i] is b→a
+    // for edge i = (a, b).
+    let mut fwd = vec![1u8; m];
+    let mut bwd = vec![1u8; m];
+    let n = g.node_count();
+    let mut flow = 0u64;
+    let mut pred: Vec<Option<(NodeId, usize, bool)>> = vec![None; n]; // (from, edge, is_fwd)
+    loop {
+        // BFS over residual edges.
+        for p in pred.iter_mut() {
+            *p = None;
+        }
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        pred[s as usize] = Some((s, usize::MAX, true));
+        let mut reached = false;
+        'bfs: while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if pred[v as usize].is_some() {
+                    continue;
+                }
+                let ei = g.edge_index(u, v).expect("adjacent edge");
+                let e = g.edges()[ei];
+                // Direction u→v is forward iff u == e.a.
+                let is_fwd = u == e.a;
+                let cap = if is_fwd { fwd[ei] } else { bwd[ei] };
+                if cap == 0 {
+                    continue;
+                }
+                pred[v as usize] = Some((u, ei, is_fwd));
+                if v == t {
+                    reached = true;
+                    break 'bfs;
+                }
+                q.push_back(v);
+            }
+        }
+        if !reached {
+            break;
+        }
+        // Augment by 1 along the path.
+        let mut v = t;
+        while v != s {
+            let (u, ei, is_fwd) = pred[v as usize].expect("path back to source");
+            if is_fwd {
+                fwd[ei] -= 1;
+                bwd[ei] += 1;
+            } else {
+                bwd[ei] -= 1;
+                fwd[ei] += 1;
+            }
+            v = u;
+        }
+        flow += 1;
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_flow_is_one() {
+        let g = Graph::from_edges(4, (0..3).map(|i| (i, i + 1)));
+        assert_eq!(max_flow_unit(&g, 0, 3), 1);
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(max_flow_unit(&g, 0, 3), 0);
+    }
+
+    #[test]
+    fn cycle_flow_is_two() {
+        let g = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        assert_eq!(max_flow_unit(&g, 0, 3), 2);
+    }
+
+    #[test]
+    fn complete_graph_flow() {
+        // K5: min cut between any pair = degree = 4.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, edges);
+        assert_eq!(max_flow_unit(&g, 0, 4), 4);
+    }
+
+    #[test]
+    fn two_cliques_bridge() {
+        // K4 — bridge — K4: max flow across = 1.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+                edges.push((i + 4, j + 4));
+            }
+        }
+        edges.push((0, 4));
+        let g = Graph::from_edges(8, edges);
+        assert_eq!(max_flow_unit(&g, 1, 5), 1);
+        assert_eq!(max_flow_unit(&g, 1, 2), 3);
+    }
+
+    #[test]
+    fn grid_corner_flow() {
+        // 3x3 grid: corner has degree 2 → flow from corner bounded by 2.
+        let mut e = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    e.push((v, v + 1));
+                }
+                if r + 1 < 3 {
+                    e.push((v, v + 3));
+                }
+            }
+        }
+        let g = Graph::from_edges(9, e);
+        assert_eq!(max_flow_unit(&g, 0, 8), 2);
+        assert_eq!(max_flow_unit(&g, 1, 7), 3);
+    }
+
+    #[test]
+    fn menger_flow_matches_bridge_count() {
+        // Triangle-bridge-triangle: exactly one edge-disjoint path across.
+        let g = Graph::from_edges(
+            6,
+            vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        assert_eq!(max_flow_unit(&g, 0, 4), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn same_endpoints_panics() {
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let _ = max_flow_unit(&g, 1, 1);
+    }
+}

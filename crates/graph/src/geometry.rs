@@ -1,0 +1,189 @@
+//! Plane geometry for location-aware generators.
+//!
+//! Waxman places nodes uniformly on a plane and biases link probability by
+//! Euclidean distance; Tiers connects each tier with a Euclidean minimum
+//! spanning tree and adds redundancy links in order of increasing
+//! distance (§3.1.2). This module provides the shared point type, the
+//! O(n²) Prim MST (exact, adequate for the paper's ≤ 10⁴-node networks),
+//! and distance-ordered pair enumeration.
+
+/// A point in the plane (coordinates typically in `[0, 1)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper for comparisons).
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Exact Euclidean minimum spanning tree over `points` via Prim's
+/// algorithm in O(n²) time and O(n) memory. Returns the tree's edges as
+/// index pairs. Empty and single-point inputs return no edges.
+pub fn euclidean_mst(points: &[Point]) -> Vec<(u32, u32)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n]; // best[i]: cheapest squared dist into tree
+    let mut best_from = vec![0u32; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for i in 1..n {
+        best[i] = points[0].dist2(&points[i]);
+    }
+    for _ in 1..n {
+        // Cheapest frontier vertex.
+        let mut v = usize::MAX;
+        let mut vd = f64::INFINITY;
+        for i in 0..n {
+            if !in_tree[i] && best[i] < vd {
+                vd = best[i];
+                v = i;
+            }
+        }
+        debug_assert_ne!(v, usize::MAX);
+        in_tree[v] = true;
+        edges.push((best_from[v], v as u32));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = points[v].dist2(&points[i]);
+                if d < best[i] {
+                    best[i] = d;
+                    best_from[i] = v as u32;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// All unordered index pairs sorted by increasing Euclidean distance.
+/// O(n² log n); used by Tiers to add redundancy links "in order of
+/// increasing inter-node Euclidean distance".
+pub fn pairs_by_distance(points: &[Point]) -> Vec<(u32, u32)> {
+    let n = points.len();
+    let mut pairs = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((points[i].dist2(&points[j]), i as u32, j as u32));
+        }
+    }
+    pairs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    pairs.into_iter().map(|(_, i, j)| (i, j)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert!((a.dist2(&b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn mst_trivial_inputs() {
+        assert!(euclidean_mst(&[]).is_empty());
+        assert!(euclidean_mst(&[Point::new(0.0, 0.0)]).is_empty());
+        let e = euclidean_mst(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert_eq!(e, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn mst_collinear_points_chains() {
+        // Points at x = 0, 1, 2, 3: MST must be the chain.
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut edges = euclidean_mst(&pts);
+        for e in edges.iter_mut() {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn mst_has_n_minus_1_edges_and_spans() {
+        use crate::unionfind::UnionFind;
+        // Deterministic pseudo-random points via an LCG.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..50).map(|_| Point::new(next(), next())).collect();
+        let edges = euclidean_mst(&pts);
+        assert_eq!(edges.len(), 49);
+        let mut uf = UnionFind::new(50);
+        for (a, b) in &edges {
+            assert!(uf.union(*a, *b), "MST must be acyclic");
+        }
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn mst_weight_not_worse_than_star() {
+        // Total MST weight must be <= weight of the star rooted at point 0.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.1),
+            Point::new(2.0, -0.1),
+            Point::new(3.0, 0.05),
+        ];
+        let mst_w: f64 = euclidean_mst(&pts)
+            .iter()
+            .map(|&(a, b)| pts[a as usize].dist(&pts[b as usize]))
+            .sum();
+        let star_w: f64 = (1..4).map(|i| pts[0].dist(&pts[i])).sum();
+        assert!(mst_w <= star_w + 1e-12);
+    }
+
+    #[test]
+    fn pairs_sorted_by_distance() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, 3.0),
+        ];
+        let pairs = pairs_by_distance(&pts);
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (0, 2)]);
+    }
+
+    #[test]
+    fn pairs_count() {
+        let pts: Vec<Point> = (0..6).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_eq!(pairs_by_distance(&pts).len(), 15);
+    }
+}

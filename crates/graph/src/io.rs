@@ -1,0 +1,158 @@
+//! Minimal edge-list interchange format.
+//!
+//! One `u v` pair per line, `#`-prefixed comment lines ignored. The node
+//! count is `max id + 1` unless a `# nodes: N` header raises it. This is
+//! the least-common-denominator format the original generator tools
+//! (GT-ITM, Tiers, BRITE, Inet) all export to, letting users feed real
+//! measured graphs into the metric suite.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::fmt::Write as _;
+
+/// Errors from parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A data line did not consist of two integers.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: expected `u v`, got {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an edge list. Self-loops are dropped and duplicate edges
+/// collapsed, matching [`GraphBuilder`] semantics.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut n: usize = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Optional "# nodes: N" header.
+            if let Some(v) = rest.trim().strip_prefix("nodes:") {
+                if let Ok(k) = v.trim().parse::<usize>() {
+                    n = n.max(k);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (a, b) = match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => {
+                return Err(ParseError::BadLine {
+                    line: i + 1,
+                    content: line.to_string(),
+                })
+            }
+        };
+        let parse = |s: &str, i: usize, line: &str| {
+            s.parse::<NodeId>().map_err(|_| ParseError::BadLine {
+                line: i + 1,
+                content: line.to_string(),
+            })
+        };
+        let u = parse(a, i, line)?;
+        let v = parse(b, i, line)?;
+        n = n.max(u as usize + 1).max(v as usize + 1);
+        edges.push((u, v));
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serialize a graph as an edge list (with a `# nodes:` header so
+/// trailing isolated nodes round-trip).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# nodes: {}", g.node_count());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {}", e.a, e.b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        let text = to_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g2.node_count(), 5);
+        assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn roundtrip_trailing_isolated_node() {
+        let g = Graph::from_edges(4, vec![(0, 1)]);
+        let g2 = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g2.node_count(), 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let g = parse_edge_list("# a comment\n\n0 1\n  # another\n1 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn nodes_header() {
+        let g = parse_edge_list("# nodes: 10\n0 1\n").unwrap();
+        assert_eq!(g.node_count(), 10);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let err = parse_edge_list("0 1\nfoo bar\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::BadLine {
+                line: 2,
+                content: "foo bar".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"));
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        assert!(parse_edge_list("0 1 2\n").is_err());
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_normalized() {
+        let g = parse_edge_list("0 0\n0 1\n1 0\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Rooted-tree utilities: BFS trees, LCA with binary lifting, tree
+//! distances, and spanning-tree distortion evaluation.
+//!
+//! The distortion metric (§3.2.1) measures, for a spanning tree `T` of a
+//! graph `G`, the average `T`-distance between the endpoints of each edge
+//! of `G`. Evaluating that efficiently needs fast tree-distance queries,
+//! which we answer with binary-lifting LCA in `O(log n)` per query.
+
+use crate::{Graph, NodeId, UNREACHED};
+use std::collections::VecDeque;
+
+/// A rooted spanning tree over (a connected subset of) a graph's nodes,
+/// stored as a parent array with depths.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    /// Parent of each node (root's parent is itself).
+    pub parent: Vec<NodeId>,
+    /// Depth of each node (root = 0; `u32::MAX` for nodes outside the tree).
+    pub depth: Vec<u32>,
+    /// The root node.
+    pub root: NodeId,
+}
+
+impl RootedTree {
+    /// BFS spanning tree of the component containing `root`.
+    pub fn bfs_tree(g: &Graph, root: NodeId) -> RootedTree {
+        let n = g.node_count();
+        let mut parent = vec![NodeId::MAX; n];
+        let mut depth = vec![UNREACHED; n];
+        parent[root as usize] = root;
+        depth[root as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == UNREACHED {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    parent[v as usize] = u;
+                    q.push_back(v);
+                }
+            }
+        }
+        RootedTree {
+            parent,
+            depth,
+            root,
+        }
+    }
+
+    /// Build directly from a parent array (`parent[root] == root`).
+    ///
+    /// # Panics
+    /// Panics if the parent array contains a cycle other than the root
+    /// self-loop or a node whose chain does not reach the root.
+    pub fn from_parents(parent: Vec<NodeId>, root: NodeId) -> RootedTree {
+        let n = parent.len();
+        let mut depth = vec![UNREACHED; n];
+        depth[root as usize] = 0;
+        for v in 0..n as NodeId {
+            if parent[v as usize] == NodeId::MAX {
+                continue; // outside the tree
+            }
+            // Walk up until a known depth, collecting the chain.
+            let mut chain = Vec::new();
+            let mut x = v;
+            while depth[x as usize] == UNREACHED {
+                chain.push(x);
+                x = parent[x as usize];
+                assert!(chain.len() <= n, "cycle in parent array at node {v}");
+            }
+            let mut d = depth[x as usize];
+            for &c in chain.iter().rev() {
+                d += 1;
+                depth[c as usize] = d;
+            }
+        }
+        RootedTree {
+            parent,
+            depth,
+            root,
+        }
+    }
+
+    /// Whether `v` belongs to the tree.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.depth[v as usize] != UNREACHED
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        self.depth.iter().filter(|&&d| d != UNREACHED).count()
+    }
+}
+
+/// Lowest-common-ancestor oracle via binary lifting. Build once per tree
+/// in `O(n log n)`, query in `O(log n)`.
+#[derive(Clone, Debug)]
+pub struct Lca {
+    up: Vec<Vec<NodeId>>, // up[k][v] = 2^k-th ancestor of v
+    depth: Vec<u32>,
+}
+
+impl Lca {
+    /// Preprocess a rooted tree.
+    pub fn new(tree: &RootedTree) -> Lca {
+        let n = tree.parent.len();
+        let levels = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let mut up = Vec::with_capacity(levels);
+        // Level 0: the parent itself (root points to itself; out-of-tree
+        // nodes point to themselves to stay harmless).
+        let base: Vec<NodeId> = (0..n as NodeId)
+            .map(|v| {
+                let p = tree.parent[v as usize];
+                if p == NodeId::MAX {
+                    v
+                } else {
+                    p
+                }
+            })
+            .collect();
+        up.push(base);
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            let next: Vec<NodeId> = (0..n).map(|v| prev[prev[v] as usize]).collect();
+            up.push(next);
+        }
+        Lca {
+            up,
+            depth: tree.depth.clone(),
+        }
+    }
+
+    /// Lowest common ancestor of `u` and `v` (both must be in the tree).
+    pub fn lca(&self, mut u: NodeId, mut v: NodeId) -> NodeId {
+        debug_assert_ne!(self.depth[u as usize], UNREACHED);
+        debug_assert_ne!(self.depth[v as usize], UNREACHED);
+        if self.depth[u as usize] < self.depth[v as usize] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        // Lift u to v's depth.
+        let mut diff = self.depth[u as usize] - self.depth[v as usize];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                u = self.up[k][u as usize];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if u == v {
+            return u;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][u as usize] != self.up[k][v as usize] {
+                u = self.up[k][u as usize];
+                v = self.up[k][v as usize];
+            }
+        }
+        self.up[0][u as usize]
+    }
+
+    /// Hop distance between `u` and `v` along the tree.
+    pub fn tree_distance(&self, u: NodeId, v: NodeId) -> u32 {
+        let a = self.lca(u, v);
+        self.depth[u as usize] + self.depth[v as usize] - 2 * self.depth[a as usize]
+    }
+}
+
+/// Average tree-distance between the endpoints of every edge of `g`,
+/// using spanning tree `tree` — the paper's *distortion* of `g` w.r.t.
+/// `tree` (§3.2.1, after Hu \[22\]). The tree must span all of `g`'s
+/// non-isolated nodes. Returns `None` if `g` has no edges.
+pub fn distortion_of_tree(g: &Graph, tree: &RootedTree) -> Option<f64> {
+    if g.edge_count() == 0 {
+        return None;
+    }
+    let lca = Lca::new(tree);
+    let mut total = 0u64;
+    for e in g.edges() {
+        total += lca.tree_distance(e.a, e.b) as u64;
+    }
+    Some(total as f64 / g.edge_count() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3() -> Graph {
+        let mut e = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    e.push((v, v + 1));
+                }
+                if r + 1 < 3 {
+                    e.push((v, v + 3));
+                }
+            }
+        }
+        Graph::from_edges(9, e)
+    }
+
+    #[test]
+    fn bfs_tree_depths() {
+        let g = grid3();
+        let t = RootedTree::bfs_tree(&g, 0);
+        assert_eq!(t.depth[0], 0);
+        assert_eq!(t.depth[4], 2);
+        assert_eq!(t.depth[8], 4);
+        assert_eq!(t.size(), 9);
+        assert_eq!(t.parent[0], 0);
+    }
+
+    #[test]
+    fn bfs_tree_partial_component() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let t = RootedTree::bfs_tree(&g, 0);
+        assert!(t.contains(0));
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+        assert_eq!(t.size(), 2);
+    }
+
+    #[test]
+    fn lca_on_path() {
+        let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+        let t = RootedTree::bfs_tree(&g, 0);
+        let l = Lca::new(&t);
+        assert_eq!(l.lca(3, 4), 3);
+        assert_eq!(l.lca(1, 4), 1);
+        assert_eq!(l.tree_distance(0, 4), 4);
+        assert_eq!(l.tree_distance(2, 2), 0);
+    }
+
+    #[test]
+    fn lca_on_binary_tree() {
+        // Perfect binary tree: node i has children 2i+1, 2i+2 (7 nodes).
+        let edges: Vec<(NodeId, NodeId)> = (0..3)
+            .flat_map(|i| vec![(i, 2 * i + 1), (i, 2 * i + 2)])
+            .collect();
+        let g = Graph::from_edges(7, edges);
+        let t = RootedTree::bfs_tree(&g, 0);
+        let l = Lca::new(&t);
+        assert_eq!(l.lca(3, 4), 1);
+        assert_eq!(l.lca(3, 5), 0);
+        assert_eq!(l.lca(5, 6), 2);
+        assert_eq!(l.tree_distance(3, 4), 2);
+        assert_eq!(l.tree_distance(3, 6), 4);
+    }
+
+    #[test]
+    fn distortion_of_tree_on_tree_is_one() {
+        // Spanning tree of a tree is the tree itself: every edge at
+        // distance exactly 1.
+        let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+        let t = RootedTree::bfs_tree(&g, 0);
+        assert_eq!(distortion_of_tree(&g, &t), Some(1.0));
+    }
+
+    #[test]
+    fn distortion_on_cycle() {
+        // 4-cycle, BFS tree from 0 misses one edge whose endpoints are at
+        // tree distance... BFS tree from 0: 1 and 3 children of 0, 2 child
+        // of 1 (or 3). Missing edge (2,3): distance 3 via tree (2-1-0-3).
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let t = RootedTree::bfs_tree(&g, 0);
+        let d = distortion_of_tree(&g, &t).unwrap();
+        // 3 tree edges at distance 1 + one chord at distance 3 → 6/4.
+        assert!((d - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distortion_none_for_edgeless() {
+        let g = Graph::empty(3);
+        let t = RootedTree::from_parents(vec![0, NodeId::MAX, NodeId::MAX], 0);
+        assert_eq!(distortion_of_tree(&g, &t), None);
+    }
+
+    #[test]
+    fn from_parents_roundtrip() {
+        // Star rooted at 0.
+        let parent = vec![0, 0, 0, 0];
+        let t = RootedTree::from_parents(parent, 0);
+        assert_eq!(t.depth, vec![0, 1, 1, 1]);
+        assert_eq!(t.size(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parents_detects_cycle() {
+        // 1 → 2 → 1 cycle, disconnected from root 0.
+        let parent = vec![0, 2, 1];
+        let _ = RootedTree::from_parents(parent, 0);
+    }
+}

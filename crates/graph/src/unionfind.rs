@@ -1,0 +1,110 @@
+//! Disjoint-set (union–find) with path halving and union by size.
+//!
+//! Used by the Euclidean MST construction in the Tiers generator and by
+//! connectivity patch-up passes in several generators.
+
+/// Union–find over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.same(0, 1));
+        assert!(!uf.union(1, 0)); // already merged
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(0), 2);
+    }
+
+    #[test]
+    fn transitive_merge() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.same(0, 3));
+        assert!(!uf.same(0, 4));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(3), 4);
+    }
+
+    #[test]
+    fn chain_of_unions_single_set() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same(0, 99));
+        assert_eq!(uf.set_size(42), 100);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the graph substrate: invariants that every
+//! algorithm in the workspace silently relies on, over arbitrary graphs.
+
+use proptest::prelude::*;
+use topogen_graph::apsp::all_pairs_distances;
+use topogen_graph::bfs::{distances, shortest_path_dag};
+use topogen_graph::bicon::biconnected_components;
+use topogen_graph::components::{components, largest_component};
+use topogen_graph::flow::max_flow_unit;
+use topogen_graph::io::{parse_edge_list, to_edge_list};
+use topogen_graph::prune::core;
+use topogen_graph::subgraph::ball;
+use topogen_graph::tree::{Lca, RootedTree};
+use topogen_graph::{Graph, NodeId, UNREACHED};
+
+/// Arbitrary graph: up to 30 nodes, arbitrary edge pairs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..80),
+            )
+        })
+        .prop_map(|(n, pairs)| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
+}
+
+/// Arbitrary connected graph: random tree + extra edges.
+fn arb_connected() -> impl Strategy<Value = Graph> {
+    (2usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        let mut edges = Vec::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for v in 1..n {
+            edges.push(((next() % v) as NodeId, v as NodeId));
+        }
+        for _ in 0..n {
+            let u = (next() % n) as NodeId;
+            let v = (next() % n) as NodeId;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(n, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let total: usize = g.degrees().iter().sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph()) {
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.has_edge(w, v));
+                prop_assert!(g.neighbors(w).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_matches_apsp(g in arb_graph()) {
+        let n = g.node_count();
+        let apsp = all_pairs_distances(&g);
+        for u in 0..n as NodeId {
+            let d = distances(&g, u);
+            for v in 0..n {
+                prop_assert_eq!(d[v], apsp[(u as usize) * n + v]);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_triangle_inequality(g in arb_graph()) {
+        let d0 = distances(&g, 0);
+        for e in g.edges() {
+            let (da, db) = (d0[e.a as usize], d0[e.b as usize]);
+            if da != UNREACHED && db != UNREACHED {
+                prop_assert!(da.abs_diff(db) <= 1, "edge {e} distances {da}/{db}");
+            } else {
+                // One endpoint reachable implies the other is too.
+                prop_assert_eq!(da, db);
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_positive_on_reachable(g in arb_graph()) {
+        let dag = shortest_path_dag(&g, 0);
+        for v in g.nodes() {
+            if dag.dist[v as usize] != UNREACHED {
+                prop_assert!(dag.sigma[v as usize] >= 1.0);
+                if v != 0 {
+                    prop_assert!(!dag.preds[v as usize].is_empty());
+                }
+            } else {
+                prop_assert_eq!(dag.sigma[v as usize], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn component_sizes_partition(g in arb_graph()) {
+        let c = components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.node_count());
+        let (lcc, map) = largest_component(&g);
+        prop_assert_eq!(lcc.node_count(), *c.sizes.iter().max().unwrap());
+        prop_assert_eq!(map.len(), lcc.node_count());
+    }
+
+    #[test]
+    fn bicon_components_cover_edges(g in arb_graph()) {
+        let b = biconnected_components(&g);
+        prop_assert_eq!(b.edge_component.len(), g.edge_count());
+        for &c in &b.edge_component {
+            prop_assert!((c as usize) < b.component_count || g.edge_count() == 0);
+        }
+    }
+
+    #[test]
+    fn ball_is_monotone_in_radius(g in arb_graph()) {
+        let mut prev = 0;
+        for h in 0..6u32 {
+            let (sub, map) = ball(&g, 0, h);
+            prop_assert!(sub.node_count() >= prev);
+            prop_assert_eq!(map.to_original(0), 0, "center is node 0");
+            prev = sub.node_count();
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let g2 = parse_edge_list(&to_edge_list(&g)).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn core_has_min_degree_two(g in arb_graph()) {
+        let (c, _) = core(&g);
+        for v in c.nodes() {
+            prop_assert!(c.degree(v) >= 2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_tree_distance_upper_bounds_graph_distance(g in arb_connected()) {
+        let t = RootedTree::bfs_tree(&g, 0);
+        let lca = Lca::new(&t);
+        let n = g.node_count();
+        for u in 0..n as NodeId {
+            let d = distances(&g, u);
+            for v in (u + 1)..n as NodeId {
+                let td = lca.tree_distance(u, v);
+                prop_assert!(td >= d[v as usize], "tree dist {td} < graph dist {}", d[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_tree_root_distances_exact(g in arb_connected()) {
+        // BFS trees preserve distances from the root exactly.
+        let t = RootedTree::bfs_tree(&g, 0);
+        let d = distances(&g, 0);
+        for v in g.nodes() {
+            prop_assert_eq!(t.depth[v as usize], d[v as usize]);
+        }
+    }
+
+    #[test]
+    fn menger_flow_bounded_by_min_degree(g in arb_connected()) {
+        let n = g.node_count() as NodeId;
+        let (s, t) = (0, n - 1);
+        if s != t {
+            let f = max_flow_unit(&g, s, t);
+            prop_assert!(f <= g.degree(s).min(g.degree(t)) as u64);
+            // Connected: at least one path.
+            prop_assert!(f >= 1);
+        }
+    }
+
+    #[test]
+    fn flow_is_symmetric(g in arb_connected()) {
+        let n = g.node_count() as NodeId;
+        if n >= 2 {
+            prop_assert_eq!(max_flow_unit(&g, 0, n - 1), max_flow_unit(&g, n - 1, 0));
+        }
+    }
+}

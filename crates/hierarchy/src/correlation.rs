@@ -1,0 +1,109 @@
+//! Correlation between link usage and degree (§5.2, Figure 5).
+//!
+//! "We compute the correlation between a link's value and the lower
+//! degree of the nodes at the end of the link. A high correlation
+//! between these two indicates that high-value links connect high degree
+//! nodes" — i.e. the hierarchy is implicit in the degree distribution
+//! (PLRG) rather than deliberately constructed (Tree, TS, Tiers).
+
+use topogen_graph::Graph;
+
+/// Pearson correlation coefficient between two equal-length samples;
+/// `None` when either sample is constant or too short.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 1e-300 || syy <= 1e-300 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// The paper's Figure 5 statistic: Pearson correlation between each
+/// link's value and the smaller of its endpoint degrees. Returns `None`
+/// for degenerate inputs.
+pub fn link_value_degree_correlation(g: &Graph, values: &[f64]) -> Option<f64> {
+    assert_eq!(values.len(), g.edge_count());
+    let min_deg: Vec<f64> = g
+        .edges()
+        .iter()
+        .map(|e| g.degree(e.a).min(g.degree(e.b)) as f64)
+        .collect();
+    pearson(values, &min_deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkvalue::{link_values, PathMode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_generators::canonical::kary_tree;
+    use topogen_generators::plrg::{plrg, PlrgParams};
+    use topogen_graph::components::largest_component;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.5);
+    }
+
+    #[test]
+    fn plrg_correlation_exceeds_tree() {
+        // The headline Figure 5 ordering: PLRG's hierarchy is carried by
+        // its degree distribution (r ≈ 1); the Tree's by construction
+        // (lowest r).
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = largest_component(&plrg(
+            &PlrgParams {
+                n: 400,
+                alpha: 2.2,
+                max_degree: None,
+            },
+            &mut rng,
+        ))
+        .0;
+        let pv = link_values(&p, &PathMode::Shortest);
+        let rp = link_value_degree_correlation(&p, &pv).unwrap();
+
+        let t = kary_tree(3, 4);
+        let tv = link_values(&t, &PathMode::Shortest);
+        let rt = link_value_degree_correlation(&t, &tv).unwrap();
+
+        assert!(rp > 0.5, "PLRG correlation {rp}");
+        assert!(rp > rt + 0.2, "PLRG {rp} vs Tree {rt}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let g = kary_tree(2, 2);
+        let _ = link_value_degree_correlation(&g, &[1.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Weighted vertex cover of a traversal set (§5, footnote 27).
+//!
+//! The traversal set of a link forms a graph over the nodes appearing in
+//! its pairs; each node `x` carries weight `W(x) = avg w(x, v, l)` over
+//! the pairs containing `x`. The link's value is the minimum weighted
+//! vertex cover of the pair set — approximated with the classical
+//! primal-dual (local-ratio) algorithm \[30\], a 2-approximation.
+
+use crate::traversal::PairWeight;
+use std::collections::HashMap;
+use topogen_graph::NodeId;
+
+/// Node weights `W(x, l)` for one link's traversal set: the average
+/// pair weight over the pairs containing each node.
+pub fn traversal_node_weights(pairs: &[PairWeight]) -> HashMap<NodeId, f64> {
+    let mut sum: HashMap<NodeId, (f64, usize)> = HashMap::new();
+    for p in pairs {
+        let e = sum.entry(p.u).or_insert((0.0, 0));
+        e.0 += p.w;
+        e.1 += 1;
+        let e = sum.entry(p.v).or_insert((0.0, 0));
+        e.0 += p.w;
+        e.1 += 1;
+    }
+    sum.into_iter()
+        .map(|(x, (s, c))| (x, s / c as f64))
+        .collect()
+}
+
+/// Primal-dual 2-approximate minimum weighted vertex cover of the pair
+/// set, given node weights. Returns `(value, cover)` where `value` is
+/// the total weight of the chosen nodes.
+pub fn weighted_vertex_cover(
+    pairs: &[PairWeight],
+    weights: &HashMap<NodeId, f64>,
+) -> (f64, Vec<NodeId>) {
+    let mut residual: HashMap<NodeId, f64> = weights.clone();
+    let tight = |residual: &HashMap<NodeId, f64>, x: NodeId| residual[&x] <= 1e-12;
+    for p in pairs {
+        if p.u == p.v {
+            continue;
+        }
+        if tight(&residual, p.u) || tight(&residual, p.v) {
+            continue; // already covered
+        }
+        let eps = residual[&p.u].min(residual[&p.v]);
+        *residual.get_mut(&p.u).unwrap() -= eps;
+        *residual.get_mut(&p.v).unwrap() -= eps;
+    }
+    let cover: Vec<NodeId> = weights
+        .keys()
+        .copied()
+        .filter(|&x| residual[&x] <= 1e-12)
+        .collect();
+    let value: f64 = cover.iter().map(|x| weights[x]).sum();
+    (value, cover)
+}
+
+/// End-to-end value of one link: node weights from its traversal set,
+/// then the weighted cover value. Zero for an empty traversal set.
+pub fn link_value(pairs: &[PairWeight]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let w = traversal_node_weights(pairs);
+    weighted_vertex_cover(pairs, &w).0
+}
+
+/// Validation helper: does `cover` hit every pair?
+pub fn covers_all(pairs: &[PairWeight], cover: &[NodeId]) -> bool {
+    let set: std::collections::HashSet<NodeId> = cover.iter().copied().collect();
+    pairs
+        .iter()
+        .all(|p| set.contains(&p.u) || set.contains(&p.v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pw(u: NodeId, v: NodeId, w: f64) -> PairWeight {
+        PairWeight { u, v, w }
+    }
+
+    #[test]
+    fn access_link_cover_is_leaf() {
+        // Star access link: pairs (leaf, x) for all x; leaf weight 1.
+        let pairs: Vec<PairWeight> = (1..5).map(|v| pw(0, v, 1.0)).collect();
+        let w = traversal_node_weights(&pairs);
+        assert!((w[&0] - 1.0).abs() < 1e-12);
+        let (value, cover) = weighted_vertex_cover(&pairs, &w);
+        assert!(covers_all(&pairs, &cover));
+        // The singleton {leaf} covers everything at weight 1 — the
+        // paper's "access links have a vertex cover of 1".
+        assert!(value <= 2.0, "value {value} (OPT = 1, 2-approx bound 2)");
+    }
+
+    #[test]
+    fn bipartite_product_cover() {
+        // Pairs = {0,1} × {2,3,4}, all weight 1: OPT covers {0,1} = 2.
+        let mut pairs = Vec::new();
+        for u in 0..2 {
+            for v in 2..5 {
+                pairs.push(pw(u, v, 1.0));
+            }
+        }
+        let w = traversal_node_weights(&pairs);
+        let (value, cover) = weighted_vertex_cover(&pairs, &w);
+        assert!(covers_all(&pairs, &cover));
+        assert!(value <= 4.0 + 1e-9, "value {value} (OPT 2)");
+        assert!(value >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_traversal_zero() {
+        assert_eq!(link_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_pair() {
+        let pairs = vec![pw(3, 7, 0.5)];
+        let v = link_value(&pairs);
+        // Each endpoint has weight 0.5; cover takes (at least) one.
+        assert!((v - 0.5).abs() < 1e-9 || (v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_approximation_bound_on_weighted_case() {
+        // Triangle of pairs with distinct weights: OPT picks the two
+        // cheapest? Pairs (0,1),(1,2),(0,2) — any cover needs 2 nodes.
+        let pairs = vec![pw(0, 1, 1.0), pw(1, 2, 1.0), pw(0, 2, 1.0)];
+        let w: HashMap<NodeId, f64> = [(0, 1.0), (1, 0.1), (2, 1.0)].into_iter().collect();
+        let (value, cover) = weighted_vertex_cover(&pairs, &w);
+        assert!(covers_all(&pairs, &cover));
+        // OPT = {1, 0} or {1, 2} = 1.1; 2-approx allows ≤ 2.2.
+        assert!(value <= 2.2 + 1e-9, "value {value}");
+    }
+
+    #[test]
+    fn cover_value_monotone_in_pairs() {
+        // More pairs can only increase (or keep) the cover value.
+        let small = vec![pw(0, 1, 1.0)];
+        let big = vec![pw(0, 1, 1.0), pw(2, 3, 1.0), pw(4, 5, 1.0)];
+        assert!(link_value(&big) >= link_value(&small) - 1e-9);
+    }
+}

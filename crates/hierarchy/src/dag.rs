@@ -1,0 +1,132 @@
+//! A unified path-DAG representation covering both plain shortest paths
+//! and valley-free policy paths.
+//!
+//! The traversal-set accumulation (§5) only needs, per source: states
+//! with distances, equal-cost path counts σ, predecessor lists, and a
+//! projection from states to graph nodes. Plain BFS uses one state per
+//! node; the policy automaton uses two.
+
+use topogen_graph::bfs::{shortest_path_dag, ShortestPathDag};
+use topogen_graph::{Graph, NodeId, UNREACHED};
+use topogen_policy::rel::AsAnnotations;
+use topogen_policy::valley::{policy_shortest_path_dag, state_node, PolicyDag};
+
+/// Unified per-source path DAG.
+#[derive(Clone, Debug)]
+pub struct PathDag {
+    /// Graph node of each state.
+    pub node_of: Vec<NodeId>,
+    /// Distance per state (`UNREACHED` if unreachable).
+    pub dist: Vec<u32>,
+    /// Equal-cost path count per state.
+    pub sigma: Vec<f64>,
+    /// Predecessor states per state.
+    pub preds: Vec<Vec<u32>>,
+    /// Per-node distance (min over that node's states).
+    pub node_dist: Vec<u32>,
+    /// States of each node (1 for plain, 2 for policy).
+    states_per_node: u32,
+    /// Source node.
+    pub source: NodeId,
+}
+
+impl PathDag {
+    /// Build a plain shortest-path DAG from `src`.
+    pub fn plain(g: &Graph, src: NodeId) -> PathDag {
+        let d: ShortestPathDag = shortest_path_dag(g, src);
+        let n = g.node_count();
+        PathDag {
+            node_of: (0..n as NodeId).collect(),
+            dist: d.dist.clone(),
+            sigma: d.sigma,
+            preds: d
+                .preds
+                .into_iter()
+                .map(|ps| ps.into_iter().collect())
+                .collect(),
+            node_dist: d.dist,
+            states_per_node: 1,
+            source: src,
+        }
+    }
+
+    /// Build a valley-free policy DAG from `src`.
+    pub fn policy(g: &Graph, ann: &AsAnnotations, src: NodeId) -> PathDag {
+        let d: PolicyDag = policy_shortest_path_dag(g, ann, src);
+        let ns = d.dist.len();
+        PathDag {
+            node_of: (0..ns as u32).map(state_node).collect(),
+            dist: d.dist,
+            sigma: d.sigma,
+            preds: d.preds,
+            node_dist: d.node_dist,
+            states_per_node: 2,
+            source: src,
+        }
+    }
+
+    /// The states of node `v` realizing its shortest distance.
+    pub fn terminal_states(&self, v: NodeId) -> Vec<u32> {
+        let d = self.node_dist[v as usize];
+        if d == UNREACHED {
+            return Vec::new();
+        }
+        let base = v * self.states_per_node;
+        (base..base + self.states_per_node)
+            .filter(|&s| self.dist[s as usize] == d)
+            .collect()
+    }
+
+    /// Total σ from the source to node `v`.
+    pub fn sigma_to(&self, v: NodeId) -> f64 {
+        self.terminal_states(v)
+            .into_iter()
+            .map(|s| self.sigma[s as usize])
+            .sum()
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen_policy::rel::annotations_from_pairs;
+
+    #[test]
+    fn plain_dag_square() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let d = PathDag::plain(&g, 0);
+        assert_eq!(d.state_count(), 4);
+        assert_eq!(d.node_dist, vec![0, 1, 2, 1]);
+        assert_eq!(d.sigma_to(2), 2.0);
+        assert_eq!(d.terminal_states(2), vec![2]);
+    }
+
+    #[test]
+    fn policy_dag_states() {
+        // up then down: 0 → 1 → 2 (1 provider of both).
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(1, 0), (1, 2)], &[], &[]);
+        let d = PathDag::policy(&g, &ann, 0);
+        assert_eq!(d.state_count(), 6);
+        assert_eq!(d.node_dist[2], 2);
+        assert_eq!(d.sigma_to(2), 1.0);
+        // Node 2 is reached only in the descending phase.
+        let ts = d.terminal_states(2);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(d.node_of[ts[0] as usize], 2);
+    }
+
+    #[test]
+    fn unreachable_terminals_empty() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(0, 1), (2, 1)], &[], &[]);
+        let d = PathDag::policy(&g, &ann, 0);
+        assert!(d.terminal_states(2).is_empty());
+        assert_eq!(d.sigma_to(2), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Traversal sets: which node pairs use which link, with equal-cost
+//! splitting weights (§5, footnote 27).
+//!
+//! For each unordered pair `(u, v)` and link `l`, the weight `w(u, v, l)`
+//! is the fraction of the equal-cost shortest paths between `u` and `v`
+//! that traverse `l`. We compute them with one DAG per source and a
+//! per-target backward accumulation (the same bookkeeping as Brandes'
+//! betweenness, but keeping per-pair resolution because the vertex cover
+//! of §5 needs the pair structure, not just totals).
+
+use crate::dag::PathDag;
+use crate::linkvalue::PathMode;
+use topogen_graph::{Graph, NodeId, UNREACHED};
+
+/// One traversal-set entry: pair `(u, v)` crosses the link with weight
+/// `w` (0 < w ≤ 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairWeight {
+    /// Smaller pair endpoint.
+    pub u: NodeId,
+    /// Larger pair endpoint.
+    pub v: NodeId,
+    /// Fraction of the pair's equal-cost paths crossing the link.
+    pub w: f64,
+}
+
+/// The traversal sets of every link, indexed like [`Graph::edges`].
+#[derive(Clone, Debug)]
+pub struct LinkTraversals {
+    /// Per link, the pair weights.
+    pub per_link: Vec<Vec<PairWeight>>,
+}
+
+impl LinkTraversals {
+    /// Traversal-set size of each link (number of pairs).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.per_link.iter().map(|p| p.len()).collect()
+    }
+}
+
+/// Compute all traversal sets under the given path mode. Pairs are
+/// unordered (`u < v`); each link's list accumulates every pair whose
+/// shortest-path DAG crosses it.
+///
+/// Cost: O(Σ_pairs |states on the pair's shortest paths|) time, and the
+/// output's total size is Σ_pairs (path length) — keep graphs at ≲ 2,000
+/// nodes (the paper similarly computed link values on the RL *core*,
+/// footnote 29).
+pub fn link_traversals(g: &Graph, mode: &PathMode<'_>) -> LinkTraversals {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let mut per_link: Vec<Vec<PairWeight>> = vec![Vec::new(); m];
+    // Scratch buffers reused across targets.
+    let mut frac: Vec<f64> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    for u in 0..n as NodeId {
+        let dag = match mode {
+            PathMode::Shortest => PathDag::plain(g, u),
+            PathMode::Policy(ann) => PathDag::policy(g, ann, u),
+        };
+        frac.clear();
+        frac.resize(dag.state_count(), 0.0);
+        for v in (u + 1)..n as NodeId {
+            if dag.node_dist[v as usize] == UNREACHED || dag.node_dist[v as usize] == 0 {
+                continue;
+            }
+            accumulate_pair(g, &dag, u, v, &mut frac, &mut touched, &mut per_link);
+        }
+    }
+    LinkTraversals { per_link }
+}
+
+/// Backward accumulation for one (source, target) pair: distribute the
+/// unit of traffic over the shortest-path DAG, pushing per-link weights.
+fn accumulate_pair(
+    g: &Graph,
+    dag: &PathDag,
+    u: NodeId,
+    v: NodeId,
+    frac: &mut [f64],
+    touched: &mut Vec<u32>,
+    per_link: &mut [Vec<PairWeight>],
+) {
+    let terminals = dag.terminal_states(v);
+    let sigma_tot: f64 = terminals.iter().map(|&s| dag.sigma[s as usize]).sum();
+    if sigma_tot <= 0.0 {
+        return;
+    }
+    touched.clear();
+    for &s in &terminals {
+        frac[s as usize] = dag.sigma[s as usize] / sigma_tot;
+        touched.push(s);
+    }
+    // Process states in decreasing distance order. Distances decrease by
+    // exactly 1 along preds, so a simple bucket walk works: sort touched
+    // lazily as we append (preds always have smaller dist, and we push
+    // them after their successors — a queue ordered by discovery works
+    // because all terminals share one distance and each step goes one
+    // level down).
+    let mut i = 0usize;
+    // Per-pair link weights can receive multiple contributions (policy
+    // states); aggregate in a small map.
+    let mut link_acc: std::collections::HashMap<usize, f64> = Default::default();
+    while i < touched.len() {
+        let s = touched[i];
+        i += 1;
+        let fs = frac[s as usize];
+        if fs <= 0.0 {
+            continue;
+        }
+        let node_s = dag.node_of[s as usize];
+        for &p in &dag.preds[s as usize] {
+            let share = fs * dag.sigma[p as usize] / dag.sigma[s as usize];
+            let node_p = dag.node_of[p as usize];
+            if node_p != node_s {
+                let idx = g
+                    .edge_index(node_p, node_s)
+                    .expect("DAG edge projects to a graph edge");
+                *link_acc.entry(idx).or_insert(0.0) += share;
+            }
+            if frac[p as usize] == 0.0 {
+                touched.push(p);
+            }
+            frac[p as usize] += share;
+        }
+    }
+    for &s in touched.iter() {
+        frac[s as usize] = 0.0;
+    }
+    for (idx, w) in link_acc {
+        per_link[idx].push(PairWeight { u, v, w });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen_policy::rel::annotations_from_pairs;
+
+    #[test]
+    fn path_graph_traversals() {
+        // 0-1-2: link (0,1) carries pairs (0,1),(0,2); link (1,2) carries
+        // (1,2),(0,2); all weights 1.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let t = link_traversals(&g, &PathMode::Shortest);
+        assert_eq!(t.sizes(), vec![2, 2]);
+        for link in &t.per_link {
+            for pw in link {
+                assert!((pw.w - 1.0).abs() < 1e-12);
+                assert!(pw.u < pw.v);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_cost_split_on_square() {
+        // 4-cycle: pair (0,2) splits 50/50 over the two sides.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let t = link_traversals(&g, &PathMode::Shortest);
+        let idx01 = g.edge_index(0, 1).unwrap();
+        let pw: Vec<&PairWeight> = t.per_link[idx01]
+            .iter()
+            .filter(|p| p.u == 0 && p.v == 2)
+            .collect();
+        assert_eq!(pw.len(), 1);
+        assert!((pw[0].w - 0.5).abs() < 1e-12);
+        // Adjacent pair (0,1) uses the link fully.
+        let adj: Vec<&PairWeight> = t.per_link[idx01]
+            .iter()
+            .filter(|p| p.u == 0 && p.v == 1)
+            .collect();
+        assert!((adj[0].w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_link_carries_n_minus_1_pairs() {
+        // Star: every spoke is an access link with traversal set size
+        // n-1 (paper's observation in §5).
+        let g = Graph::from_edges(5, (1..5).map(|i| (0, i)));
+        let t = link_traversals(&g, &PathMode::Shortest);
+        for s in t.sizes() {
+            assert_eq!(s, 4);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_path_length() {
+        // Σ_l w(u,v,l) = d(u,v) for every pair (flow conservation).
+        let g = Graph::from_edges(
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)],
+        );
+        let t = link_traversals(&g, &PathMode::Shortest);
+        let mut per_pair: std::collections::HashMap<(NodeId, NodeId), f64> = Default::default();
+        for link in &t.per_link {
+            for pw in link {
+                *per_pair.entry((pw.u, pw.v)).or_insert(0.0) += pw.w;
+            }
+        }
+        for ((u, v), total) in per_pair {
+            let d = topogen_graph::bfs::distances(&g, u)[v as usize] as f64;
+            assert!(
+                (total - d).abs() < 1e-9,
+                "pair ({u},{v}): Σw = {total}, d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_excludes_valley_pairs() {
+        // 0 prov 1, 2 prov 1: pair (0,2) is unroutable; link loads drop.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(0, 1), (2, 1)], &[], &[]);
+        let t = link_traversals(&g, &PathMode::Policy(&ann));
+        // Each link carries only its adjacent pair.
+        assert_eq!(t.sizes(), vec![1, 1]);
+    }
+
+    #[test]
+    fn policy_concentrates_usage() {
+        // Square with a peer shortcut: 0-1 (1 prov 0), 1-2 (1 prov 2),
+        // plus 0-2 peer, 2-3 (2 prov 3). Paths from 3: 3→2 up, then peer
+        // 2-0 or down 2-1 — but NOT 3→2→0→… anything beyond.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let ann = annotations_from_pairs(&g, &[(1, 0), (1, 2), (2, 3)], &[(0, 2)], &[]);
+        let plain = link_traversals(&g, &PathMode::Shortest);
+        let pol = link_traversals(&g, &PathMode::Policy(&ann));
+        let total_plain: usize = plain.sizes().iter().sum();
+        let total_pol: usize = pol.sizes().iter().sum();
+        assert!(total_pol <= total_plain);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        let t = link_traversals(&g, &PathMode::Shortest);
+        assert!(t.per_link.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # topogen-linalg
+//!
+//! Symmetric eigensolvers for adjacency-spectrum analysis.
+//!
+//! The paper's Appendix B (Figure 7(a–c)) plots the largest eigenvalues of
+//! a topology's adjacency matrix against their rank — the metric
+//! introduced by Faloutsos et al. \[17\], where the AS graph shows a
+//! power-law eigenvalue/rank relationship. This crate supplies the two
+//! solvers that computation needs:
+//!
+//! * [`dense::jacobi_eigenvalues`] — the classical cyclic Jacobi rotation
+//!   method for small dense symmetric matrices (exact spectra of small
+//!   canonical graphs and of test fixtures);
+//! * [`lanczos::top_eigenvalues`] — Lanczos iteration with full
+//!   reorthogonalization over a sparse symmetric operator, returning the
+//!   top-k eigenvalues of graphs with 10⁴–10⁵ nodes (the paper notes the
+//!   full RL graph "was too large to obtain its eigenvalue spectrum";
+//!   Lanczos pushes that boundary far enough for our scaled RL substitute).
+//!
+//! Both solvers are deterministic given their inputs (Lanczos takes an
+//! explicit RNG for its start vector).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod lanczos;
+pub mod sparse;
+
+pub use dense::jacobi_eigenvalues;
+pub use lanczos::top_eigenvalues;
+pub use sparse::SparseSym;

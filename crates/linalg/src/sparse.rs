@@ -1,0 +1,126 @@
+//! Sparse symmetric matrices in CSR form.
+
+/// A sparse symmetric matrix stored in CSR form. Only used as a linear
+/// operator (matrix–vector products), so no random element access is
+/// provided. Symmetry is the caller's responsibility; the adjacency
+/// matrices this crate consumes are symmetric by construction.
+#[derive(Clone, Debug)]
+pub struct SparseSym {
+    n: usize,
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseSym {
+    /// Build from per-row `(col, value)` lists.
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range.
+    pub fn from_rows(rows: Vec<Vec<(u32, f64)>>) -> SparseSym {
+        let n = rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for row in &rows {
+            for &(c, v) in row {
+                assert!((c as usize) < n, "column {c} out of range");
+                cols.push(c);
+                vals.push(v);
+            }
+            offsets.push(cols.len());
+        }
+        SparseSym {
+            n,
+            offsets,
+            cols,
+            vals,
+        }
+    }
+
+    /// The 0/1 adjacency matrix of an undirected graph given as edge list.
+    pub fn adjacency(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> SparseSym {
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (u, v) in edges {
+            rows[u as usize].push((v, 1.0));
+            rows[v as usize].push((u, 1.0));
+        }
+        SparseSym::from_rows(rows)
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n` or `y.len() != n`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn mul_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                acc += self.vals[k] * x[self.cols[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Allocating variant of [`mul_into`](Self::mul_into).
+    pub fn mul(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.mul_into(x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_matvec() {
+        // Path 0-1-2: A·[1,1,1] = [1,2,1].
+        let a = SparseSym::adjacency(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(a.n(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.mul(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_rows() {
+        let a = SparseSym::from_rows(vec![vec![(0, 2.0), (1, -1.0)], vec![(0, -1.0), (1, 2.0)]]);
+        assert_eq!(a.mul(&[1.0, 0.0]), vec![2.0, -1.0]);
+        assert_eq!(a.mul(&[1.0, 1.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = SparseSym::from_rows(vec![]);
+        assert_eq!(a.n(), 0);
+        assert_eq!(a.mul(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_column() {
+        let _ = SparseSym::from_rows(vec![vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_vector_length() {
+        let a = SparseSym::adjacency(2, vec![(0, 1)]);
+        let _ = a.mul(&[1.0]);
+    }
+}

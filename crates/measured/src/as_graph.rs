@@ -1,0 +1,366 @@
+//! Annotated AS-level Internet model.
+//!
+//! A three-tier economic growth model producing graphs with (a) a
+//! heavy-tailed degree distribution, (b) ground-truth provider–customer /
+//! peer / sibling annotations, and (c) the *loose* hierarchy the paper
+//! measures in the real AS graph: no strict tree, pervasive multihoming,
+//! and peering shortcuts at the top.
+//!
+//! Growth order matters: provider choice is *customer-degree
+//! proportional* (an AS with many customers attracts more), which is the
+//! preferential-attachment mechanism known to yield power laws — and the
+//! very mechanism the paper's §5.2 credits for the AS graph's
+//! degree-correlated hierarchy.
+
+use rand::Rng;
+use topogen_graph::{Graph, GraphBuilder, NodeId};
+use topogen_policy::rel::{annotations_from_pairs, AsAnnotations};
+
+/// Parameters of the AS-level model.
+#[derive(Clone, Copy, Debug)]
+pub struct InternetAsParams {
+    /// Total number of ASes.
+    pub n: usize,
+    /// Number of tier-1 (core) ASes, mutually peered.
+    pub tier1: usize,
+    /// Fraction of ASes that are tier-2 regional providers.
+    pub tier2_fraction: f64,
+    /// Probability that a customer AS buys from a second provider
+    /// (multihoming); a third provider is bought with the square of this.
+    pub multihome_prob: f64,
+    /// Expected number of peer links each tier-2 AS establishes with
+    /// other tier-2s.
+    pub tier2_peering: f64,
+    /// Fraction of stub ASes that are actually sibling pairs (two AS
+    /// numbers, one organization) — small in practice.
+    pub sibling_fraction: f64,
+}
+
+impl InternetAsParams {
+    /// CI-sized default: ≈ 1,100 ASes — the same shape as the paper's
+    /// 10,941-node AS graph at a tenth of the size.
+    pub fn default_scaled() -> Self {
+        InternetAsParams {
+            n: 1_100,
+            tier1: 10,
+            tier2_fraction: 0.06,
+            multihome_prob: 0.45,
+            tier2_peering: 2.0,
+            sibling_fraction: 0.01,
+        }
+    }
+
+    /// Paper-scale: ≈ 11,000 ASes, matching Figure 1's AS row.
+    pub fn paper_scale() -> Self {
+        InternetAsParams {
+            n: 11_000,
+            ..Self::default_scaled()
+        }
+    }
+}
+
+/// Tier of an AS in the generated topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsTier {
+    /// Backbone (tier-1) AS.
+    Core,
+    /// Regional provider (tier-2).
+    Regional,
+    /// Stub/edge AS.
+    Stub,
+}
+
+/// The generated AS topology with ground-truth annotations.
+#[derive(Clone, Debug)]
+pub struct InternetAs {
+    /// The AS graph (connected).
+    pub graph: Graph,
+    /// Ground-truth relationship per edge.
+    pub annotations: AsAnnotations,
+    /// Tier of each AS.
+    pub tiers: Vec<AsTier>,
+}
+
+/// Generate an annotated AS topology.
+///
+/// # Panics
+/// Panics if `tier1 < 2` or the tier counts exceed `n`.
+pub fn internet_as<R: Rng>(params: &InternetAsParams, rng: &mut R) -> InternetAs {
+    let p = *params;
+    assert!(p.tier1 >= 2, "need at least two tier-1 ASes");
+    let tier2 = ((p.n as f64 * p.tier2_fraction).round() as usize).max(1);
+    assert!(p.tier1 + tier2 <= p.n, "tier counts exceed n");
+    let n = p.n;
+    let mut b = GraphBuilder::new(n);
+    let mut provider_customer: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut peers: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut siblings: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut present = std::collections::HashSet::<(NodeId, NodeId)>::new();
+    let mut customers = vec![0usize; n]; // customer count per provider
+    let mut tiers = Vec::with_capacity(n);
+
+    let add_pc = |b: &mut GraphBuilder,
+                  present: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                  provider_customer: &mut Vec<(NodeId, NodeId)>,
+                  customers: &mut Vec<usize>,
+                  prov: NodeId,
+                  cust: NodeId|
+     -> bool {
+        let key = (prov.min(cust), prov.max(cust));
+        if prov == cust || !present.insert(key) {
+            return false;
+        }
+        b.add_edge(prov, cust);
+        provider_customer.push((prov, cust));
+        customers[prov as usize] += 1;
+        true
+    };
+
+    // --- Tier-1 core: full peer mesh (ids 0..tier1). ---
+    for i in 0..p.tier1 as NodeId {
+        tiers.push(AsTier::Core);
+        for j in (i + 1)..p.tier1 as NodeId {
+            if present.insert((i, j)) {
+                b.add_edge(i, j);
+                peers.push((i, j));
+            }
+        }
+    }
+
+    // --- Tier-2 regionals: ids tier1..tier1+tier2. ---
+    let t2_start = p.tier1 as NodeId;
+    let t2_end = (p.tier1 + tier2) as NodeId;
+    for v in t2_start..t2_end {
+        tiers.push(AsTier::Regional);
+        // Providers among tier-1 (always) and possibly an earlier tier-2.
+        let prov1 = pick_provider(&customers, 0, v.min(t2_end), p.tier1 as NodeId, rng);
+        add_pc(
+            &mut b,
+            &mut present,
+            &mut provider_customer,
+            &mut customers,
+            prov1,
+            v,
+        );
+        if rng.gen::<f64>() < p.multihome_prob {
+            let prov2 = pick_provider(&customers, 0, v, p.tier1 as NodeId, rng);
+            add_pc(
+                &mut b,
+                &mut present,
+                &mut provider_customer,
+                &mut customers,
+                prov2,
+                v,
+            );
+        }
+    }
+    // Tier-2 peering: expected `tier2_peering` links each.
+    for v in t2_start..t2_end {
+        let mut want = p.tier2_peering;
+        while want > 0.0 && tier2 >= 2 {
+            if want < 1.0 && rng.gen::<f64>() >= want {
+                break;
+            }
+            want -= 1.0;
+            let w = rng.gen_range(t2_start..t2_end);
+            if w == v {
+                continue;
+            }
+            let key = (v.min(w), v.max(w));
+            if present.insert(key) {
+                b.add_edge(key.0, key.1);
+                peers.push(key);
+            }
+        }
+    }
+
+    // --- Stubs: the rest, attaching with preferential provider choice
+    // among tier-1 + tier-2 (weighted toward regionals by excluding the
+    // core with probability 0.8 — stubs rarely buy direct tier-1
+    // transit).
+    for v in t2_end..n as NodeId {
+        tiers.push(AsTier::Stub);
+        let lo = if rng.gen::<f64>() < 0.8 { t2_start } else { 0 };
+        let prov1 = pick_provider(&customers, lo, t2_end, t2_end - lo, rng);
+        add_pc(
+            &mut b,
+            &mut present,
+            &mut provider_customer,
+            &mut customers,
+            prov1,
+            v,
+        );
+        let mut extra_p = p.multihome_prob;
+        while rng.gen::<f64>() < extra_p {
+            let prov = pick_provider(&customers, t2_start, t2_end, t2_end - t2_start, rng);
+            add_pc(
+                &mut b,
+                &mut present,
+                &mut provider_customer,
+                &mut customers,
+                prov,
+                v,
+            );
+            extra_p *= p.multihome_prob;
+        }
+        // Occasionally a stub is half of a sibling pair with the previous
+        // stub.
+        if v > t2_end && rng.gen::<f64>() < p.sibling_fraction {
+            let w = v - 1;
+            if matches!(tiers[w as usize], AsTier::Stub) {
+                let key = (w, v);
+                if present.insert(key) {
+                    b.add_edge(w, v);
+                    siblings.push(key);
+                }
+            }
+        }
+    }
+
+    let graph = b.build();
+    let annotations = annotations_from_pairs(&graph, &provider_customer, &peers, &siblings);
+    InternetAs {
+        graph,
+        annotations,
+        tiers,
+    }
+}
+
+/// Pick a provider in `lo..hi` with probability proportional to
+/// `1 + customers`, i.e. preferential attachment on transit degree.
+/// `span` is `hi - lo` (passed for the degenerate fallback).
+fn pick_provider<R: Rng>(
+    customers: &[usize],
+    lo: NodeId,
+    hi: NodeId,
+    span: NodeId,
+    rng: &mut R,
+) -> NodeId {
+    debug_assert!(hi > lo);
+    let total: usize = (lo..hi).map(|v| 1 + customers[v as usize]).sum();
+    if total == 0 {
+        return lo + rng.gen_range(0..span.max(1));
+    }
+    let mut r = rng.gen_range(0..total);
+    for v in lo..hi {
+        let w = 1 + customers[v as usize];
+        if r < w {
+            return v;
+        }
+        r -= w;
+    }
+    hi - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_graph::components::is_connected;
+    use topogen_graph::UNREACHED;
+    use topogen_policy::valley::policy_distances;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2001)
+    }
+
+    fn make() -> InternetAs {
+        internet_as(&InternetAsParams::default_scaled(), &mut rng())
+    }
+
+    #[test]
+    fn shape_matches_paper_as_row() {
+        let m = make();
+        assert_eq!(m.graph.node_count(), 1100);
+        assert!(is_connected(&m.graph), "AS graph must be connected");
+        // Figure 1: AS average degree 4.13. Allow the model some slack.
+        let avg = m.graph.average_degree();
+        assert!((2.6..5.5).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn heavy_tailed_degrees() {
+        let m = make();
+        // Hubs far above the mean — the Faloutsos signature.
+        assert!(
+            m.graph.max_degree() as f64 > 10.0 * m.graph.average_degree(),
+            "max {} avg {}",
+            m.graph.max_degree(),
+            m.graph.average_degree()
+        );
+        // Power-law exponent in the observed AS range (≈ 2.1–2.5).
+        let alpha = topogen_generators::degseq::fit_power_law_exponent(&m.graph.degrees(), 2);
+        if let Some(a) = alpha {
+            assert!((1.5..3.5).contains(&a), "alpha {a}");
+        }
+    }
+
+    #[test]
+    fn every_stub_has_a_provider() {
+        let m = make();
+        for v in m.graph.nodes() {
+            if matches!(m.tiers[v as usize], AsTier::Stub) {
+                assert!(
+                    !m.annotations.providers_of(&m.graph, v).is_empty(),
+                    "stub {v} has no provider"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn core_is_peered_and_providerless() {
+        let m = make();
+        for v in 0..10u32 {
+            assert!(m.annotations.providers_of(&m.graph, v).is_empty());
+        }
+        // Core clique: first two cores are peers.
+        assert!(m.annotations.is_peer(&m.graph, 0, 1));
+    }
+
+    #[test]
+    fn policy_reaches_everything_from_core() {
+        // From a tier-1, customer cone + peers' cones covers the world.
+        let m = make();
+        let d = policy_distances(&m.graph, &m.annotations, 0);
+        let unreachable = d.iter().filter(|&&x| x == UNREACHED).count();
+        assert_eq!(unreachable, 0, "{unreachable} ASes invisible from core");
+    }
+
+    #[test]
+    fn policy_reaches_everything_from_stub() {
+        // Valley-free reachability is global when every AS has a path up
+        // to the peered core.
+        let m = make();
+        let stub = (m.graph.node_count() - 1) as NodeId;
+        let d = policy_distances(&m.graph, &m.annotations, stub);
+        let unreachable = d.iter().filter(|&&x| x == UNREACHED).count();
+        assert_eq!(unreachable, 0);
+    }
+
+    #[test]
+    fn relationship_mix_realistic() {
+        let m = make();
+        let (pc, peer, _sib) = m.annotations.counts();
+        // Provider–customer dominates; peering is a visible minority.
+        assert!(pc as f64 > 0.6 * m.graph.edge_count() as f64);
+        assert!(peer > 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = InternetAsParams::default_scaled();
+        let a = internet_as(&p, &mut StdRng::seed_from_u64(7));
+        let b = internet_as(&p, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.graph.edges(), b.graph.edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_core() {
+        let mut p = InternetAsParams::default_scaled();
+        p.tier1 = 1;
+        let _ = internet_as(&p, &mut rng());
+    }
+}

@@ -1,0 +1,37 @@
+//! # topogen-measured
+//!
+//! Synthetic stand-ins for the paper's two measured Internet graphs.
+//!
+//! The paper compares generators against (1) an **AS graph** derived from
+//! a May-2001 route-views BGP table (10,941 nodes, average degree 4.13)
+//! and (2) a **router-level (RL) graph** from the SCAN/Mercator
+//! traceroute project (170,589 nodes, average degree 2.53, ≈ 17× the AS
+//! graph). Those artifacts are not reproducible offline, so this crate
+//! builds the closest synthetic equivalents that exercise the same code
+//! paths (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`as_graph`] — an annotated AS-level topology grown by an economic
+//!   model: a clique-like tier-1 core of peers, tier-2 regional providers
+//!   multihoming into it, and a large population of stub ASes choosing
+//!   providers with customer-degree-proportional preference (which yields
+//!   the heavy-tailed degree distribution measured by Faloutsos et al.).
+//!   Ground-truth provider–customer/peer annotations come with the graph,
+//!   so the full policy-routing pipeline of the paper runs end to end.
+//! * [`rl_graph`] — a router-level expansion of the AS topology: each AS
+//!   becomes an intra-AS router network sized proportionally to its AS
+//!   degree (after Tangmunarunkit et al.'s observation that AS size
+//!   tracks AS degree \[41\]), with ring/star PoP structures and border
+//!   routers stitched along AS adjacencies.
+//! * [`observe`] — the measurement model: the AS graph *as seen from a
+//!   BGP vantage point* (union of table paths), reproducing the
+//!   incompleteness the paper repeatedly cautions about.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod as_graph;
+pub mod observe;
+pub mod rl_graph;
+
+pub use as_graph::{internet_as, InternetAs, InternetAsParams};
+pub use rl_graph::{expand_to_routers, RouterExpansionParams, RouterLevel};

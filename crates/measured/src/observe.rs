@@ -1,0 +1,206 @@
+//! The measurement model: what a BGP vantage point actually sees.
+//!
+//! The paper's AS graph is "obtained from the routing table at a router
+//! that peers with more than 20 other backbone routers" — i.e. the union
+//! of AS paths in a small number of tables, *not* the true topology. The
+//! known consequence (Chang et al. \[12\]) is that peering links far from
+//! the vantage points are invisible. This module reproduces that
+//! incompleteness so experiments can quantify how much it moves the
+//! metrics (the paper argues its conclusions are robust to it).
+
+use rand::Rng;
+use topogen_graph::{Graph, GraphBuilder, NodeId};
+use topogen_policy::bgp::{routing_tables, top_degree_nodes};
+use topogen_policy::rel::AsAnnotations;
+
+/// The AS graph as observed from `vantages`: the union of edges on the
+/// valley-free shortest paths in their simulated routing tables. Node
+/// count is preserved (unobserved ASes become isolated nodes; callers
+/// typically take the largest component).
+pub fn observed_as_graph(g: &Graph, ann: &AsAnnotations, vantages: &[NodeId]) -> Graph {
+    let tables = routing_tables(g, ann, vantages);
+    let mut b = GraphBuilder::new(g.node_count());
+    for path in &tables {
+        for w in path.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+    }
+    b.build()
+}
+
+/// Observation with the paper's vantage profile: the `k` best-connected
+/// ASes (route-views peers with backbone routers).
+pub fn observed_from_top_vantages(g: &Graph, ann: &AsAnnotations, k: usize) -> Graph {
+    let v = top_degree_nodes(g, k);
+    observed_as_graph(g, ann, &v)
+}
+
+/// Fraction of true edges visible from the given vantages — the paper's
+/// completeness caveat, quantified.
+pub fn edge_visibility(g: &Graph, ann: &AsAnnotations, vantages: &[NodeId]) -> f64 {
+    if g.edge_count() == 0 {
+        return 1.0;
+    }
+    let o = observed_as_graph(g, ann, vantages);
+    o.edge_count() as f64 / g.edge_count() as f64
+}
+
+/// The router-level measurement model: the RL graph as a union of
+/// traceroute paths. The paper's RL topology came from "a series of
+/// traceroute measurements" (SCAN \[20\]): shortest IP paths from a few
+/// measurement hosts toward many addresses. We reproduce that as the
+/// union of one shortest path from each of `sources` to every node in
+/// `destinations` (BFS trees make "one traceroute per destination"
+/// exact). Node count is preserved; unobserved routers become isolated.
+pub fn traceroute_observed(g: &Graph, sources: &[NodeId], destinations: &[NodeId]) -> Graph {
+    use topogen_graph::tree::RootedTree;
+    let mut b = GraphBuilder::new(g.node_count());
+    for &s in sources {
+        // One BFS tree per source = the per-destination traceroute paths
+        // a mapper at `s` would record.
+        let tree = RootedTree::bfs_tree(g, s);
+        for &d in destinations {
+            if !tree.contains(d) {
+                continue;
+            }
+            let mut v = d;
+            while v != s {
+                let p = tree.parent[v as usize];
+                b.add_edge(v, p);
+                v = p;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Sampled-destination traceroute observation: `k` sources (the paper's
+/// mappers numbered a handful), destinations sampled every `stride`
+/// nodes (address-space probing).
+pub fn traceroute_observed_sampled<R: Rng>(
+    g: &Graph,
+    k_sources: usize,
+    stride: usize,
+    rng: &mut R,
+) -> Graph {
+    use rand::seq::SliceRandom;
+    let mut nodes: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+    nodes.shuffle(rng);
+    let sources: Vec<NodeId> = nodes.iter().copied().take(k_sources.max(1)).collect();
+    let destinations: Vec<NodeId> = (0..g.node_count() as NodeId)
+        .step_by(stride.max(1))
+        .collect();
+    traceroute_observed(g, &sources, &destinations)
+}
+
+/// Drop each edge independently with probability `loss` — the crude
+/// "errors and omissions" model for robustness experiments on any graph
+/// (router-level maps lose adjacencies too, §3.1.1).
+pub fn random_edge_loss<R: Rng>(g: &Graph, loss: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&loss));
+    let mut b = GraphBuilder::new(g.node_count());
+    for e in g.edges() {
+        if rng.gen::<f64>() >= loss {
+            b.add_edge(e.a, e.b);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::as_graph::{internet_as, InternetAsParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_graph::components::largest_component;
+
+    fn make() -> crate::as_graph::InternetAs {
+        internet_as(
+            &InternetAsParams::default_scaled(),
+            &mut StdRng::seed_from_u64(31),
+        )
+    }
+
+    #[test]
+    fn observation_is_subgraph() {
+        let m = make();
+        let o = observed_from_top_vantages(&m.graph, &m.annotations, 5);
+        assert_eq!(o.node_count(), m.graph.node_count());
+        assert!(o.edge_count() <= m.graph.edge_count());
+        for e in o.edges() {
+            assert!(m.graph.has_edge(e.a, e.b), "phantom edge {e}");
+        }
+    }
+
+    #[test]
+    fn more_vantages_see_more() {
+        let m = make();
+        let v1 = edge_visibility(
+            &m.graph,
+            &m.annotations,
+            &topogen_policy::bgp::top_degree_nodes(&m.graph, 1),
+        );
+        let v10 = edge_visibility(
+            &m.graph,
+            &m.annotations,
+            &topogen_policy::bgp::top_degree_nodes(&m.graph, 10),
+        );
+        assert!(v10 >= v1, "{v10} < {v1}");
+        assert!(
+            v1 > 0.5,
+            "even one core vantage sees most transit edges: {v1}"
+        );
+        assert!(v10 < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn observed_graph_still_internet_like() {
+        // The observation keeps the giant component and heavy tail.
+        let m = make();
+        let o = observed_from_top_vantages(&m.graph, &m.annotations, 5);
+        let (lcc, _) = largest_component(&o);
+        assert!(lcc.node_count() as f64 > 0.95 * m.graph.node_count() as f64);
+        assert!(lcc.max_degree() as f64 > 8.0 * lcc.average_degree());
+    }
+
+    #[test]
+    fn traceroute_union_is_subgraph_and_spans_paths() {
+        let m = make();
+        let mut rng = StdRng::seed_from_u64(9);
+        let o = super::traceroute_observed_sampled(&m.graph, 5, 1, &mut rng);
+        assert_eq!(o.node_count(), m.graph.node_count());
+        assert!(o.edge_count() <= m.graph.edge_count());
+        for e in o.edges() {
+            assert!(m.graph.has_edge(e.a, e.b));
+        }
+        // Probing every destination from 5 sources covers every node.
+        let (lcc, _) = largest_component(&o);
+        assert_eq!(lcc.node_count(), m.graph.node_count());
+    }
+
+    #[test]
+    fn more_traceroute_sources_see_more_edges() {
+        let m = make();
+        let e1 = super::traceroute_observed_sampled(&m.graph, 1, 1, &mut StdRng::seed_from_u64(3))
+            .edge_count();
+        let e8 = super::traceroute_observed_sampled(&m.graph, 8, 1, &mut StdRng::seed_from_u64(3))
+            .edge_count();
+        assert!(e8 >= e1, "{e8} < {e1}");
+        // A single source sees exactly a spanning tree (n-1 edges).
+        assert_eq!(e1, m.graph.node_count() - 1);
+    }
+
+    #[test]
+    fn random_loss_bounds() {
+        let m = make();
+        let mut rng = StdRng::seed_from_u64(4);
+        let g0 = random_edge_loss(&m.graph, 0.0, &mut rng);
+        assert_eq!(g0.edge_count(), m.graph.edge_count());
+        let g1 = random_edge_loss(&m.graph, 1.0, &mut rng);
+        assert_eq!(g1.edge_count(), 0);
+        let half = random_edge_loss(&m.graph, 0.5, &mut rng);
+        let frac = half.edge_count() as f64 / m.graph.edge_count() as f64;
+        assert!((0.42..0.58).contains(&frac), "kept {frac}");
+    }
+}

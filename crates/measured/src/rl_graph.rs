@@ -1,0 +1,241 @@
+//! Router-level expansion of an annotated AS topology.
+//!
+//! The paper's RL graph has ≈ 17× the AS graph's nodes and a *lower*
+//! average degree (2.53 vs 4.13) — routers are mostly chained inside
+//! PoPs, while inter-AS richness concentrates on border routers. We
+//! reproduce that by expanding each AS into an intra-AS router network
+//! whose size is proportional to the AS's degree (per \[41\], AS size
+//! tracks AS degree), structured the way ISPs build networks:
+//!
+//! * size 1 — a single router;
+//! * size 2–4 — a ring (or single link);
+//! * larger — a two-level PoP design: a core ring of `⌈√size⌉` backbone
+//!   routers with a few chords, and access routers star-attached to core
+//!   routers round-robin.
+//!
+//! Each AS-level adjacency is realized as one link between *border
+//! routers* — core routers chosen round-robin, so high-AS-degree ASes
+//! spread their interconnects over many borders (this is what makes RL
+//! hierarchy less degree-correlated than AS hierarchy, §5.2).
+
+use crate::as_graph::InternetAs;
+use rand::Rng;
+use topogen_graph::{Graph, GraphBuilder, NodeId};
+
+/// Parameters of the router expansion.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterExpansionParams {
+    /// Routers per unit of AS degree (the paper's ratio: ≈ 17× nodes at
+    /// AS average degree ≈ 4 → about 4 routers per degree unit).
+    pub routers_per_degree: f64,
+    /// Minimum routers per AS.
+    pub min_routers: usize,
+    /// Cap on routers per AS (keeps the expansion of extreme hubs sane).
+    pub max_routers: usize,
+}
+
+impl Default for RouterExpansionParams {
+    fn default() -> Self {
+        RouterExpansionParams {
+            routers_per_degree: 4.0,
+            min_routers: 1,
+            max_routers: 600,
+        }
+    }
+}
+
+/// The expanded router-level topology.
+#[derive(Clone, Debug)]
+pub struct RouterLevel {
+    /// The router graph (connected if the AS graph is).
+    pub graph: Graph,
+    /// Owning AS of each router.
+    pub router_as: Vec<NodeId>,
+    /// For each AS, the contiguous half-open range `[start, end)` of its
+    /// router ids.
+    pub as_router_range: Vec<(u32, u32)>,
+}
+
+/// Expand an AS topology to the router level.
+pub fn expand_to_routers<R: Rng>(
+    m: &InternetAs,
+    params: &RouterExpansionParams,
+    rng: &mut R,
+) -> RouterLevel {
+    let asg = &m.graph;
+    let n_as = asg.node_count();
+    // Size each AS.
+    let sizes: Vec<usize> = (0..n_as as NodeId)
+        .map(|a| {
+            let deg = asg.degree(a) as f64;
+            let jitter = 0.5 + rng.gen::<f64>(); // ±50% spread
+            ((params.routers_per_degree * deg * jitter).round() as usize)
+                .clamp(params.min_routers, params.max_routers)
+        })
+        .collect();
+    let total: usize = sizes.iter().sum();
+    let mut b = GraphBuilder::new(total);
+    let mut router_as = Vec::with_capacity(total);
+    let mut as_router_range = Vec::with_capacity(n_as);
+    let mut start = 0u32;
+    let mut core_counts = Vec::with_capacity(n_as);
+    for (a, &sz) in sizes.iter().enumerate() {
+        let s = start;
+        let e = start + sz as u32;
+        as_router_range.push((s, e));
+        router_as.extend(std::iter::repeat_n(a as NodeId, sz));
+        // Intra-AS structure. Core routers are ids s..s+core.
+        let core = if sz <= 4 {
+            sz
+        } else {
+            ((sz as f64).sqrt().ceil() as usize).max(2)
+        };
+        core_counts.push(core as u32);
+        match sz {
+            0 | 1 => {}
+            2 => b.add_edge(s, s + 1),
+            _ => {
+                // Core ring with random chords: ISP backbones are built
+                // biconnected-plus — a bare ring would give the whole
+                // router graph the resilience of a cycle, which the
+                // measured RL graph does not have (Figure 2(e) shows RL
+                // resilience growing like the random graph's).
+                for i in 0..core as u32 {
+                    b.add_edge(s + i, s + (i + 1) % core as u32);
+                }
+                if core >= 5 {
+                    for i in 0..core as u32 {
+                        for _ in 0..3 {
+                            let j = rng.gen_range(0..core as u32);
+                            if j != i {
+                                b.add_edge(s + i, s + j);
+                            }
+                        }
+                    }
+                }
+                // Access routers star-attached round-robin to the core.
+                for (k, r) in (s + core as u32..e).enumerate() {
+                    b.add_edge(r, s + (k % core) as u32);
+                }
+            }
+        }
+        start = e;
+    }
+    // Inter-AS links: one per AS adjacency, terminating on core
+    // (border) routers chosen round-robin per AS.
+    let mut next_border = vec![0u32; n_as];
+    for edge in asg.edges() {
+        let (a1, a2) = (edge.a as usize, edge.b as usize);
+        let r1 = as_router_range[a1].0 + next_border[a1] % core_counts[a1].max(1);
+        let r2 = as_router_range[a2].0 + next_border[a2] % core_counts[a2].max(1);
+        next_border[a1] += 1;
+        next_border[a2] += 1;
+        b.add_edge(r1, r2);
+    }
+    RouterLevel {
+        graph: b.build(),
+        router_as,
+        as_router_range,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::as_graph::{internet_as, InternetAsParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_graph::components::is_connected;
+
+    fn make() -> (InternetAs, RouterLevel) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = internet_as(&InternetAsParams::default_scaled(), &mut rng);
+        let rl = expand_to_routers(&m, &RouterExpansionParams::default(), &mut rng);
+        (m, rl)
+    }
+
+    #[test]
+    fn scale_ratio_matches_paper() {
+        let (m, rl) = make();
+        let ratio = rl.graph.node_count() as f64 / m.graph.node_count() as f64;
+        // Paper: 170589 / 10941 ≈ 15.6. Accept 8–25×.
+        assert!((8.0..25.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rl_sparser_than_as() {
+        let (m, rl) = make();
+        assert!(
+            rl.graph.average_degree() < m.graph.average_degree(),
+            "RL {} vs AS {}",
+            rl.graph.average_degree(),
+            m.graph.average_degree()
+        );
+        // Paper: RL average degree 2.53. Accept 2–4.
+        assert!((1.8..4.0).contains(&rl.graph.average_degree()));
+    }
+
+    #[test]
+    fn connected() {
+        let (_, rl) = make();
+        assert!(is_connected(&rl.graph));
+    }
+
+    #[test]
+    fn router_as_partition_consistent() {
+        let (m, rl) = make();
+        assert_eq!(rl.router_as.len(), rl.graph.node_count());
+        for (a, &(s, e)) in rl.as_router_range.iter().enumerate() {
+            assert!(s < e, "AS {a} has no routers");
+            for r in s..e {
+                assert_eq!(rl.router_as[r as usize], a as NodeId);
+            }
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn as_size_tracks_degree() {
+        let (m, rl) = make();
+        // The biggest AS by degree gets one of the biggest router counts.
+        let big_as = (0..m.graph.node_count() as NodeId)
+            .max_by_key(|&a| m.graph.degree(a))
+            .unwrap();
+        let (s, e) = rl.as_router_range[big_as as usize];
+        let big_size = (e - s) as usize;
+        let mean_size = rl.graph.node_count() / m.graph.node_count();
+        assert!(big_size > 5 * mean_size, "big {big_size} mean {mean_size}");
+    }
+
+    #[test]
+    fn heavy_tail_at_router_level() {
+        let (_, rl) = make();
+        assert!(rl.graph.max_degree() as f64 > 8.0 * rl.graph.average_degree());
+    }
+
+    #[test]
+    fn intra_as_links_stay_within_range() {
+        let (_, rl) = make();
+        // Every edge either stays inside one AS's range or is an AS-level
+        // adjacency between border (core) routers.
+        for e in rl.graph.edges() {
+            let (a1, a2) = (rl.router_as[e.a as usize], rl.router_as[e.b as usize]);
+            if a1 == a2 {
+                let (s, en) = rl.as_router_range[a1 as usize];
+                assert!(e.a >= s && e.b < en);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = InternetAsParams::default_scaled();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let m1 = internet_as(&p, &mut r1);
+        let rl1 = expand_to_routers(&m1, &RouterExpansionParams::default(), &mut r1);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let m2 = internet_as(&p, &mut r2);
+        let rl2 = expand_to_routers(&m2, &RouterExpansionParams::default(), &mut r2);
+        assert_eq!(rl1.graph.edges(), rl2.graph.edges());
+    }
+}

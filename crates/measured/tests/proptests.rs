@@ -1,0 +1,106 @@
+//! Property-based tests for the synthetic Internet models: structural
+//! invariants over arbitrary seeds and parameter jitter.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen_graph::components::is_connected;
+use topogen_measured::as_graph::{internet_as, AsTier, InternetAsParams};
+use topogen_measured::observe::{edge_visibility, random_edge_loss};
+use topogen_measured::rl_graph::{expand_to_routers, RouterExpansionParams};
+use topogen_policy::bgp::top_degree_nodes;
+
+fn arb_params() -> impl Strategy<Value = (InternetAsParams, u64)> {
+    (
+        100usize..350,
+        3usize..12,
+        0.02f64..0.12,
+        0.2f64..0.6,
+        any::<u64>(),
+    )
+        .prop_map(|(n, tier1, t2f, mh, seed)| {
+            (
+                InternetAsParams {
+                    n,
+                    tier1,
+                    tier2_fraction: t2f,
+                    multihome_prob: mh,
+                    tier2_peering: 1.5,
+                    sibling_fraction: 0.01,
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn as_model_invariants((params, seed) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = internet_as(&params, &mut rng);
+        prop_assert_eq!(m.graph.node_count(), params.n);
+        prop_assert!(is_connected(&m.graph));
+        prop_assert_eq!(m.tiers.len(), params.n);
+        // Tier counts as configured.
+        let cores = m.tiers.iter().filter(|t| matches!(t, AsTier::Core)).count();
+        prop_assert_eq!(cores, params.tier1);
+        // Every non-core AS has a provider; no core AS does.
+        for v in m.graph.nodes() {
+            let provs = m.annotations.providers_of(&m.graph, v).len();
+            match m.tiers[v as usize] {
+                AsTier::Core => prop_assert_eq!(provs, 0),
+                _ => prop_assert!(provs >= 1, "AS {v} orphaned"),
+            }
+        }
+        // No provider cycles: walking "up" must terminate at the core.
+        for v in m.graph.nodes() {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some(&p) = m.annotations.providers_of(&m.graph, cur).first() {
+                cur = p;
+                steps += 1;
+                prop_assert!(steps <= params.n, "provider cycle at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn router_expansion_invariants((params, seed) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = internet_as(&params, &mut rng);
+        let rl = expand_to_routers(&m, &RouterExpansionParams::default(), &mut rng);
+        prop_assert!(is_connected(&rl.graph));
+        prop_assert_eq!(rl.router_as.len(), rl.graph.node_count());
+        // Ranges tile the router id space.
+        let mut expected = 0u32;
+        for &(s, e) in &rl.as_router_range {
+            prop_assert_eq!(s, expected);
+            prop_assert!(e > s);
+            expected = e;
+        }
+        prop_assert_eq!(expected as usize, rl.graph.node_count());
+    }
+
+    #[test]
+    fn visibility_monotone_in_vantages((params, seed) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = internet_as(&params, &mut rng);
+        let v2 = edge_visibility(&m.graph, &m.annotations, &top_degree_nodes(&m.graph, 2));
+        let v6 = edge_visibility(&m.graph, &m.annotations, &top_degree_nodes(&m.graph, 6));
+        prop_assert!(v6 >= v2 - 1e-12);
+        prop_assert!(v2 > 0.0 && v6 <= 1.0);
+    }
+
+    #[test]
+    fn edge_loss_is_subgraph((params, seed) in arb_params(), loss in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = internet_as(&params, &mut rng);
+        let lossy = random_edge_loss(&m.graph, loss, &mut rng);
+        prop_assert!(lossy.edge_count() <= m.graph.edge_count());
+        for e in lossy.edges() {
+            prop_assert!(m.graph.has_edge(e.a, e.b));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The shared ball-source abstraction.
+//!
+//! Every per-ball metric runs over subgraphs produced by some notion of a
+//! "ball of radius h around a center". The paper uses two: plain
+//! shortest-path balls, and — for the measured AS/RL graphs —
+//! *policy-induced* balls (Appendix E). [`BallSource`] abstracts over
+//! both so metric code is written once.
+
+use crate::par::par_map;
+use crate::CurvePoint;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use topogen_graph::subgraph::{ball, SubgraphMap};
+use topogen_graph::{bfs, Graph, NodeId};
+use topogen_policy::balls::policy_ball_from_dag;
+use topogen_policy::rel::AsAnnotations;
+use topogen_policy::valley::policy_shortest_path_dag;
+
+/// A source of ball subgraphs over some underlying topology.
+pub trait BallSource: Sync {
+    /// The underlying node count (for sampling centers).
+    fn node_count(&self) -> usize;
+
+    /// All balls of radii `0..=max_h` around `center`, cheapest computed
+    /// together (one BFS serves every radius).
+    fn balls_up_to(&self, center: NodeId, max_h: u32) -> Vec<(Graph, SubgraphMap)>;
+
+    /// Distance field from `center` under this source's path notion.
+    fn distances(&self, center: NodeId) -> Vec<u32>;
+}
+
+/// Plain shortest-path balls over a graph.
+pub struct PlainBalls<'a> {
+    /// The underlying graph.
+    pub graph: &'a Graph,
+}
+
+impl<'a> BallSource for PlainBalls<'a> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn balls_up_to(&self, center: NodeId, max_h: u32) -> Vec<(Graph, SubgraphMap)> {
+        (0..=max_h).map(|h| ball(self.graph, center, h)).collect()
+    }
+
+    fn distances(&self, center: NodeId) -> Vec<u32> {
+        bfs::distances(self.graph, center)
+    }
+}
+
+/// Policy-induced balls over an annotated AS graph (Appendix E).
+pub struct PolicyBalls<'a> {
+    /// The AS graph.
+    pub graph: &'a Graph,
+    /// Relationship annotations.
+    pub annotations: &'a AsAnnotations,
+}
+
+impl<'a> BallSource for PolicyBalls<'a> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn balls_up_to(&self, center: NodeId, max_h: u32) -> Vec<(Graph, SubgraphMap)> {
+        let dag = policy_shortest_path_dag(self.graph, self.annotations, center);
+        (0..=max_h)
+            .map(|h| policy_ball_from_dag(self.graph, &dag, h))
+            .collect()
+    }
+
+    fn distances(&self, center: NodeId) -> Vec<u32> {
+        let dag = policy_shortest_path_dag(self.graph, self.annotations, center);
+        dag.node_dist
+    }
+}
+
+/// Policy-constrained router-level balls through an AS overlay — the
+/// paper's RL(Policy) series (Appendix E's two-step construction).
+pub struct OverlayBalls<'a> {
+    /// The router-level overlay (router graph + AS graph + annotations).
+    pub overlay: topogen_policy::overlay::RouterOverlay<'a>,
+}
+
+impl<'a> BallSource for OverlayBalls<'a> {
+    fn node_count(&self) -> usize {
+        self.overlay.routers.node_count()
+    }
+
+    fn balls_up_to(&self, center: NodeId, max_h: u32) -> Vec<(Graph, SubgraphMap)> {
+        let dist = self.overlay.policy_router_distances(center);
+        (0..=max_h)
+            .map(|h| self.overlay.policy_router_ball_from_dist(&dist, h))
+            .collect()
+    }
+
+    fn distances(&self, center: NodeId) -> Vec<u32> {
+        self.overlay.policy_router_distances(center)
+    }
+}
+
+/// Choose up to `k` ball centers uniformly without replacement (the
+/// paper: "for larger subgraphs, we repeated the computation for \[a\]
+/// sufficiently large number of randomly chosen nodes, in order to keep
+/// computation times reasonable").
+pub fn sample_centers<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+    if k >= n {
+        return all;
+    }
+    all.shuffle(rng);
+    all.truncate(k);
+    all.sort_unstable();
+    all
+}
+
+/// Run a per-ball metric over sampled centers and radii `0..=max_h`,
+/// averaging size and value per radius — one curve in the style of the
+/// paper's Figure 2(b,c,e,f,h,i).
+///
+/// `metric` maps a ball subgraph to a value; balls for which it returns
+/// `None` (e.g. too small to partition) are skipped.
+pub fn ball_curve<S, F>(source: &S, centers: &[NodeId], max_h: u32, metric: F) -> Vec<CurvePoint>
+where
+    S: BallSource,
+    F: Fn(&Graph) -> Option<f64> + Sync,
+{
+    let per_center: Vec<Vec<(f64, f64)>> = par_map(centers, |&c| {
+        source
+            .balls_up_to(c, max_h)
+            .into_iter()
+            .map(|(g, _)| {
+                let v = metric(&g);
+                (g.node_count() as f64, v.unwrap_or(f64::NAN))
+            })
+            .collect()
+    });
+    (0..=max_h)
+        .map(|h| {
+            // Pair sizes with values: a ball that yields no value (too
+            // small / too large for the metric) contributes to neither,
+            // so R(n)-style plots relate consistent (n, value) averages.
+            let mut size_sum = 0.0;
+            let mut val_sum = 0.0;
+            let mut val_n = 0usize;
+            for row in &per_center {
+                if let Some(&(s, v)) = row.get(h as usize) {
+                    if v.is_finite() {
+                        size_sum += s;
+                        val_sum += v;
+                        val_n += 1;
+                    }
+                }
+            }
+            CurvePoint {
+                radius: h,
+                avg_size: if val_n > 0 {
+                    size_sum / val_n as f64
+                } else {
+                    0.0
+                },
+                value: if val_n > 0 {
+                    val_sum / val_n as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_policy::rel::annotations_from_pairs;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, (0..4).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn plain_balls_radii() {
+        let g = path5();
+        let src = PlainBalls { graph: &g };
+        let balls = src.balls_up_to(2, 2);
+        assert_eq!(balls.len(), 3);
+        assert_eq!(balls[0].0.node_count(), 1);
+        assert_eq!(balls[1].0.node_count(), 3);
+        assert_eq!(balls[2].0.node_count(), 5);
+    }
+
+    #[test]
+    fn policy_balls_respect_valleys() {
+        // 0 prov 1 ← prov 2: node 2 invisible from 0 at any radius.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(0, 1), (2, 1)], &[], &[]);
+        let src = PolicyBalls {
+            graph: &g,
+            annotations: &ann,
+        };
+        let balls = src.balls_up_to(0, 5);
+        assert_eq!(balls.last().unwrap().0.node_count(), 2);
+    }
+
+    #[test]
+    fn sample_centers_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_centers(10, 20, &mut rng).len(), 10);
+        let s = sample_centers(100, 7, &mut rng);
+        assert_eq!(s.len(), 7);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ball_curve_counts_edges() {
+        // Metric = edge count; on the path graph from every center.
+        let g = path5();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = (0..5).collect();
+        let curve = ball_curve(&src, &centers, 1, |b| Some(b.edge_count() as f64));
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].value, 0.0);
+        // Radius 1 around ends: 1 edge; around middle: 2 edges → avg 8/5.
+        assert!((curve[1].value - 8.0 / 5.0).abs() < 1e-12);
+        assert!((curve[1].avg_size - (2.0 + 3.0 + 3.0 + 3.0 + 2.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_curve_skips_none_values() {
+        let g = path5();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = (0..5).collect();
+        // Metric undefined for balls with < 3 nodes.
+        let curve = ball_curve(&src, &centers, 1, |b| {
+            if b.node_count() >= 3 {
+                Some(1.0)
+            } else {
+                None
+            }
+        });
+        assert!(curve[0].value.is_nan());
+        assert_eq!(curve[1].value, 1.0); // only middle balls counted
+    }
+}

@@ -1,0 +1,126 @@
+//! Node diameter (eccentricity) distribution (Appendix B, Figure
+//! 7(d–f); after Zegura et al. \[50\]).
+//!
+//! For each node, its eccentricity — the farthest hop distance to any
+//! reachable node — normalized by the mean eccentricity; the figure plots
+//! the fraction of nodes per normalized-eccentricity bin, producing the
+//! bell shapes the paper describes (one-sided for the Tree).
+
+use crate::par::par_map;
+use rand::Rng;
+use topogen_graph::bfs::eccentricity;
+use topogen_graph::{Graph, NodeId};
+
+/// Eccentricities of the given nodes (one BFS each; pass a sample for
+/// large graphs).
+pub fn eccentricities(g: &Graph, nodes: &[NodeId]) -> Vec<u32> {
+    par_map(nodes, |&v| eccentricity(g, v))
+}
+
+/// A histogram bin of the normalized eccentricity distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EccBin {
+    /// Bin center, in units of the mean eccentricity.
+    pub normalized: f64,
+    /// Fraction of sampled nodes in the bin.
+    pub fraction: f64,
+}
+
+/// Normalized eccentricity histogram over `bins` equal-width bins
+/// spanning \[0.5, 1.6\] × mean (the paper's plotted range). Values
+/// outside clamp to the edge bins. Returns an empty vec for empty input.
+pub fn eccentricity_histogram(eccs: &[u32], bins: usize) -> Vec<EccBin> {
+    if eccs.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let mean = eccs.iter().map(|&e| e as f64).sum::<f64>() / eccs.len() as f64;
+    if mean == 0.0 {
+        return vec![EccBin {
+            normalized: 1.0,
+            fraction: 1.0,
+        }];
+    }
+    let lo = 0.5;
+    let hi = 1.6;
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &e in eccs {
+        let x = e as f64 / mean;
+        let b = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| EccBin {
+            normalized: lo + (i as f64 + 0.5) * width,
+            fraction: c as f64 / eccs.len() as f64,
+        })
+        .collect()
+}
+
+/// Sample up to `k` nodes for eccentricity computation on large graphs.
+pub fn eccentricity_sample<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<u32> {
+    let nodes = crate::balls::sample_centers(g.node_count(), k, rng);
+    eccentricities(g, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen_generators::canonical::{kary_tree, linear, mesh};
+
+    #[test]
+    fn path_eccentricities() {
+        let g = linear(5);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(eccentricities(&g, &nodes), vec![4, 3, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tree_distribution_one_sided() {
+        // All leaves share the max eccentricity: mass concentrates at the
+        // top of the histogram — the paper's "one-sided" tree shape.
+        let g = kary_tree(3, 5);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let eccs = eccentricities(&g, &nodes);
+        let max = *eccs.iter().max().unwrap();
+        let at_max = eccs.iter().filter(|&&e| e == max).count();
+        assert!(at_max as f64 > 0.5 * eccs.len() as f64);
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let g = mesh(10, 10);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let h = eccentricity_histogram(&eccentricities(&g, &nodes), 11);
+        let total: f64 = h.iter().map(|b| b.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(h.len(), 11);
+    }
+
+    #[test]
+    fn histogram_empty_inputs() {
+        assert!(eccentricity_histogram(&[], 10).is_empty());
+        assert!(eccentricity_histogram(&[3, 4], 0).is_empty());
+    }
+
+    #[test]
+    fn mesh_center_lower_than_corner() {
+        let g = mesh(9, 9);
+        let corner = eccentricities(&g, &[0])[0];
+        let center = eccentricities(&g, &[40])[0]; // (4,4)
+        assert_eq!(corner, 16);
+        assert_eq!(center, 8);
+    }
+
+    #[test]
+    fn sampling_bounds() {
+        use rand::SeedableRng;
+        let g = mesh(12, 12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = eccentricity_sample(&g, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&e| (11..=22).contains(&e)));
+    }
+}

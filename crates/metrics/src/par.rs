@@ -1,0 +1,78 @@
+//! Minimal parallel map over crossbeam scoped threads.
+//!
+//! The per-center loops of the ball-growing metrics are embarrassingly
+//! parallel and CPU-bound, so plain scoped threads with a shared atomic
+//! work index are all we need (per the Tokio guide's own advice, an async
+//! runtime buys nothing here).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item, in parallel across up to
+/// `available_parallelism` threads, preserving input order in the output.
+/// Falls back to a sequential loop for small inputs.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(&[] as &[i32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_input_sequential_path() {
+        let out = par_map(&[1, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn heavy_work_all_items_processed() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = par_map(&items, |&x| (0..1000).fold(x, |a, b| a.wrapping_add(b)));
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[0], (0..1000).sum::<u64>());
+    }
+}

@@ -1,0 +1,190 @@
+//! Resilience R(n): the existence of alternate paths (§3.2.1).
+//!
+//! "We define the resilience R(n) to be the average minimum cut-set size
+//! within an n-node ball around any node in the topology" — a function of
+//! ball *size* rather than radius, "to factor out the fact that graphs
+//! with high expansion will have more nodes in balls of the same radius."
+//!
+//! A tree has R(n) = 1, a mesh R(n) ∝ √n, and a random graph of average
+//! degree k has R(n) ∝ kn — the behaviours behind Figure 2(b,e,h,k).
+
+use crate::balls::{ball_curve, BallSource};
+use crate::partition::min_balanced_cut;
+use crate::CurvePoint;
+use topogen_graph::NodeId;
+
+/// Tunables for the resilience computation.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceParams {
+    /// Multilevel partitioner restarts per ball.
+    pub restarts: usize,
+    /// Skip balls larger than this (partitioning very large balls is the
+    /// dominant cost; the paper also capped its computations).
+    pub max_ball_nodes: usize,
+    /// RNG seed for the partition heuristics.
+    pub seed: u64,
+}
+
+impl Default for ResilienceParams {
+    fn default() -> Self {
+        ResilienceParams {
+            restarts: 3,
+            max_ball_nodes: 4_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// R as a ball-growing curve: for each radius, the average ball size and
+/// average min balanced cut. Balls with < 2 nodes (or above the size
+/// cap) are skipped.
+pub fn resilience_curve<S: BallSource>(
+    source: &S,
+    centers: &[NodeId],
+    max_h: u32,
+    params: &ResilienceParams,
+) -> Vec<CurvePoint> {
+    ball_curve(source, centers, max_h, |g| {
+        if g.node_count() < 2 || g.node_count() > params.max_ball_nodes {
+            return None;
+        }
+        min_balanced_cut(g, params.restarts, params.seed).map(|c| c as f64)
+    })
+}
+
+/// Log–log slope of R against n over the curve's upper half — the
+/// summary statistic used by the L/H classification (random ≈ 1,
+/// mesh ≈ 0.5, tree ≈ 0).
+pub fn resilience_growth_exponent(curve: &[CurvePoint]) -> f64 {
+    let pts: Vec<(f64, f64)> = curve
+        .iter()
+        .filter(|p| p.avg_size >= 2.0 && p.value.is_finite() && p.value > 0.0)
+        .map(|p| (p.avg_size.ln(), p.value.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    // Least-squares slope.
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balls::{sample_centers, PlainBalls};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_generators::canonical::{kary_tree, mesh, random_gnp};
+    use topogen_graph::components::largest_component;
+
+    fn params() -> ResilienceParams {
+        ResilienceParams {
+            restarts: 2,
+            max_ball_nodes: 2_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn tree_resilience_stays_low() {
+        let g = kary_tree(3, 5); // 364 nodes
+        let src = PlainBalls { graph: &g };
+        let centers = sample_centers(g.node_count(), 12, &mut StdRng::seed_from_u64(2));
+        let p = ResilienceParams {
+            restarts: 6,
+            max_ball_nodes: 2_000,
+            seed: 1,
+        };
+        let curve = resilience_curve(&src, &centers, 10, &p);
+        let last = curve.iter().rev().find(|p| p.value.is_finite()).unwrap();
+        // A *ternary* tree's balanced bipartition needs to slice 2–4
+        // subtrees to hit 45–55% (a binary tree needs exactly 1); the
+        // point is that R stays O(1) rather than growing with n.
+        assert!(
+            last.value <= 6.5,
+            "tree R({}) = {}",
+            last.avg_size,
+            last.value
+        );
+        let expo = resilience_growth_exponent(&curve);
+        assert!(expo < 0.35, "tree resilience growth exponent {expo}");
+    }
+
+    #[test]
+    fn random_resilience_grows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_gnp(500, 0.02, &mut rng);
+        let (lcc, _) = largest_component(&g);
+        let src = PlainBalls { graph: &lcc };
+        let centers = sample_centers(lcc.node_count(), 8, &mut rng);
+        let curve = resilience_curve(&src, &centers, 6, &params());
+        let last = curve.iter().rev().find(|p| p.value.is_finite()).unwrap();
+        assert!(
+            last.value > 50.0,
+            "random R({}) = {}",
+            last.avg_size,
+            last.value
+        );
+        let expo = resilience_growth_exponent(&curve);
+        assert!(expo > 0.7, "random growth exponent {expo}");
+    }
+
+    #[test]
+    fn mesh_resilience_sqrt_like() {
+        let g = mesh(24, 24);
+        let src = PlainBalls { graph: &g };
+        let centers = sample_centers(g.node_count(), 10, &mut StdRng::seed_from_u64(3));
+        let curve = resilience_curve(&src, &centers, 20, &params());
+        let expo = resilience_growth_exponent(&curve);
+        assert!(
+            (0.3..0.85).contains(&expo),
+            "mesh growth exponent {expo} (≈ 0.5 expected)"
+        );
+    }
+
+    #[test]
+    fn ordering_tree_below_mesh_below_random() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = kary_tree(3, 5);
+        let m = mesh(20, 20);
+        let r = {
+            let g = random_gnp(400, 0.02, &mut rng);
+            largest_component(&g).0
+        };
+        let val = |g: &topogen_graph::Graph, h: u32| {
+            let src = PlainBalls { graph: g };
+            let centers = sample_centers(g.node_count(), 8, &mut StdRng::seed_from_u64(4));
+            let c = resilience_curve(&src, &centers, h, &params());
+            c.iter().rev().find(|p| p.value.is_finite()).unwrap().value
+        };
+        let (vt, vm, vr) = (val(&t, 10), val(&m, 20), val(&r, 6));
+        assert!(vt < vm, "tree {vt} < mesh {vm}");
+        assert!(vm < vr, "mesh {vm} < random {vr}");
+    }
+
+    #[test]
+    fn ball_size_cap_respected() {
+        let g = mesh(20, 20);
+        let src = PlainBalls { graph: &g };
+        let p = ResilienceParams {
+            restarts: 1,
+            max_ball_nodes: 30,
+            seed: 1,
+        };
+        let curve = resilience_curve(&src, &[0, 210], 40, &p);
+        // Large balls skipped → values become NaN at big radii.
+        assert!(curve.last().unwrap().value.is_nan());
+        // Small radii still computed.
+        assert!(curve[2].value.is_finite());
+    }
+}

@@ -1,0 +1,178 @@
+//! Attack and error tolerance (Appendix B, Figure 9; after Albert, Jeong,
+//! Barabási \[3\]).
+//!
+//! Remove a fraction `f` of nodes — in decreasing-degree order (*attack*)
+//! or uniformly at random (*error*) — and measure the average pairwise
+//! shortest-path length within the largest remaining component. Power-law
+//! graphs are famously robust to error but fragile to attack ("peaked
+//! attack tolerance": path lengths blow up, then the network shatters and
+//! the largest component's internal distances fall again).
+
+use crate::par::par_map;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use topogen_graph::bfs::average_path_length;
+use topogen_graph::components::largest_component;
+use topogen_graph::subgraph::induced_subgraph;
+use topogen_graph::{Graph, NodeId};
+
+/// Removal strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Removal {
+    /// Remove nodes in decreasing degree order (degrees taken on the
+    /// original graph, as in \[3\]).
+    Attack,
+    /// Remove uniformly random nodes.
+    Error,
+}
+
+/// One point of a tolerance curve.
+#[derive(Clone, Copy, Debug)]
+pub struct TolerancePoint {
+    /// Fraction of nodes removed.
+    pub fraction: f64,
+    /// Average shortest-path length within the largest remaining
+    /// component (NaN if it has < 2 nodes).
+    pub avg_path_length: f64,
+    /// Size of the largest remaining component.
+    pub largest_component: usize,
+}
+
+/// Tolerance curve: for each `f` in `fractions`, remove that share of
+/// nodes per `mode` and measure the largest component's average path
+/// length (estimated from up to `path_samples` BFS sources).
+pub fn tolerance_curve<R: Rng>(
+    g: &Graph,
+    mode: Removal,
+    fractions: &[f64],
+    path_samples: usize,
+    rng: &mut R,
+) -> Vec<TolerancePoint> {
+    let n = g.node_count();
+    // Fixed removal order so that f2 > f1 removes a superset.
+    let order: Vec<NodeId> = match mode {
+        Removal::Attack => {
+            let mut v: Vec<NodeId> = (0..n as NodeId).collect();
+            v.sort_by_key(|&x| (std::cmp::Reverse(g.degree(x)), x));
+            v
+        }
+        Removal::Error => {
+            let mut v: Vec<NodeId> = (0..n as NodeId).collect();
+            v.shuffle(rng);
+            v
+        }
+    };
+    let seeds: Vec<u64> = (0..fractions.len() as u64).collect();
+    let points: Vec<TolerancePoint> = par_map(&seeds, |&i| {
+        let f = fractions[i as usize];
+        let k = ((f * n as f64).round() as usize).min(n);
+        let removed: std::collections::HashSet<NodeId> = order[..k].iter().copied().collect();
+        let keep: Vec<NodeId> = (0..n as NodeId).filter(|v| !removed.contains(v)).collect();
+        let (sub, _) = induced_subgraph(g, &keep);
+        let (lcc, _) = largest_component(&sub);
+        let m = lcc.node_count();
+        let apl = if m >= 2 {
+            // Deterministic sample of BFS sources.
+            let step = (m / path_samples.max(1)).max(1);
+            let sources: Vec<NodeId> = (0..m as NodeId).step_by(step).collect();
+            average_path_length(&lcc, &sources).unwrap_or(f64::NAN)
+        } else {
+            f64::NAN
+        };
+        TolerancePoint {
+            fraction: f,
+            avg_path_length: apl,
+            largest_component: m,
+        }
+    });
+    points
+}
+
+/// The standard fraction grid of Figure 9: 0 to 0.2 in steps of 0.02.
+pub fn standard_fractions() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 * 0.02).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topogen_generators::canonical::{mesh, random_gnp};
+    use topogen_generators::plrg::{plrg, PlrgParams};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(66)
+    }
+
+    #[test]
+    fn zero_removal_baseline() {
+        let g = mesh(10, 10);
+        let pts = tolerance_curve(&g, Removal::Error, &[0.0], 20, &mut rng());
+        assert_eq!(pts[0].largest_component, 100);
+        assert!(pts[0].avg_path_length > 5.0);
+    }
+
+    #[test]
+    fn attack_shrinks_component_faster_than_error() {
+        // The Albert et al. signature on power-law graphs.
+        let g = {
+            let raw = plrg(
+                &PlrgParams {
+                    n: 2000,
+                    alpha: 2.2,
+                    max_degree: None,
+                },
+                &mut rng(),
+            );
+            topogen_graph::components::largest_component(&raw).0
+        };
+        let f = [0.1];
+        let atk = tolerance_curve(&g, Removal::Attack, &f, 10, &mut rng());
+        let err = tolerance_curve(&g, Removal::Error, &f, 10, &mut rng());
+        assert!(
+            atk[0].largest_component < err[0].largest_component,
+            "attack {} vs error {}",
+            atk[0].largest_component,
+            err[0].largest_component
+        );
+    }
+
+    #[test]
+    fn error_tolerance_gentle_on_random_graph() {
+        let g = {
+            let raw = random_gnp(800, 0.01, &mut rng());
+            topogen_graph::components::largest_component(&raw).0
+        };
+        let pts = tolerance_curve(&g, Removal::Error, &[0.0, 0.1], 10, &mut rng());
+        // Random graphs degrade smoothly: path length changes < 50%.
+        let ratio = pts[1].avg_path_length / pts[0].avg_path_length;
+        assert!((0.8..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn monotone_component_shrink() {
+        let g = mesh(12, 12);
+        let fr = [0.0, 0.05, 0.1, 0.2];
+        let pts = tolerance_curve(&g, Removal::Attack, &fr, 10, &mut rng());
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].largest_component <= w[0].largest_component));
+    }
+
+    #[test]
+    fn full_removal_degenerates() {
+        let g = mesh(4, 4);
+        let pts = tolerance_curve(&g, Removal::Error, &[1.0], 5, &mut rng());
+        assert_eq!(pts[0].largest_component, 0);
+        assert!(pts[0].avg_path_length.is_nan());
+    }
+
+    #[test]
+    fn standard_grid() {
+        let f = standard_fractions();
+        assert_eq!(f.len(), 11);
+        assert_eq!(f[0], 0.0);
+        assert!((f[10] - 0.2).abs() < 1e-12);
+    }
+}

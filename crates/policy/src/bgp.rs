@@ -1,0 +1,116 @@
+//! BGP routing-table simulation.
+//!
+//! The paper derives its AS graph and relationships "from AS path
+//! information in backbone BGP routing tables" taken at a router peering
+//! with many backbones (§3.1.1). Lacking 2001 route-views data, we
+//! simulate the equivalent artifact: for each vantage AS, the set of AS
+//! paths its table would carry — one shortest valley-free path per
+//! reachable destination. Feeding these to [`crate::gao`] closes the loop
+//! the paper ran on real tables.
+
+use crate::rel::AsAnnotations;
+use crate::valley::{one_policy_path, policy_shortest_path_dag};
+use topogen_graph::{Graph, NodeId};
+
+/// The simulated routing table of one vantage AS: one AS path per
+/// reachable destination (paths of length ≥ 2 nodes; the trivial
+/// self-path is omitted).
+pub fn routing_table(g: &Graph, ann: &AsAnnotations, vantage: NodeId) -> Vec<Vec<NodeId>> {
+    let dag = policy_shortest_path_dag(g, ann, vantage);
+    let mut table = Vec::new();
+    for d in 0..g.node_count() as NodeId {
+        if d == vantage {
+            continue;
+        }
+        if let Some(path) = one_policy_path(&dag, d) {
+            if path.len() >= 2 {
+                table.push(path);
+            }
+        }
+    }
+    table
+}
+
+/// Concatenated tables of several vantage points — the input the paper's
+/// relationship inference consumed. Vantages are typically chosen among
+/// well-connected ASes (route-views peers with "more than 20 backbone
+/// routers"); pass high-degree nodes for fidelity.
+pub fn routing_tables(g: &Graph, ann: &AsAnnotations, vantages: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut all = Vec::new();
+    for &v in vantages {
+        all.extend(routing_table(g, ann, v));
+    }
+    all
+}
+
+/// The `k` highest-degree nodes — natural vantage choices.
+pub fn top_degree_nodes(g: &Graph, k: usize) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+    nodes.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gao::{infer_relationships, GaoConfig};
+    use crate::rel::annotations_from_pairs;
+
+    /// Three-level chain: 0 provides for 1, 1 provides for 2.
+    fn chain() -> (Graph, AsAnnotations) {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(0, 1), (1, 2)], &[], &[]);
+        (g, ann)
+    }
+
+    #[test]
+    fn table_contains_all_reachable() {
+        let (g, ann) = chain();
+        let t = routing_table(&g, &ann, 2);
+        // 2 can reach 1 and 0 uphill.
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&vec![2, 1]));
+        assert!(t.contains(&vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn policy_shadows_some_destinations() {
+        // 0 prov 1, 2 prov 1: 0's table cannot contain 2.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(0, 1), (2, 1)], &[], &[]);
+        let t = routing_table(&g, &ann, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn top_degree_vantages() {
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (3, 4)]);
+        assert_eq!(top_degree_nodes(&g, 2), vec![0, 3]);
+        assert_eq!(top_degree_nodes(&g, 10).len(), 5);
+    }
+
+    #[test]
+    fn tables_feed_gao_roundtrip() {
+        // Two-tier topology; simulate tables from the two cores, infer,
+        // compare with ground truth.
+        let g = Graph::from_edges(6, vec![(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)]);
+        let truth = annotations_from_pairs(&g, &[(0, 2), (0, 3), (1, 4), (1, 5)], &[(0, 1)], &[]);
+        // Vantages at the leaves see the full up-down structure.
+        let tables = routing_tables(&g, &truth, &[2, 3, 4, 5]);
+        let inferred = infer_relationships(&g, &tables, &GaoConfig::default());
+        assert!(
+            inferred.agreement(&truth) >= 0.8,
+            "agreement {}",
+            inferred.agreement(&truth)
+        );
+    }
+
+    #[test]
+    fn empty_graph_table() {
+        let g = Graph::empty(1);
+        let ann = AsAnnotations::new(&g, vec![]);
+        assert!(routing_table(&g, &ann, 0).is_empty());
+    }
+}

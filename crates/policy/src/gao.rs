@@ -1,0 +1,268 @@
+//! Gao's AS relationship inference \[18\], reconstructing
+//! provider–customer / peer / sibling annotations from observed AS paths.
+//!
+//! The paper uses "the technique proposed by Gao to infer the
+//! relationships between ASs" from BGP routing tables (Appendix E). The
+//! algorithm rests on the valley-free property: every legitimate path
+//! consists of an uphill segment followed by an optional peer link and a
+//! downhill segment, with the path's *top provider* — its highest-degree
+//! AS — at the apex. Walking each observed path therefore yields provider
+//! votes for every traversed link:
+//!
+//! 1. **Orientation** (Gao's basic algorithm): for each path, find the
+//!    highest-degree AS; links before it vote "right side is provider",
+//!    links after it vote "left side is provider".
+//! 2. **Siblings**: links with conflicting votes (each side provides
+//!    transit for the other in different paths) are siblings.
+//! 3. **Peers** (Gao's refined heuristic): a link that only ever appears
+//!    adjacent to a path's apex, whose endpoints have comparable degree
+//!    (ratio below `R`), never provides transit — reclassify as peer.
+//!
+//! Links never observed in any path fall back to degree comparison.
+
+use crate::rel::{AsAnnotations, Relationship};
+use std::collections::HashMap;
+use topogen_graph::{Graph, NodeId};
+
+/// Tunables for the inference.
+#[derive(Clone, Copy, Debug)]
+pub struct GaoConfig {
+    /// Peer degree-ratio bound `R`: endpoints of a peer candidate must
+    /// have degrees within a factor of `R` of each other (Gao's paper
+    /// uses values around 60 for equal-size peers; smaller is stricter).
+    pub peer_degree_ratio: f64,
+    /// Minimum conflicting votes on each side before declaring a sibling
+    /// (Gao's `L`); guards against single-path noise.
+    pub sibling_vote_threshold: u32,
+}
+
+impl Default for GaoConfig {
+    fn default() -> Self {
+        GaoConfig {
+            peer_degree_ratio: 10.0,
+            sibling_vote_threshold: 1,
+        }
+    }
+}
+
+/// Infer per-edge relationships for `g` from observed AS `paths`.
+///
+/// Paths must be node sequences over `g`; consecutive nodes that are not
+/// adjacent in `g` are skipped defensively (measurement noise).
+pub fn infer_relationships(g: &Graph, paths: &[Vec<NodeId>], config: &GaoConfig) -> AsAnnotations {
+    let degree: Vec<usize> = g.degrees();
+    // Per edge: votes that a (resp. b) is the provider, and occurrence
+    // counts split into apex-adjacent vs interior.
+    #[derive(Default, Clone)]
+    struct Tally {
+        /// Provider votes from *interior* (non-apex-adjacent) positions —
+        /// positions where the link demonstrably carries transit.
+        a_provider_interior: u32,
+        b_provider_interior: u32,
+        /// Provider votes from apex-adjacent positions (weak evidence: a
+        /// peer link at the apex also lands here).
+        a_provider_apex: u32,
+        b_provider_apex: u32,
+    }
+    let mut tally: HashMap<usize, Tally> = HashMap::new();
+
+    for path in paths {
+        if path.len() < 2 {
+            continue;
+        }
+        // Apex: highest degree, ties to the earlier position.
+        let j = (0..path.len())
+            .max_by_key(|&i| (degree[path[i] as usize], usize::MAX - i))
+            .unwrap();
+        for i in 0..path.len() - 1 {
+            let (u, v) = (path[i], path[i + 1]);
+            let Some(idx) = g.edge_index(u, v) else {
+                continue;
+            };
+            let t = tally.entry(idx).or_default();
+            // Uphill before the apex: the right node provides for the
+            // left. Downhill from the apex on: left provides for right.
+            let provider = if i < j { v } else { u };
+            let a = u.min(v);
+            let apex_adjacent = i + 1 == j || i == j;
+            match (provider == a, apex_adjacent) {
+                (true, false) => t.a_provider_interior += 1,
+                (false, false) => t.b_provider_interior += 1,
+                (true, true) => t.a_provider_apex += 1,
+                (false, true) => t.b_provider_apex += 1,
+            }
+        }
+    }
+
+    let rels: Vec<Relationship> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(idx, e)| {
+            let (da, db) = (degree[e.a as usize] as f64, degree[e.b as usize] as f64);
+            let ratio_ok = {
+                let hi = da.max(db).max(1.0);
+                let lo = da.min(db).max(1.0);
+                hi / lo <= config.peer_degree_ratio
+            };
+            match tally.get(&idx) {
+                None => {
+                    // Unobserved: degree heuristic. Comparable degrees →
+                    // peer; otherwise the bigger AS is the provider.
+                    if ratio_ok {
+                        Relationship::Peer
+                    } else if da > db {
+                        Relationship::ProviderOfB
+                    } else {
+                        Relationship::CustomerOfB
+                    }
+                }
+                Some(t) => {
+                    let thr = config.sibling_vote_threshold;
+                    let interior = t.a_provider_interior + t.b_provider_interior;
+                    if t.a_provider_interior >= thr && t.b_provider_interior >= thr {
+                        // Transit carried in both orientations: siblings.
+                        Relationship::Sibling
+                    } else if interior == 0 && ratio_ok {
+                        // Only ever seen at a path apex, similar degrees:
+                        // a settlement-free peer link.
+                        Relationship::Peer
+                    } else {
+                        // Orient by transit evidence, trusting interior
+                        // votes over apex-adjacent ones.
+                        let va = 2 * t.a_provider_interior + t.a_provider_apex;
+                        let vb = 2 * t.b_provider_interior + t.b_provider_apex;
+                        if va > vb {
+                            Relationship::ProviderOfB
+                        } else if vb > va {
+                            Relationship::CustomerOfB
+                        } else if da >= db {
+                            Relationship::ProviderOfB
+                        } else {
+                            Relationship::CustomerOfB
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    AsAnnotations::new(g, rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::annotations_from_pairs;
+
+    /// A small two-level hierarchy:
+    /// providers 0, 1 (peers with each other, high degree);
+    /// 0 provides for 2, 3; 1 provides for 4, 5.
+    fn two_tier() -> Graph {
+        Graph::from_edges(6, vec![(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)])
+    }
+
+    fn paths_for_two_tier() -> Vec<Vec<NodeId>> {
+        // Full mesh of customer-to-customer routes through the core, as a
+        // route-views-like table would contain.
+        vec![
+            vec![2, 0, 3],
+            vec![3, 0, 2],
+            vec![2, 0, 1, 4],
+            vec![2, 0, 1, 5],
+            vec![3, 0, 1, 4],
+            vec![3, 0, 1, 5],
+            vec![4, 1, 0, 2],
+            vec![4, 1, 5],
+            vec![5, 1, 4],
+            vec![5, 1, 0, 3],
+        ]
+    }
+
+    #[test]
+    fn recovers_two_tier_orientation() {
+        let g = two_tier();
+        let inferred = infer_relationships(&g, &paths_for_two_tier(), &GaoConfig::default());
+        // Customer links correctly oriented.
+        for (p, c) in [(0u32, 2u32), (0, 3), (1, 4), (1, 5)] {
+            let r = inferred.get(&g, p, c).unwrap();
+            assert_eq!(
+                r.provider(p.min(c), p.max(c)),
+                Some(p),
+                "expected {p} to be provider of {c}, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_core_peer_link() {
+        let g = two_tier();
+        let inferred = infer_relationships(&g, &paths_for_two_tier(), &GaoConfig::default());
+        // 0–1 only ever appears at the apex and the degrees match: peer.
+        assert_eq!(inferred.get(&g, 0, 1), Some(Relationship::Peer));
+    }
+
+    #[test]
+    fn agreement_with_ground_truth() {
+        let g = two_tier();
+        let truth = annotations_from_pairs(&g, &[(0, 2), (0, 3), (1, 4), (1, 5)], &[(0, 1)], &[]);
+        let inferred = infer_relationships(&g, &paths_for_two_tier(), &GaoConfig::default());
+        assert_eq!(inferred.agreement(&truth), 1.0);
+    }
+
+    #[test]
+    fn sibling_from_conflicting_transit() {
+        // 0 and 1 are siblings carrying transit both ways between big
+        // providers 2 and 3 (degree boosted with extra leaves).
+        let g = Graph::from_edges(
+            8,
+            vec![(0, 1), (0, 2), (1, 3), (2, 4), (2, 5), (3, 6), (3, 7)],
+        );
+        let paths = vec![
+            vec![4, 2, 0, 1, 3, 6], // through 0→1
+            vec![6, 3, 1, 0, 2, 4], // through 1→0
+            vec![5, 2, 0, 1, 3, 7],
+            vec![7, 3, 1, 0, 2, 5],
+        ];
+        let inferred = infer_relationships(&g, &paths, &GaoConfig::default());
+        assert_eq!(inferred.get(&g, 0, 1), Some(Relationship::Sibling));
+    }
+
+    #[test]
+    fn unobserved_edges_fall_back_to_degree() {
+        // Star with an unobserved spoke: hub (degree 4) vs leaf (degree
+        // 1) → hub inferred as provider.
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let paths = vec![vec![1, 0, 2], vec![2, 0, 3]];
+        let cfg = GaoConfig {
+            peer_degree_ratio: 2.0,
+            ..Default::default()
+        };
+        let inferred = infer_relationships(&g, &paths, &cfg);
+        let r = inferred.get(&g, 0, 4).unwrap();
+        assert_eq!(r.provider(0, 4), Some(0));
+    }
+
+    #[test]
+    fn empty_paths_all_degree_fallback() {
+        let g = Graph::from_edges(3, vec![(0, 1), (0, 2)]);
+        let inferred = infer_relationships(
+            &g,
+            &[],
+            &GaoConfig {
+                peer_degree_ratio: 1.5,
+                ..Default::default()
+            },
+        );
+        // Hub degree 2 vs leaves degree 1: ratio 2 > 1.5 → provider.
+        let r = inferred.get(&g, 0, 1).unwrap();
+        assert_eq!(r.provider(0, 1), Some(0));
+    }
+
+    #[test]
+    fn noisy_nonadjacent_hops_skipped() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        // Path with a bogus hop 0→2 (not an edge): must not panic.
+        let paths = vec![vec![0, 2, 1]];
+        let _ = infer_relationships(&g, &paths, &GaoConfig::default());
+    }
+}

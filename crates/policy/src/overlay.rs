@@ -1,0 +1,237 @@
+//! Router-level policy paths through an AS overlay (Appendix E).
+//!
+//! "To compute the policy path between any two RL nodes, we first compute
+//! the corresponding AS level policy paths between them, then select the
+//! shortest router hop paths within these sequences of AS paths."
+//!
+//! We realize that as a constrained router-level BFS: starting from a
+//! source router in AS `A`, the walk may move freely among routers of the
+//! same AS, and may cross an AS boundary `X → Y` only if `Y` lies one
+//! step further along some shortest valley-free AS path from `A` (i.e.
+//! `policy_dist(A, Y) = policy_dist(A, X) + 1` with a policy-DAG edge
+//! between the corresponding states). Every produced router path then
+//! projects onto a shortest policy AS path, which is the paper's
+//! construction.
+
+use crate::rel::AsAnnotations;
+use crate::valley::{policy_shortest_path_dag, state, PHASE_DOWN, PHASE_UP};
+use std::collections::VecDeque;
+use topogen_graph::subgraph::SubgraphMap;
+use topogen_graph::{Graph, GraphBuilder, NodeId, UNREACHED};
+
+/// A router-level topology overlaid on an annotated AS graph.
+#[derive(Clone, Debug)]
+pub struct RouterOverlay<'a> {
+    /// The router-level graph.
+    pub routers: &'a Graph,
+    /// AS id of each router.
+    pub router_as: &'a [NodeId],
+    /// The AS-level graph.
+    pub as_graph: &'a Graph,
+    /// AS relationship annotations.
+    pub annotations: &'a AsAnnotations,
+}
+
+impl<'a> RouterOverlay<'a> {
+    /// Construct, validating dimensions.
+    ///
+    /// # Panics
+    /// Panics if `router_as` does not cover every router or references an
+    /// AS out of range.
+    pub fn new(
+        routers: &'a Graph,
+        router_as: &'a [NodeId],
+        as_graph: &'a Graph,
+        annotations: &'a AsAnnotations,
+    ) -> Self {
+        assert_eq!(router_as.len(), routers.node_count());
+        assert!(router_as
+            .iter()
+            .all(|&a| (a as usize) < as_graph.node_count()));
+        RouterOverlay {
+            routers,
+            router_as,
+            as_graph,
+            annotations,
+        }
+    }
+
+    /// Policy-constrained router-hop distances from router `src`.
+    ///
+    /// State space: router × phase-of-AS-walk. Intra-AS moves preserve
+    /// the AS-level state; inter-AS moves must follow an edge of the
+    /// valley-free automaton (the same two phases as
+    /// [`crate::valley`]).
+    pub fn policy_router_distances(&self, src: NodeId) -> Vec<u32> {
+        let rl = self.routers;
+        let n = rl.node_count();
+        let src_as = self.router_as[src as usize];
+        // AS-level policy structure from the source AS.
+        let as_dag = policy_shortest_path_dag(self.as_graph, self.annotations, src_as);
+        // Router-level state: router * 2 + phase.
+        let mut dist = vec![UNREACHED; 2 * n];
+        let mut out = vec![UNREACHED; n];
+        let s0 = (src * 2 + PHASE_UP) as usize;
+        dist[s0] = 0;
+        out[src as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(src * 2 + PHASE_UP);
+        while let Some(s) = q.pop_front() {
+            let r = s / 2;
+            let phase = s % 2;
+            let d = dist[s as usize];
+            let ra = self.router_as[r as usize];
+            for &r2 in rl.neighbors(r) {
+                let ra2 = self.router_as[r2 as usize];
+                let next_phase = if ra2 == ra {
+                    // Intra-AS hop: phase unchanged.
+                    Some(phase)
+                } else {
+                    // Inter-AS hop: must advance along the AS policy DAG
+                    // from state (ra, phase) to (ra2, p2) for some p2.
+                    let from_state = state(ra, phase);
+                    let mut found = None;
+                    for p2 in [PHASE_UP, PHASE_DOWN] {
+                        let to_state = state(ra2, p2);
+                        if as_dag.dist[to_state as usize] != UNREACHED
+                            && as_dag.dist[from_state as usize] != UNREACHED
+                            && as_dag.dist[to_state as usize]
+                                == as_dag.dist[from_state as usize] + 1
+                            && as_dag.preds[to_state as usize].contains(&from_state)
+                        {
+                            found = Some(p2);
+                            break;
+                        }
+                    }
+                    found
+                };
+                if let Some(p2) = next_phase {
+                    let s2 = r2 * 2 + p2;
+                    if dist[s2 as usize] == UNREACHED {
+                        dist[s2 as usize] = d + 1;
+                        if out[r2 as usize] == UNREACHED {
+                            out[r2 as usize] = d + 1;
+                        }
+                        q.push_back(s2);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Policy-induced router-level ball: routers within policy router
+    /// distance `h` of `center`, with the links traversed by the
+    /// constrained BFS. Node 0 of the result is the center.
+    pub fn policy_router_ball(&self, center: NodeId, h: u32) -> (Graph, SubgraphMap) {
+        let dist = self.policy_router_distances(center);
+        self.policy_router_ball_from_dist(&dist, h)
+    }
+
+    /// Ball extraction from a precomputed policy distance field (lets
+    /// callers grow all radii from one BFS).
+    pub fn policy_router_ball_from_dist(&self, dist: &[u32], h: u32) -> (Graph, SubgraphMap) {
+        let n = self.routers.node_count();
+        let mut keep: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| dist[v as usize] <= h)
+            .collect();
+        keep.sort_by_key(|&v| (dist[v as usize], v));
+        let mut idx = vec![u32::MAX; n];
+        for (i, &v) in keep.iter().enumerate() {
+            idx[v as usize] = i as u32;
+        }
+        let mut b = GraphBuilder::new(keep.len());
+        for &v in &keep {
+            for &w in self.routers.neighbors(v) {
+                if idx[w as usize] == u32::MAX || w <= v {
+                    continue;
+                }
+                // Keep links consistent with shortest policy progress:
+                // the two endpoints differ by at most one hop.
+                let (dv, dw) = (dist[v as usize], dist[w as usize]);
+                if dv.abs_diff(dw) <= 1 {
+                    b.add_edge(idx[v as usize], idx[w as usize]);
+                }
+            }
+        }
+        (b.build(), SubgraphMap::from_originals(keep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::annotations_from_pairs;
+
+    /// Two ASes (0 provider of 1), each with a 2-router chain; border
+    /// routers 1 (AS0) and 2 (AS1).
+    fn small_overlay() -> (Graph, Vec<NodeId>, Graph, AsAnnotations) {
+        let routers = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let router_as = vec![0, 0, 1, 1];
+        let as_graph = Graph::from_edges(2, vec![(0, 1)]);
+        let ann = annotations_from_pairs(&as_graph, &[(0, 1)], &[], &[]);
+        (routers, router_as, as_graph, ann)
+    }
+
+    #[test]
+    fn distances_follow_router_hops() {
+        let (routers, router_as, as_graph, ann) = small_overlay();
+        let ov = RouterOverlay::new(&routers, &router_as, &as_graph, &ann);
+        let d = ov.policy_router_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn valley_blocks_router_paths() {
+        // AS path 0→1→2 is down-then-up (1 is customer of both): routers
+        // of AS 2 must be unreachable from AS 0.
+        let routers = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let router_as = vec![0, 1, 2];
+        let as_graph = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ann = annotations_from_pairs(&as_graph, &[(0, 1), (2, 1)], &[], &[]);
+        let ov = RouterOverlay::new(&routers, &router_as, &as_graph, &ann);
+        let d = ov.policy_router_distances(0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+    }
+
+    #[test]
+    fn intra_as_detours_allowed() {
+        // AS 0 has routers 0-1-2 in a chain; only router 2 borders AS 1
+        // (router 3). Path 0→3 must take 3 hops.
+        let routers = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let router_as = vec![0, 0, 0, 1];
+        let as_graph = Graph::from_edges(2, vec![(0, 1)]);
+        let ann = annotations_from_pairs(&as_graph, &[(0, 1)], &[], &[]);
+        let ov = RouterOverlay::new(&routers, &router_as, &as_graph, &ann);
+        let d = ov.policy_router_distances(0);
+        assert_eq!(d[3], 3);
+    }
+
+    #[test]
+    fn router_ball_membership() {
+        let (routers, router_as, as_graph, ann) = small_overlay();
+        let ov = RouterOverlay::new(&routers, &router_as, &as_graph, &ann);
+        let (ball, map) = ov.policy_router_ball(0, 2);
+        assert_eq!(ball.node_count(), 3);
+        assert_eq!(map.to_original(0), 0);
+        let (full, _) = ov.policy_router_ball(0, 3);
+        assert_eq!(full.node_count(), 4);
+    }
+
+    #[test]
+    fn non_policy_as_shortcut_excluded() {
+        // Routers: AS0(r0) - AS1(r1) - AS2(r2), plus direct AS0-AS2
+        // router link (r0-r2). AS relationships: 1 provider of 0 and 2;
+        // AS edge 0-2 is peer… but the AS path 0→2 via the peer link is
+        // length 1 < 2: policy shortest. So r0→r2 direct is allowed and
+        // distance 1.
+        let routers = Graph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let router_as = vec![0, 1, 2];
+        let as_graph = Graph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let ann = annotations_from_pairs(&as_graph, &[(1, 0), (1, 2)], &[(0, 2)], &[]);
+        let ov = RouterOverlay::new(&routers, &router_as, &as_graph, &ann);
+        let d = ov.policy_router_distances(0);
+        assert_eq!(d[2], 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! AS relationship vocabulary and per-edge annotation tables.
+
+use topogen_graph::{Graph, NodeId};
+
+/// Commercial relationship carried by one AS-level link, expressed
+/// relative to the link's *normalized* endpoints `(a, b)` with `a < b`
+/// (matching [`Graph::edges`] order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// `a` is a customer of `b` (`b` provides transit to `a`).
+    CustomerOfB,
+    /// `a` is a provider of `b`.
+    ProviderOfB,
+    /// Settlement-free peering: traffic between the two ASes' customers
+    /// only.
+    Peer,
+    /// Sibling ASes (same organization): transit in both directions.
+    Sibling,
+}
+
+impl Relationship {
+    /// The provider side of the link, if it is a provider–customer link.
+    pub fn provider(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        match self {
+            Relationship::CustomerOfB => Some(b),
+            Relationship::ProviderOfB => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The customer side of the link, if it is a provider–customer link.
+    pub fn customer(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        match self {
+            Relationship::CustomerOfB => Some(a),
+            Relationship::ProviderOfB => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Per-edge relationship annotations for an AS graph, aligned with the
+/// graph's normalized edge order.
+#[derive(Clone, Debug)]
+pub struct AsAnnotations {
+    rels: Vec<Relationship>,
+}
+
+impl AsAnnotations {
+    /// Build from a relationship per edge (same order as
+    /// [`Graph::edges`]).
+    ///
+    /// # Panics
+    /// Panics if the count does not match the graph's edge count.
+    pub fn new(g: &Graph, rels: Vec<Relationship>) -> Self {
+        assert_eq!(
+            rels.len(),
+            g.edge_count(),
+            "one relationship per edge required"
+        );
+        AsAnnotations { rels }
+    }
+
+    /// Annotation of the edge with the given index.
+    pub fn by_index(&self, idx: usize) -> Relationship {
+        self.rels[idx]
+    }
+
+    /// Annotation of edge `(u, v)`; `None` if no such edge.
+    pub fn get(&self, g: &Graph, u: NodeId, v: NodeId) -> Option<Relationship> {
+        g.edge_index(u, v).map(|i| self.rels[i])
+    }
+
+    /// Whether the step `from → to` goes *up* (customer to provider or
+    /// sibling).
+    pub fn is_uphill(&self, g: &Graph, from: NodeId, to: NodeId) -> bool {
+        match self.get(g, from, to) {
+            Some(r) => {
+                r.provider(from.min(to), from.max(to)) == Some(to) || r == Relationship::Sibling
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the step `from → to` goes *down* (provider to customer or
+    /// sibling).
+    pub fn is_downhill(&self, g: &Graph, from: NodeId, to: NodeId) -> bool {
+        match self.get(g, from, to) {
+            Some(r) => {
+                r.customer(from.min(to), from.max(to)) == Some(to) || r == Relationship::Sibling
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `(u, v)` is a peering link.
+    pub fn is_peer(&self, g: &Graph, u: NodeId, v: NodeId) -> bool {
+        self.get(g, u, v) == Some(Relationship::Peer)
+    }
+
+    /// Providers of node `v`.
+    pub fn providers_of(&self, g: &Graph, v: NodeId) -> Vec<NodeId> {
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| {
+                self.get(g, v, w)
+                    .and_then(|r| r.provider(v.min(w), v.max(w)))
+                    == Some(w)
+            })
+            .collect()
+    }
+
+    /// Customers of node `v`.
+    pub fn customers_of(&self, g: &Graph, v: NodeId) -> Vec<NodeId> {
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| {
+                self.get(g, v, w)
+                    .and_then(|r| r.customer(v.min(w), v.max(w)))
+                    == Some(w)
+            })
+            .collect()
+    }
+
+    /// Count of each relationship kind `(provider_customer, peer,
+    /// sibling)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut pc = 0;
+        let mut peer = 0;
+        let mut sib = 0;
+        for r in &self.rels {
+            match r {
+                Relationship::CustomerOfB | Relationship::ProviderOfB => pc += 1,
+                Relationship::Peer => peer += 1,
+                Relationship::Sibling => sib += 1,
+            }
+        }
+        (pc, peer, sib)
+    }
+
+    /// Agreement fraction against another annotation table over the same
+    /// graph: 1.0 means identical classification of every link.
+    /// Provider–customer links must also agree on orientation.
+    pub fn agreement(&self, other: &AsAnnotations) -> f64 {
+        assert_eq!(self.rels.len(), other.rels.len());
+        if self.rels.is_empty() {
+            return 1.0;
+        }
+        let same = self
+            .rels
+            .iter()
+            .zip(&other.rels)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / self.rels.len() as f64
+    }
+}
+
+/// Convenience: build annotations from explicit directed provider pairs.
+/// `provider_customer` lists `(provider, customer)` pairs; `peers` and
+/// `siblings` list unordered pairs. Every edge of `g` must be covered
+/// exactly once.
+///
+/// # Panics
+/// Panics if a listed pair is not an edge, or an edge is left uncovered.
+pub fn annotations_from_pairs(
+    g: &Graph,
+    provider_customer: &[(NodeId, NodeId)],
+    peers: &[(NodeId, NodeId)],
+    siblings: &[(NodeId, NodeId)],
+) -> AsAnnotations {
+    let mut rels: Vec<Option<Relationship>> = vec![None; g.edge_count()];
+    for &(p, c) in provider_customer {
+        let idx = g
+            .edge_index(p, c)
+            .unwrap_or_else(|| panic!("({p}, {c}) is not an edge"));
+        let rel = if p < c {
+            Relationship::ProviderOfB
+        } else {
+            Relationship::CustomerOfB
+        };
+        assert!(rels[idx].is_none(), "edge ({p}, {c}) annotated twice");
+        rels[idx] = Some(rel);
+    }
+    for &(u, v) in peers {
+        let idx = g
+            .edge_index(u, v)
+            .unwrap_or_else(|| panic!("({u}, {v}) is not an edge"));
+        assert!(rels[idx].is_none(), "edge ({u}, {v}) annotated twice");
+        rels[idx] = Some(Relationship::Peer);
+    }
+    for &(u, v) in siblings {
+        let idx = g
+            .edge_index(u, v)
+            .unwrap_or_else(|| panic!("({u}, {v}) is not an edge"));
+        assert!(rels[idx].is_none(), "edge ({u}, {v}) annotated twice");
+        rels[idx] = Some(Relationship::Sibling);
+    }
+    let rels: Vec<Relationship> = rels
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("edge index {i} left unannotated")))
+        .collect();
+    AsAnnotations { rels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen_graph::Graph;
+
+    /// 0 is provider of 1 and 2; 1–2 peer.
+    fn small() -> (Graph, AsAnnotations) {
+        let g = Graph::from_edges(3, vec![(0, 1), (0, 2), (1, 2)]);
+        let ann = annotations_from_pairs(&g, &[(0, 1), (0, 2)], &[(1, 2)], &[]);
+        (g, ann)
+    }
+
+    #[test]
+    fn provider_customer_orientation() {
+        let (g, ann) = small();
+        assert_eq!(ann.get(&g, 0, 1), Some(Relationship::ProviderOfB));
+        assert!(ann.is_uphill(&g, 1, 0));
+        assert!(!ann.is_uphill(&g, 0, 1));
+        assert!(ann.is_downhill(&g, 0, 1));
+        assert!(ann.is_peer(&g, 1, 2));
+        assert!(!ann.is_peer(&g, 0, 1));
+    }
+
+    #[test]
+    fn providers_and_customers() {
+        let (g, ann) = small();
+        assert_eq!(ann.providers_of(&g, 1), vec![0]);
+        assert_eq!(ann.providers_of(&g, 0), Vec::<NodeId>::new());
+        let mut cust = ann.customers_of(&g, 0);
+        cust.sort_unstable();
+        assert_eq!(cust, vec![1, 2]);
+    }
+
+    #[test]
+    fn sibling_counts_both_ways() {
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let ann = annotations_from_pairs(&g, &[], &[], &[(0, 1)]);
+        assert!(ann.is_uphill(&g, 0, 1));
+        assert!(ann.is_uphill(&g, 1, 0));
+        assert!(ann.is_downhill(&g, 0, 1));
+        assert_eq!(ann.counts(), (0, 0, 1));
+    }
+
+    #[test]
+    fn counts_mixed() {
+        let (_, ann) = small();
+        assert_eq!(ann.counts(), (2, 1, 0));
+    }
+
+    #[test]
+    fn agreement_metric() {
+        let (g, ann) = small();
+        let flipped = annotations_from_pairs(&g, &[(1, 0), (0, 2)], &[(1, 2)], &[]);
+        let a = ann.agreement(&flipped);
+        assert!((a - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ann.agreement(&ann), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uncovered_edge_panics() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let _ = annotations_from_pairs(&g, &[(0, 1)], &[], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_annotation_panics() {
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let _ = annotations_from_pairs(&g, &[(0, 1)], &[(0, 1)], &[]);
+    }
+
+    #[test]
+    fn relationship_provider_helper() {
+        assert_eq!(Relationship::CustomerOfB.provider(2, 5), Some(5));
+        assert_eq!(Relationship::ProviderOfB.provider(2, 5), Some(2));
+        assert_eq!(Relationship::Peer.provider(2, 5), None);
+        assert_eq!(Relationship::CustomerOfB.customer(2, 5), Some(2));
+    }
+}

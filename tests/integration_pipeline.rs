@@ -1,0 +1,145 @@
+//! Cross-crate integration: the full measured-Internet pipeline —
+//! generate the annotated AS graph, expand to routers, simulate BGP,
+//! infer relationships, and route with policy — end to end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topogen::graph::{bfs, NodeId, UNREACHED};
+use topogen::measured::as_graph::{internet_as, InternetAsParams};
+use topogen::measured::rl_graph::{expand_to_routers, RouterExpansionParams};
+use topogen::policy::bgp::{routing_tables, top_degree_nodes};
+use topogen::policy::gao::{infer_relationships, GaoConfig};
+use topogen::policy::overlay::RouterOverlay;
+use topogen::policy::valley::policy_distances;
+
+fn small_internet() -> topogen::measured::as_graph::InternetAs {
+    let mut rng = StdRng::seed_from_u64(77);
+    internet_as(
+        &InternetAsParams {
+            n: 400,
+            ..InternetAsParams::default_scaled()
+        },
+        &mut rng,
+    )
+}
+
+#[test]
+fn bgp_to_gao_roundtrip_recovers_most_relationships() {
+    let m = small_internet();
+    let vantages = top_degree_nodes(&m.graph, 8);
+    let tables = routing_tables(&m.graph, &m.annotations, &vantages);
+    let inferred = infer_relationships(&m.graph, &tables, &GaoConfig::default());
+    let agreement = inferred.agreement(&m.annotations);
+    assert!(
+        agreement > 0.85,
+        "Gao inference agreement {agreement} too low"
+    );
+}
+
+#[test]
+fn policy_never_shortens_paths() {
+    let m = small_internet();
+    for src in [0u32, 50, 399] {
+        let plain = bfs::distances(&m.graph, src);
+        let pol = policy_distances(&m.graph, &m.annotations, src);
+        for v in 0..m.graph.node_count() {
+            if pol[v] != UNREACHED {
+                assert!(
+                    pol[v] >= plain[v],
+                    "policy shortened {src}→{v}: {} < {}",
+                    pol[v],
+                    plain[v]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_distances_are_symmetric() {
+    // Valley-free validity is direction-symmetric, so distances must be.
+    let m = small_internet();
+    let sources: Vec<NodeId> = vec![0, 17, 200, 399];
+    let fields: Vec<Vec<u32>> = sources
+        .iter()
+        .map(|&s| policy_distances(&m.graph, &m.annotations, s))
+        .collect();
+    for (i, &a) in sources.iter().enumerate() {
+        for (j, &b) in sources.iter().enumerate() {
+            assert_eq!(
+                fields[i][b as usize], fields[j][a as usize],
+                "policy distance asymmetry between {a} and {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn router_overlay_consistent_with_as_policy() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let m = internet_as(
+        &InternetAsParams {
+            n: 200,
+            ..InternetAsParams::default_scaled()
+        },
+        &mut rng,
+    );
+    let rl = expand_to_routers(&m, &RouterExpansionParams::default(), &mut rng);
+    let ov = RouterOverlay::new(&rl.graph, &rl.router_as, &m.graph, &m.annotations);
+    // Pick a router in the last AS (a stub).
+    let (s, _) = rl.as_router_range[m.graph.node_count() - 1];
+    let rd = ov.policy_router_distances(s);
+    let ad = policy_distances(
+        &m.graph,
+        &m.annotations,
+        (m.graph.node_count() - 1) as NodeId,
+    );
+    // Router-level policy reachability implies AS-level reachability,
+    // and the router path is at least as long as the AS path.
+    for (r, &dr) in rd.iter().enumerate() {
+        if dr != UNREACHED {
+            let a = rl.router_as[r] as usize;
+            assert_ne!(ad[a], UNREACHED, "router {r} reachable but AS {a} is not");
+            assert!(
+                dr >= ad[a],
+                "router distance {dr} below AS distance {} for AS {a}",
+                ad[a]
+            );
+        }
+    }
+    // And AS-level reachability is realized at the router level for the
+    // AS's border routers (at least one router per reachable AS).
+    let mut reached_as = vec![false; m.graph.node_count()];
+    for (r, &d) in rd.iter().enumerate() {
+        if d != UNREACHED {
+            reached_as[rl.router_as[r] as usize] = true;
+        }
+    }
+    for a in 0..m.graph.node_count() {
+        if ad[a] != UNREACHED {
+            assert!(
+                reached_as[a],
+                "AS {a} policy-reachable but no router reached"
+            );
+        }
+    }
+}
+
+#[test]
+fn router_expansion_preserves_reachability() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let m = internet_as(
+        &InternetAsParams {
+            n: 300,
+            ..InternetAsParams::default_scaled()
+        },
+        &mut rng,
+    );
+    let rl = expand_to_routers(&m, &RouterExpansionParams::default(), &mut rng);
+    assert!(topogen::graph::components::is_connected(&rl.graph));
+    // AS-level diameter lower-bounds the router-level diameter.
+    let as_ecc = bfs::eccentricity(&m.graph, 0);
+    let (r0, _) = rl.as_router_range[0];
+    let rl_ecc = bfs::eccentricity(&rl.graph, r0);
+    assert!(rl_ecc >= as_ecc, "RL ecc {rl_ecc} < AS ecc {as_ecc}");
+}
