@@ -1,7 +1,12 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR]
+//! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]
+//!
+//! --timings prints the shared-ball engine's instrumentation (traversal
+//! counts, cache hits, per-phase wall times) for experiments that run
+//! the metric suite, and with --json also archives it as
+//! BENCH_<id>.json.
 //!
 //! experiments:
 //!   tab1                 Figure 1: the topology table
@@ -32,12 +37,13 @@
 use std::io::Write as _;
 use topogen_bench::experiments as exp;
 use topogen_bench::ExpCtx;
-use topogen_core::report::{render_figure, FigureData, TableData};
+use topogen_core::report::{render_figure, FigureData, TableData, TimingReport};
 use topogen_core::zoo::Scale;
 use topogen_metrics::tolerance::Removal;
 
 struct Output {
     json_dir: Option<String>,
+    timings: bool,
 }
 
 impl Output {
@@ -51,6 +57,20 @@ impl Output {
         println!("== {} ==", f.id);
         println!("{}", render_figure(f));
         self.dump(&f.id, serde_json::to_string_pretty(f).unwrap());
+    }
+
+    /// Print (and archive as `BENCH_<id>.json`) an experiment's merged
+    /// engine instrumentation when `--timings` was given.
+    fn timing_report(&self, id: &str, r: &TimingReport) {
+        if !self.timings {
+            return;
+        }
+        println!("== {id} timings ==");
+        print!("{}", r.render());
+        self.dump(
+            &format!("BENCH_{id}"),
+            serde_json::to_string_pretty(r).unwrap(),
+        );
     }
 
     fn dump(&self, id: &str, json: String) {
@@ -70,17 +90,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR]"
+            "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]"
         );
         eprintln!("run `repro list` for the experiment index");
         std::process::exit(2);
     }
     let mut ctx = ExpCtx::default();
     let mut json_dir = None;
+    let mut timings = false;
     let mut cmd = String::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--timings" => timings = true,
             "--scale" => {
                 let v = it.next().expect("--scale needs a value");
                 ctx.scale = match v.as_str() {
@@ -106,7 +128,7 @@ fn main() {
             other => panic!("unexpected argument {other:?}"),
         }
     }
-    let out = Output { json_dir };
+    let out = Output { json_dir, timings };
     run_cmd(&cmd, &ctx, &out);
 }
 
@@ -163,7 +185,11 @@ fn run_cmd(cmd: &str, ctx: &ExpCtx, out: &Output) {
             out.table(&exp::fig15::run(ctx));
             out.table(&exp::fig15::run_overlay(ctx));
         }
-        "tab-signature" => out.table(&exp::signatures::run_signature_table(ctx)),
+        "tab-signature" => {
+            let (table, timings) = exp::signatures::run_signature_table_timed(ctx);
+            out.table(&table);
+            out.timing_report(&table.id, &timings);
+        }
         "tab-hierarchy" => out.table(&exp::signatures::run_hierarchy_table(ctx)),
         "bgp-vs-policy" => out.table(&exp::bgp::run(ctx)),
         "robustness-snapshots" => out.table(&exp::robustness::run_snapshots(ctx)),

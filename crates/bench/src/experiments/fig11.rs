@@ -87,7 +87,7 @@ pub fn run(ctx: &ExpCtx) -> TableData {
             lan_nodes: lan,
             ..TiersParams::paper_default()
         };
-        let g = tiers(&p, &mut rng).graph;
+        let g = tiers(&p, &mut rng);
         rows.push(vec![
             "Tiers".into(),
             format!(

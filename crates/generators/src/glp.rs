@@ -121,6 +121,14 @@ pub fn glp<R: Rng>(params: &GlpParams, rng: &mut R) -> Graph {
     b.build()
 }
 
+impl crate::generate::Generate for GlpParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Link-addition events can leave stragglers behind; analyze the
+        // largest component.
+        topogen_graph::components::largest_component(&glp(self, rng)).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,6 +163,12 @@ fn pick_proportional<R: Rng>(items: &[NodeId], degrees: &[usize], rng: &mut R) -
     *items.last().unwrap()
 }
 
+impl crate::generate::Generate for InetParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        topogen_graph::components::largest_component(&inet(self, rng)).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,12 @@
 //! graphs document it; the paper's methodology is to analyze the largest
 //! connected component, available via
 //! [`topogen_graph::components::largest_component`].
+//!
+//! The unified entry point is the [`Generate`] trait: every parameter
+//! struct implements `params.generate(rng)`, which always returns the
+//! *analysis graph* (the largest connected component when the raw model
+//! output may be disconnected). The per-generator free functions remain
+//! as the raw primitives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +51,7 @@ pub mod canonical;
 pub mod connectivity;
 pub mod degseq;
 pub mod flat;
+pub mod generate;
 pub mod glp;
 pub mod inet;
 pub mod nlevel;
@@ -52,3 +59,5 @@ pub mod plrg;
 pub mod tiers;
 pub mod transit_stub;
 pub mod waxman;
+
+pub use generate::Generate;

@@ -64,6 +64,13 @@ pub fn n_level<R: Rng>(params: &NLevelParams, rng: &mut R) -> Graph {
     current
 }
 
+impl crate::generate::Generate for NLevelParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Every level-graph is patched connected, so the whole is too.
+        n_level(self, rng)
+    }
+}
+
 /// Replace every node of `g` with a fresh connected random graph,
 /// re-attaching each original edge between random members of the two
 /// replacement blocks.

@@ -71,6 +71,14 @@ pub fn plrg_from_degrees<R: Rng>(degrees: &[usize], rng: &mut R) -> Graph {
     match_plrg(&d, rng)
 }
 
+impl crate::generate::Generate for PlrgParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Random matching leaves a fringe of small components; the paper
+        // analyzes the giant component.
+        topogen_graph::components::largest_component(&plrg(self, rng)).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,11 +111,35 @@ pub struct TiersTopology {
     pub roles: Vec<TierRole>,
 }
 
-/// Generate a Tiers topology.
+impl crate::generate::Generate for TiersParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Tiers is connected by construction (every network is an MST or
+        // a star, every MAN/LAN uplinks at least once), so the full graph
+        // is its own largest component — the paper's analysis graph.
+        tiers_full(self, rng).graph
+    }
+}
+
+/// Generate a Tiers *graph* — the analysis graph the paper measures.
+///
+/// This is the [`Generate`](crate::generate::Generate) entry point in
+/// free-function form, consistent with the other generators. The richer
+/// [`TiersTopology`] (graph plus per-node [`TierRole`] annotations, used
+/// by the §5 hierarchy checks) remains available via [`tiers_full`].
 ///
 /// # Panics
 /// Panics if `wans != 1` (matching the original tool), or any count is 0.
-pub fn tiers<R: Rng>(params: &TiersParams, rng: &mut R) -> TiersTopology {
+pub fn tiers<R: Rng>(params: &TiersParams, rng: &mut R) -> Graph {
+    use crate::generate::Generate as _;
+    params.generate(rng)
+}
+
+/// Generate a full Tiers topology: the graph *and* the tier role of
+/// every node.
+///
+/// # Panics
+/// Panics if `wans != 1` (matching the original tool), or any count is 0.
+pub fn tiers_full<R: Rng>(params: &TiersParams, rng: &mut R) -> TiersTopology {
     let p = *params;
     assert_eq!(p.wans, 1, "the Tiers tool supports exactly one WAN");
     assert!(p.wan_nodes >= 1 && p.man_nodes >= 1 && p.lan_nodes >= 1);
@@ -261,17 +285,25 @@ mod tests {
     fn paper_instance_counts_and_connectivity() {
         let p = TiersParams::paper_default();
         assert_eq!(p.node_count(), 5000);
-        let t = tiers(&p, &mut rng());
-        assert_eq!(t.graph.node_count(), 5000);
-        assert!(is_connected(&t.graph));
+        let g = tiers(&p, &mut rng());
+        assert_eq!(g.node_count(), 5000);
+        assert!(is_connected(&g));
         // Figure 1 reports 2.83.
-        let avg = t.graph.average_degree();
+        let avg = g.average_degree();
         assert!((2.2..3.4).contains(&avg), "avg degree {avg}");
     }
 
     #[test]
+    fn graph_entry_point_matches_full_topology() {
+        let p = TiersParams::paper_default();
+        let g = tiers(&p, &mut StdRng::seed_from_u64(8));
+        let t = tiers_full(&p, &mut StdRng::seed_from_u64(8));
+        assert_eq!(g.edges(), t.graph.edges());
+    }
+
+    #[test]
     fn role_counts() {
-        let t = tiers(&TiersParams::paper_default(), &mut rng());
+        let t = tiers_full(&TiersParams::paper_default(), &mut rng());
         let wan = t
             .roles
             .iter()
@@ -294,7 +326,7 @@ mod tests {
 
     #[test]
     fn lan_leaves_have_degree_one() {
-        let t = tiers(&TiersParams::paper_default(), &mut rng());
+        let t = tiers_full(&TiersParams::paper_default(), &mut rng());
         for v in t.graph.nodes() {
             if matches!(t.roles[v as usize], TierRole::Lan { hub: false, .. }) {
                 assert_eq!(t.graph.degree(v), 1, "LAN leaf {v}");
@@ -309,7 +341,7 @@ mod tests {
         hi.man_redundancy = 4;
         let base = tiers(&TiersParams::paper_default(), &mut StdRng::seed_from_u64(1));
         let dense = tiers(&hi, &mut StdRng::seed_from_u64(1));
-        assert!(dense.graph.edge_count() > base.graph.edge_count());
+        assert!(dense.edge_count() > base.edge_count());
     }
 
     #[test]
@@ -328,8 +360,8 @@ mod tests {
             lan_man_redundancy: 1,
         };
         assert_eq!(p.node_count(), 7);
-        let t = tiers(&p, &mut rng());
-        assert!(is_connected(&t.graph));
+        let g = tiers(&p, &mut rng());
+        assert!(is_connected(&g));
     }
 
     #[test]
@@ -337,7 +369,7 @@ mod tests {
         let p = TiersParams::paper_default();
         let a = tiers(&p, &mut StdRng::seed_from_u64(4));
         let b = tiers(&p, &mut StdRng::seed_from_u64(4));
-        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.edges(), b.edges());
     }
 
     #[test]

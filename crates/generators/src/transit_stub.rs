@@ -93,6 +93,15 @@ pub struct TransitStubTopology {
     pub roles: Vec<TsRole>,
 }
 
+impl crate::generate::Generate for TransitStubParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // The sub-blocks are patched connected, so the projection is the
+        // whole (connected) graph; roles stay available via
+        // [`transit_stub`].
+        transit_stub(self, rng).graph
+    }
+}
+
 /// Generate a Transit-Stub topology.
 ///
 /// # Panics

@@ -68,6 +68,14 @@ pub fn waxman<R: Rng>(params: &WaxmanParams, rng: &mut R) -> Graph {
     waxman_with_points(params, rng).0
 }
 
+impl crate::generate::Generate for WaxmanParams {
+    fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
+        // Sparse Waxman graphs are routinely disconnected; the paper
+        // analyzes the largest component.
+        topogen_graph::components::largest_component(&waxman(self, rng)).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

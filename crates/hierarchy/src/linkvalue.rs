@@ -42,12 +42,15 @@ pub fn link_values(g: &Graph, mode: &PathMode<'_>) -> Vec<f64> {
     par_map_links(&t.per_link, |pairs| link_value(pairs) / n as f64)
 }
 
-/// Minimal crossbeam-scoped parallel map over the per-link pair lists.
+/// Minimal scoped-thread parallel map over the per-link pair lists.
+/// Workers claim chunks of the output via an atomic index; a panicking
+/// worker re-raises its original payload on the calling thread.
 fn par_map_links<F>(links: &[Vec<crate::traversal::PairWeight>], f: F) -> Vec<f64>
 where
     F: Fn(&[crate::traversal::PairWeight]) -> f64 + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1)
@@ -55,23 +58,43 @@ where
     if threads <= 1 || links.len() < 8 {
         return links.iter().map(|l| f(l)).collect();
     }
-    let next = AtomicUsize::new(0);
-    let out: Vec<std::sync::Mutex<f64>> = (0..links.len())
-        .map(|_| std::sync::Mutex::new(0.0))
+    let mut out = vec![0.0f64; links.len()];
+    let chunk_len = (links.len() / (threads * 8)).max(1);
+    let chunks: Vec<Mutex<(usize, &mut [f64])>> = out
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(ci, slice)| Mutex::new((ci * chunk_len, slice)))
         .collect();
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= links.len() {
-                    break;
-                }
-                *out[i].lock().unwrap() = f(&links[i]);
-            });
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= chunks.len() {
+                        break;
+                    }
+                    let mut guard = chunks[ci]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    let (start, slice) = &mut *guard;
+                    for (k, slot) in slice.iter_mut().enumerate() {
+                        *slot = f(&links[*start + k]);
+                    }
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
         }
-    })
-    .expect("link-value worker panicked");
-    out.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    out
 }
 
 /// One point of the link-value rank distribution.

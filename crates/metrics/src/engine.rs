@@ -1,0 +1,630 @@
+//! The shared-ball metrics engine.
+//!
+//! The legacy path had every ball-growing metric call
+//! [`BallSource::balls_up_to`] independently: with k metrics over the
+//! same centers, each center's BFS + ball construction ran k times.
+//! [`BallPlan`] inverts that: per sampled center it computes the
+//! radius-indexed ball subgraphs (and, for expansion, the distance
+//! field) **once**, and hands each ball to every registered
+//! [`BallMetric`] consumer. An [`Instrument`] sink counts traversals,
+//! balls built, cache hits and partitioner restarts so the sharing is
+//! observable in timing reports.
+//!
+//! Determinism: per-center RNG seeds are derived from the plan seed and
+//! the center id (SplitMix64 finalizer), work is distributed by
+//! [`crate::par::par_map_threads`] which preserves input order, and
+//! aggregation walks centers in their fixed sampled order — so results
+//! are bit-identical for any thread count, including one.
+
+use crate::balls::BallSource;
+use crate::instrument::{Instrument, InstrumentReport};
+use crate::par::par_map_threads;
+use crate::partition::min_balanced_cut;
+use crate::CurvePoint;
+use std::time::Instant;
+use topogen_graph::{Graph, NodeId, UNREACHED};
+
+/// Per-ball context handed to a [`BallMetric`]: which ball this is, a
+/// deterministic seed unique to (plan seed, center, radius), and the
+/// instrumentation sink.
+pub struct MeasureCtx<'a> {
+    /// The original-graph id of the ball's center.
+    pub center: NodeId,
+    /// The ball's radius.
+    pub radius: u32,
+    /// Deterministic seed for this (center, radius) ball, independent of
+    /// scheduling and thread count.
+    pub seed: u64,
+    /// Counter sink (consumers report restarts etc. here).
+    pub instrument: &'a Instrument,
+}
+
+/// A per-ball metric consumer registered with a [`BallPlan`].
+///
+/// `measure` maps one ball subgraph to a value; `None` skips the ball
+/// (too small / too large), exactly like the legacy
+/// [`crate::balls::ball_curve`] closure contract.
+pub trait BallMetric: Sync {
+    /// Short stable name, used for phase timings and curve lookup.
+    fn name(&self) -> &'static str;
+
+    /// Metric value on one ball, or `None` to skip it.
+    fn measure(&self, ball: &Graph, ctx: &MeasureCtx<'_>) -> Option<f64>;
+}
+
+/// SplitMix64 finalizer: decorrelates per-center/per-radius seeds.
+fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resilience R(n) as an engine consumer: min balanced cut per ball
+/// (seeded from the ball context, restarts reported to the instrument).
+pub struct ResilienceMetric {
+    /// Multilevel partitioner restarts per ball.
+    pub restarts: usize,
+    /// Skip balls larger than this.
+    pub max_ball_nodes: usize,
+}
+
+impl BallMetric for ResilienceMetric {
+    fn name(&self) -> &'static str {
+        "resilience"
+    }
+
+    fn measure(&self, ball: &Graph, ctx: &MeasureCtx<'_>) -> Option<f64> {
+        if ball.node_count() < 2 || ball.node_count() > self.max_ball_nodes {
+            return None;
+        }
+        ctx.instrument
+            .add_partitioner_restarts(self.restarts as u64);
+        min_balanced_cut(ball, self.restarts, ctx.seed).map(|c| c as f64)
+    }
+}
+
+/// Distortion D(n) as an engine consumer (BFS-tree heuristics + Bartal
+/// cross-check, seeded from the ball context).
+pub struct DistortionMetric {
+    /// Skip balls larger than this.
+    pub max_ball_nodes: usize,
+    /// Run the Bartal-style decomposition cross-check.
+    pub use_bartal: bool,
+    /// Polish candidate trees with re-parenting local search.
+    pub polish: bool,
+}
+
+impl BallMetric for DistortionMetric {
+    fn name(&self) -> &'static str {
+        "distortion"
+    }
+
+    fn measure(&self, ball: &Graph, ctx: &MeasureCtx<'_>) -> Option<f64> {
+        if ball.node_count() > self.max_ball_nodes {
+            return None;
+        }
+        let params = crate::distortion::DistortionParams {
+            max_ball_nodes: self.max_ball_nodes,
+            use_bartal: self.use_bartal,
+            polish: self.polish,
+            seed: ctx.seed,
+        };
+        crate::distortion::graph_distortion(ball, &params)
+    }
+}
+
+/// Vertex cover growth (Appendix B, Figure 8(a–c)) as an engine consumer.
+pub struct CoverMetric {
+    /// Skip balls larger than this.
+    pub max_ball_nodes: usize,
+}
+
+impl BallMetric for CoverMetric {
+    fn name(&self) -> &'static str {
+        "cover"
+    }
+
+    fn measure(&self, ball: &Graph, _ctx: &MeasureCtx<'_>) -> Option<f64> {
+        if ball.node_count() > self.max_ball_nodes {
+            return None;
+        }
+        Some(crate::cover::vertex_cover_size(ball) as f64)
+    }
+}
+
+/// Biconnected-component growth (Appendix B, Figure 8(d–f)) as an
+/// engine consumer.
+pub struct BiconMetric {
+    /// Skip balls larger than this.
+    pub max_ball_nodes: usize,
+}
+
+impl BallMetric for BiconMetric {
+    fn name(&self) -> &'static str {
+        "bicon"
+    }
+
+    fn measure(&self, ball: &Graph, _ctx: &MeasureCtx<'_>) -> Option<f64> {
+        if ball.node_count() > self.max_ball_nodes {
+            return None;
+        }
+        Some(topogen_graph::bicon::biconnected_component_count(ball) as f64)
+    }
+}
+
+/// Ball-grown clustering coefficient (Figure 10) as an engine consumer.
+pub struct ClusteringMetric {
+    /// Skip balls larger than this.
+    pub max_ball_nodes: usize,
+}
+
+impl BallMetric for ClusteringMetric {
+    fn name(&self) -> &'static str {
+        "clustering"
+    }
+
+    fn measure(&self, ball: &Graph, _ctx: &MeasureCtx<'_>) -> Option<f64> {
+        if ball.node_count() > self.max_ball_nodes {
+            return None;
+        }
+        crate::clustering::graph_clustering(ball)
+    }
+}
+
+/// Per-ball average path length (footnote 22) as an engine consumer.
+pub struct PathLengthMetric {
+    /// Skip balls larger than this.
+    pub max_ball_nodes: usize,
+}
+
+impl BallMetric for PathLengthMetric {
+    fn name(&self) -> &'static str {
+        "path_length"
+    }
+
+    fn measure(&self, ball: &Graph, _ctx: &MeasureCtx<'_>) -> Option<f64> {
+        if ball.node_count() < 2 || ball.node_count() > self.max_ball_nodes {
+            return None;
+        }
+        let nodes: Vec<NodeId> = ball.nodes().collect();
+        topogen_graph::bfs::average_path_length(ball, &nodes)
+    }
+}
+
+/// Everything a [`BallPlan::run`] produces: one curve per registered
+/// metric (same order as registration), the expansion curve (empty if
+/// no expansion centers were set), and the instrumentation snapshot.
+#[derive(Clone, Debug)]
+pub struct PlanResult {
+    /// Metric names, parallel to `curves`.
+    pub names: Vec<&'static str>,
+    /// One ball-growing curve per registered metric.
+    pub curves: Vec<Vec<CurvePoint>>,
+    /// E(h) over the expansion centers (empty when none were set).
+    pub expansion: Vec<f64>,
+    /// Counter + phase-timing snapshot of the run.
+    pub report: InstrumentReport,
+}
+
+impl PlanResult {
+    /// The curve of the metric registered under `name`, if any.
+    pub fn curve(&self, name: &str) -> Option<&[CurvePoint]> {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.curves[i].as_slice())
+    }
+}
+
+/// A configured shared-ball run: source, centers, radius budget,
+/// registered consumers. Build with [`BallPlan::new`] + the builder
+/// methods, then call [`BallPlan::run`].
+pub struct BallPlan<'a, S: BallSource> {
+    source: &'a S,
+    max_radius: u32,
+    seed: u64,
+    threads: Option<usize>,
+    ball_centers: Vec<NodeId>,
+    expansion_centers: Vec<NodeId>,
+    metrics: Vec<&'a dyn BallMetric>,
+}
+
+impl<'a, S: BallSource> BallPlan<'a, S> {
+    /// A plan over `source` with ball radii `0..=max_radius` and the
+    /// given master seed (per-ball seeds derive from it).
+    pub fn new(source: &'a S, max_radius: u32, seed: u64) -> Self {
+        BallPlan {
+            source,
+            max_radius,
+            seed,
+            threads: None,
+            ball_centers: Vec::new(),
+            expansion_centers: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Centers whose balls feed the registered metrics.
+    pub fn ball_centers(mut self, centers: Vec<NodeId>) -> Self {
+        self.ball_centers = centers;
+        self
+    }
+
+    /// Centers for the expansion average (typically a larger sample;
+    /// any overlap with ball centers is served from the shared balls).
+    pub fn expansion_centers(mut self, centers: Vec<NodeId>) -> Self {
+        self.expansion_centers = centers;
+        self
+    }
+
+    /// Explicit worker-thread count (`None` = available parallelism).
+    /// Results are identical for every setting; tests use `Some(1)`.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Register a per-ball metric consumer.
+    pub fn metric(mut self, m: &'a dyn BallMetric) -> Self {
+        self.metrics.push(m);
+        self
+    }
+
+    /// Run the plan: one `balls_up_to` per ball center (shared by all
+    /// metrics), one `distances` per expansion-only center.
+    pub fn run(&self) -> PlanResult {
+        let t_total = Instant::now();
+        let instrument = Instrument::new();
+        let jobs = self.merge_centers();
+        let radii = self.max_radius as usize + 1;
+
+        // (per-metric (size, value) rows, expansion cumulative counts)
+        type JobOut = (Option<Vec<(f64, Vec<f64>)>>, Option<Vec<usize>>);
+        let outputs: Vec<JobOut> = par_map_threads(&jobs, self.threads, |&(c, is_ball, is_exp)| {
+            let mut ball_rows = None;
+            let mut cum = None;
+            if is_ball {
+                let t0 = Instant::now();
+                let balls = self.source.balls_up_to(c, self.max_radius);
+                instrument.add_bfs_runs(1);
+                instrument.add_balls_built(balls.len() as u64);
+                instrument.add_phase("balls", t0.elapsed());
+                if self.metrics.len() > 1 {
+                    // Every consumer after the first reuses each ball.
+                    instrument
+                        .add_ball_cache_hits(balls.len() as u64 * (self.metrics.len() as u64 - 1));
+                }
+                let center_seed = mix_seed(self.seed, c as u64);
+                let rows = balls
+                    .iter()
+                    .enumerate()
+                    .map(|(h, (g, _))| {
+                        let ctx = MeasureCtx {
+                            center: c,
+                            radius: h as u32,
+                            seed: mix_seed(center_seed, h as u64),
+                            instrument: &instrument,
+                        };
+                        let vals = self
+                            .metrics
+                            .iter()
+                            .map(|m| {
+                                let t1 = Instant::now();
+                                let v = m.measure(g, &ctx).unwrap_or(f64::NAN);
+                                instrument.add_phase(m.name(), t1.elapsed());
+                                v
+                            })
+                            .collect();
+                        (g.node_count() as f64, vals)
+                    })
+                    .collect();
+                if is_exp {
+                    // The ball of radius h contains exactly the nodes
+                    // within h hops: expansion comes free from sizes.
+                    instrument.add_ball_cache_hits(1);
+                    cum = Some(balls.iter().map(|(g, _)| g.node_count()).collect());
+                }
+                ball_rows = Some(rows);
+            } else if is_exp {
+                let t0 = Instant::now();
+                let dist = self.source.distances(c);
+                instrument.add_bfs_runs(1);
+                let mut counts = vec![0usize; radii];
+                for &d in &dist {
+                    if d != UNREACHED && d <= self.max_radius {
+                        counts[d as usize] += 1;
+                    }
+                }
+                for h in 1..radii {
+                    counts[h] += counts[h - 1];
+                }
+                instrument.add_phase("distances", t0.elapsed());
+                cum = Some(counts);
+            }
+            (ball_rows, cum)
+        });
+
+        // Aggregate in fixed job order: bit-identical for any thread
+        // count, and matching the legacy ball_curve semantics (only
+        // finite values contribute to the size/value averages).
+        let curves = (0..self.metrics.len())
+            .map(|mi| {
+                (0..radii as u32)
+                    .map(|h| {
+                        let mut size_sum = 0.0;
+                        let mut val_sum = 0.0;
+                        let mut val_n = 0usize;
+                        for (rows, _) in &outputs {
+                            if let Some(rows) = rows {
+                                if let Some((s, vals)) = rows.get(h as usize) {
+                                    let v = vals[mi];
+                                    if v.is_finite() {
+                                        size_sum += *s;
+                                        val_sum += v;
+                                        val_n += 1;
+                                    }
+                                }
+                            }
+                        }
+                        CurvePoint {
+                            radius: h,
+                            avg_size: if val_n > 0 {
+                                size_sum / val_n as f64
+                            } else {
+                                0.0
+                            },
+                            value: if val_n > 0 {
+                                val_sum / val_n as f64
+                            } else {
+                                f64::NAN
+                            },
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let expansion = if self.expansion_centers.is_empty() {
+            Vec::new()
+        } else {
+            let n = self.source.node_count();
+            let denom = self.expansion_centers.len() as f64 * n as f64;
+            (0..radii)
+                .map(|h| {
+                    if denom == 0.0 {
+                        return 0.0;
+                    }
+                    let total: usize = outputs
+                        .iter()
+                        .filter_map(|(_, cum)| cum.as_ref())
+                        .map(|c| c[h])
+                        .sum();
+                    total as f64 / denom
+                })
+                .collect()
+        };
+
+        instrument.add_phase("total", t_total.elapsed());
+        PlanResult {
+            names: self.metrics.iter().map(|m| m.name()).collect(),
+            curves,
+            expansion,
+            report: instrument.report(),
+        }
+    }
+
+    /// Merge the two sorted center lists into one deduplicated job list
+    /// of `(center, is_ball, is_expansion)`, preserving sorted order.
+    fn merge_centers(&self) -> Vec<(NodeId, bool, bool)> {
+        let mut jobs = Vec::with_capacity(self.ball_centers.len() + self.expansion_centers.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ball_centers.len() || j < self.expansion_centers.len() {
+            let b = self.ball_centers.get(i).copied();
+            let e = self.expansion_centers.get(j).copied();
+            match (b, e) {
+                (Some(b), Some(e)) if b == e => {
+                    jobs.push((b, true, true));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(b), Some(e)) if b < e => {
+                    jobs.push((b, true, false));
+                    i += 1;
+                }
+                (_, Some(e)) => {
+                    jobs.push((e, false, true));
+                    j += 1;
+                }
+                (Some(b), None) => {
+                    jobs.push((b, true, false));
+                    i += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balls::{ball_curve, PlainBalls};
+    use crate::expansion::expansion_curve;
+    use topogen_graph::Graph;
+
+    /// Seed-independent test metric: edge count of the ball.
+    struct EdgeCount;
+
+    impl BallMetric for EdgeCount {
+        fn name(&self) -> &'static str {
+            "edges"
+        }
+
+        fn measure(&self, ball: &Graph, _ctx: &MeasureCtx<'_>) -> Option<f64> {
+            Some(ball.edge_count() as f64)
+        }
+    }
+
+    fn mesh8() -> Graph {
+        let mut e = Vec::new();
+        for r in 0..8u32 {
+            for c in 0..8u32 {
+                let v = r * 8 + c;
+                if c + 1 < 8 {
+                    e.push((v, v + 1));
+                }
+                if r + 1 < 8 {
+                    e.push((v, v + 8));
+                }
+            }
+        }
+        Graph::from_edges(64, e)
+    }
+
+    #[test]
+    fn engine_matches_legacy_ball_curve() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = vec![0, 9, 27, 63];
+        let legacy = ball_curve(&src, &centers, 5, |b| Some(b.edge_count() as f64));
+        let em = EdgeCount;
+        let plan = BallPlan::new(&src, 5, 1).ball_centers(centers).metric(&em);
+        let out = plan.run();
+        assert_eq!(out.curves[0].len(), legacy.len());
+        for (a, b) in out.curves[0].iter().zip(&legacy) {
+            assert_eq!(a.radius, b.radius);
+            assert_eq!(a.avg_size.to_bits(), b.avg_size.to_bits());
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_expansion() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = (0..64).collect();
+        let legacy = expansion_curve(&src, &centers, 10);
+        let out = BallPlan::new(&src, 10, 1).expansion_centers(centers).run();
+        assert_eq!(out.expansion.len(), legacy.len());
+        for (a, b) in out.expansion.iter().zip(&legacy) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn expansion_served_from_shared_balls_when_centers_overlap() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = vec![0, 20, 40];
+        let legacy = expansion_curve(&src, &centers, 6);
+        let em = EdgeCount;
+        let out = BallPlan::new(&src, 6, 1)
+            .ball_centers(centers.clone())
+            .expansion_centers(centers)
+            .metric(&em)
+            .run();
+        for (a, b) in out.expansion.iter().zip(&legacy) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // All three centers shared: no standalone distance pass at all.
+        assert_eq!(out.report.bfs_runs, 3);
+        assert_eq!(out.report.ball_cache_hits, 3); // one per shared center
+    }
+
+    #[test]
+    fn cache_hits_count_extra_consumers() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let em = EdgeCount;
+        let res = ResilienceMetric {
+            restarts: 1,
+            max_ball_nodes: 100,
+        };
+        let out = BallPlan::new(&src, 4, 7)
+            .ball_centers(vec![0, 36])
+            .metric(&em)
+            .metric(&res)
+            .run();
+        // 2 centers × 5 radii × (2 consumers - 1) reuses.
+        assert_eq!(out.report.ball_cache_hits, 10);
+        assert_eq!(out.report.balls_built, 10);
+        assert_eq!(out.report.bfs_runs, 2);
+        assert!(out.report.partitioner_restarts > 0);
+    }
+
+    #[test]
+    fn thread_counts_bit_identical() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = (0..64).step_by(3).collect();
+        let exp: Vec<NodeId> = (0..64).collect();
+        let run = |threads| {
+            let res = ResilienceMetric {
+                restarts: 2,
+                max_ball_nodes: 64,
+            };
+            let dis = DistortionMetric {
+                max_ball_nodes: 64,
+                use_bartal: true,
+                polish: false,
+            };
+            let plan = BallPlan::new(&src, 8, 0x51DE)
+                .ball_centers(centers.clone())
+                .expansion_centers(exp.clone())
+                .threads(Some(threads))
+                .metric(&res)
+                .metric(&dis);
+            let out = plan.run();
+            (
+                out.expansion
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                out.curves
+                    .iter()
+                    .map(|c| {
+                        c.iter()
+                            .map(|p| (p.avg_size.to_bits(), p.value.to_bits()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let one = run(1);
+        for t in [2, 4, 7] {
+            assert_eq!(run(t), one, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn curve_lookup_by_name() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let em = EdgeCount;
+        let out = BallPlan::new(&src, 2, 1)
+            .ball_centers(vec![0])
+            .metric(&em)
+            .run();
+        assert!(out.curve("edges").is_some());
+        assert!(out.curve("nope").is_none());
+    }
+
+    #[test]
+    fn phase_timings_present() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let em = EdgeCount;
+        let out = BallPlan::new(&src, 3, 1)
+            .ball_centers(vec![0, 9])
+            .expansion_centers(vec![5])
+            .metric(&em)
+            .run();
+        let names: Vec<&str> = out.report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"balls"));
+        assert!(names.contains(&"distances"));
+        assert!(names.contains(&"edges"));
+        assert!(names.contains(&"total"));
+    }
+}

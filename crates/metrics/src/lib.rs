@@ -35,9 +35,11 @@
 //! [`balls`] provides the shared ball-source abstraction — plain BFS
 //! balls or policy-induced balls (Appendix E) — so every metric can run
 //! with and without policy routing, exactly as the paper reports for the
-//! AS and RL graphs. [`par`] supplies the crossbeam-based parallel map
-//! used to spread per-center computations over cores (this workload is
-//! CPU-bound; threads, not async).
+//! AS and RL graphs. [`engine`] runs several per-ball metrics over one
+//! shared set of balls per center (one traversal serves every consumer),
+//! with [`instrument`] counting the work it saves. [`par`] supplies the
+//! scoped-thread parallel map used to spread per-center computations
+//! over cores (this workload is CPU-bound; threads, not async).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,8 +50,10 @@ pub mod clustering;
 pub mod cover;
 pub mod distortion;
 pub mod eccentricity;
+pub mod engine;
 pub mod expansion;
 pub mod extra;
+pub mod instrument;
 pub mod par;
 pub mod partition;
 pub mod resilience;
@@ -57,7 +61,9 @@ pub mod spectrum;
 pub mod tolerance;
 
 pub use balls::{BallSource, PlainBalls, PolicyBalls};
+pub use engine::{BallMetric, BallPlan, MeasureCtx, PlanResult};
 pub use expansion::expansion_curve;
+pub use instrument::{Instrument, InstrumentReport};
 
 /// A point on a ball-growing curve: the average ball size and average
 /// metric value over all sampled balls of one radius.

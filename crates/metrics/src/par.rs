@@ -1,12 +1,23 @@
-//! Minimal parallel map over crossbeam scoped threads.
+//! Minimal parallel map over `std::thread::scope`.
 //!
 //! The per-center loops of the ball-growing metrics are embarrassingly
-//! parallel and CPU-bound, so plain scoped threads with a shared atomic
-//! work index are all we need (per the Tokio guide's own advice, an async
-//! runtime buys nothing here).
+//! parallel and CPU-bound, so plain scoped threads pulling chunks off a
+//! shared atomic index are all we need (per the Tokio guide's own
+//! advice, an async runtime buys nothing here).
+//!
+//! Work is handed out in contiguous chunks: the output vector is split
+//! with `chunks_mut`, each chunk guarded by a `Mutex` that its owning
+//! worker locks exactly once, and workers claim chunk indices from an
+//! `AtomicUsize`. Output order always matches input order, so results
+//! are identical for any thread count (including one), and a panicking
+//! worker re-raises its *original* panic payload on the calling thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One contiguous output chunk: its start index in the full output plus
+/// the slots themselves, locked exactly once by the claiming worker.
+type Chunk<'a, R> = Mutex<(usize, &'a mut [Option<R>])>;
 
 /// Apply `f` to every item, in parallel across up to
 /// `available_parallelism` threads, preserving input order in the output.
@@ -17,31 +28,76 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    par_map_threads(items, None, f)
+}
+
+/// [`par_map`] with an explicit worker count. `None` means
+/// `available_parallelism`; `Some(1)` forces the sequential path (used
+/// by the determinism tests to compare 1-thread vs N-thread runs).
+pub fn par_map_threads<T, R, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(items.len().max(1));
     if threads <= 1 || items.len() < 4 {
         return items.iter().map(&f).collect();
     }
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    // Chunks small enough that slow items don't serialize the tail, big
+    // enough that the atomic index isn't contended.
+    let chunk_len = (items.len() / (threads * 8)).max(1);
+    let chunks: Vec<Chunk<'_, R>> = out
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(ci, slice)| Mutex::new((ci * chunk_len, slice)))
+        .collect();
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().unwrap() = Some(r);
-            });
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= chunks.len() {
+                        break;
+                    }
+                    // Each chunk is locked exactly once, by the worker
+                    // that claimed its index — never contended.
+                    let mut guard = chunks[ci]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    let (start, slice) = &mut *guard;
+                    for (k, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(&items[*start + k]));
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker panic surfaces its original
+        // payload here, not a generic "a scoped thread panicked".
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
         }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.expect("every output slot filled"))
         .collect()
 }
 
@@ -74,5 +130,38 @@ mod tests {
         let out = par_map(&items, |&x| (0..1000).fold(x, |a, b| a.wrapping_add(b)));
         assert_eq!(out.len(), 50);
         assert_eq!(out[0], (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map_threads(&items, Some(1), |&x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        for threads in [2, 3, 8] {
+            let par = par_map_threads(&items, Some(threads), |&x| {
+                x.wrapping_mul(0x9E3779B97F4A7C15)
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                if x == 33 {
+                    panic!("item 33 exploded");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("item 33 exploded"), "payload was: {msg}");
     }
 }

@@ -101,9 +101,24 @@ fn multilevel_once<R: Rng>(g: &Graph, rng: &mut R) -> Bisection {
         maps.push(map);
     }
     // Initial partition on the coarsest level.
+    // Initial partition on the coarsest level: grow a region from both a
+    // random start (suits bushy graphs, where refinement cleans the
+    // frontier) and a pseudo-peripheral one (suits elongated graphs,
+    // where it leaves one boundary instead of two and single-node moves
+    // can never merge them), keeping whichever refines to a smaller cut.
+    // The coarsest graph is tiny, so trying both is nearly free.
     let coarsest = levels.last().unwrap();
-    let mut side = initial_partition(coarsest, rng);
-    refine(coarsest, &mut side, rng);
+    let mut side = {
+        let mut a = initial_partition(coarsest, rng, false);
+        refine(coarsest, &mut a, rng);
+        let mut b = initial_partition(coarsest, rng, true);
+        refine(coarsest, &mut b, rng);
+        if cut_size(coarsest, &a) <= cut_size(coarsest, &b) {
+            a
+        } else {
+            b
+        }
+    };
     // Uncoarsen with refinement.
     for l in (0..maps.len()).rev() {
         let fine = &levels[l];
@@ -180,14 +195,40 @@ fn coarsen<R: Rng>(g: &WGraph, rng: &mut R) -> (WGraph, Vec<u32>) {
     (WGraph { adj, wnode }, coarse_id)
 }
 
-/// Greedy BFS region growing to half the total weight.
-fn initial_partition<R: Rng>(g: &WGraph, rng: &mut R) -> Vec<bool> {
+/// Farthest node from `from` by BFS (a pseudo-peripheral node when
+/// `from` is random). Growing the region from the periphery leaves one
+/// boundary instead of two on elongated graphs, where FM refinement
+/// cannot help (every single-node move along a chain has gain ≤ 0).
+fn farthest_from(g: &WGraph, from: usize) -> usize {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = std::collections::VecDeque::new();
+    dist[from] = 0;
+    q.push_back(from as u32);
+    let mut last = from;
+    while let Some(v) = q.pop_front() {
+        last = v as usize;
+        for &(u, _) in &g.adj[v as usize] {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    last
+}
+
+/// Greedy BFS region growing to half the total weight, started from a
+/// random node or (with `peripheral`) a pseudo-peripheral one.
+fn initial_partition<R: Rng>(g: &WGraph, rng: &mut R, peripheral: bool) -> Vec<bool> {
     let n = g.n();
     let total = g.total_weight();
     let target = total / 2;
     let mut side = vec![false; n];
     let mut grown = 0u64;
-    let start = rng.gen_range(0..n);
+    let mut start = rng.gen_range(0..n);
+    if peripheral {
+        start = farthest_from(g, start);
+    }
     let mut q = std::collections::VecDeque::new();
     let mut seen = vec![false; n];
     q.push_back(start as u32);

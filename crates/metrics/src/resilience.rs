@@ -52,14 +52,32 @@ pub fn resilience_curve<S: BallSource>(
     })
 }
 
-/// Log–log slope of R against n over the curve's upper half — the
-/// summary statistic used by the L/H classification (random ≈ 1,
-/// mesh ≈ 0.5, tree ≈ 0).
+/// The (n, R) support for the growth-exponent fit: the curve's finite
+/// positive points, thinned to a roughly geometric ball-size progression
+/// (each kept point's average ball ≥ 20% larger than the previous kept
+/// one). The thinning spaces the log–log fit evenly instead of letting
+/// dense plateau points dominate, and it trims the saturated tail, where
+/// the ball-size cap biases the per-radius average toward the few fringe
+/// centers whose balls still fit (their cuts are atypically small).
+pub fn resilience_fit_points(curve: &[CurvePoint]) -> Vec<(f64, f64)> {
+    let mut pts = Vec::new();
+    let mut last_n = 0.0f64;
+    for p in curve {
+        if p.avg_size >= 2.0 && p.value.is_finite() && p.value > 0.0 && p.avg_size >= 1.2 * last_n {
+            last_n = p.avg_size;
+            pts.push((p.avg_size, p.value));
+        }
+    }
+    pts
+}
+
+/// Log–log slope of R against n over the fit support of
+/// [`resilience_fit_points`] — the summary statistic used by the L/H
+/// classification (random ≈ 1, mesh ≈ 0.5, tree ≈ 0).
 pub fn resilience_growth_exponent(curve: &[CurvePoint]) -> f64 {
-    let pts: Vec<(f64, f64)> = curve
-        .iter()
-        .filter(|p| p.avg_size >= 2.0 && p.value.is_finite() && p.value > 0.0)
-        .map(|p| (p.avg_size.ln(), p.value.ln()))
+    let pts: Vec<(f64, f64)> = resilience_fit_points(curve)
+        .into_iter()
+        .map(|(n, r)| (n.ln(), r.ln()))
         .collect();
     if pts.len() < 2 {
         return 0.0;
@@ -117,7 +135,9 @@ mod tests {
             last.value
         );
         let expo = resilience_growth_exponent(&curve);
-        assert!(expo < 0.35, "tree resilience growth exponent {expo}");
+        // Stay clearly under the classifier's H boundary (0.28); trees
+        // measure ≤ 0.25 across seeds.
+        assert!(expo < 0.28, "tree resilience growth exponent {expo}");
     }
 
     #[test]

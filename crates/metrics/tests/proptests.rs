@@ -7,8 +7,21 @@ use topogen_metrics::balls::PlainBalls;
 use topogen_metrics::clustering::graph_clustering;
 use topogen_metrics::cover::{is_vertex_cover, vertex_cover_greedy, vertex_cover_matching};
 use topogen_metrics::distortion::{graph_distortion, DistortionParams};
+use topogen_metrics::engine::{BallPlan, DistortionMetric, ResilienceMetric};
 use topogen_metrics::expansion::expansion_curve;
 use topogen_metrics::partition::min_balanced_bisection;
+use topogen_metrics::CurvePoint;
+
+/// Bitwise equality for curves (NaN-tolerant: NaN == NaN here, because
+/// the determinism contract is "same bits", not "same number").
+fn same_bits(a: &[CurvePoint], b: &[CurvePoint]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.radius == y.radius
+                && x.avg_size.to_bits() == y.avg_size.to_bits()
+                && x.value.to_bits() == y.value.to_bits()
+        })
+}
 
 fn arb_connected() -> impl Strategy<Value = Graph> {
     (3usize..28, any::<u64>()).prop_map(|(n, seed)| {
@@ -112,6 +125,45 @@ proptest! {
         if let Some(c) = graph_clustering(&g) {
             prop_assert!((0.0..=1.0).contains(&c));
         }
+    }
+
+    #[test]
+    fn ball_plan_identical_across_thread_counts(g in arb_connected(), seed in any::<u64>()) {
+        // The engine's determinism contract: the same plan produces
+        // bit-identical resilience/distortion curves and expansion
+        // values at 1 worker and at N workers, and its expansion agrees
+        // bitwise with the legacy PlainBalls computation.
+        let src = PlainBalls { graph: &g };
+        let ball_centers: Vec<NodeId> = g.nodes().step_by(2).collect();
+        let exp_centers: Vec<NodeId> = g.nodes().collect();
+        let max_h = 6u32;
+        let res = ResilienceMetric { restarts: 2, max_ball_nodes: 1_000 };
+        let dis = DistortionMetric { max_ball_nodes: 1_000, use_bartal: false, polish: false };
+        let run = |threads: usize| {
+            BallPlan::new(&src, max_h, seed)
+                .ball_centers(ball_centers.clone())
+                .expansion_centers(exp_centers.clone())
+                .threads(Some(threads))
+                .metric(&res)
+                .metric(&dis)
+                .run()
+        };
+        let one = run(1);
+        let many = run(4);
+        for (ca, cb) in one.curves.iter().zip(&many.curves) {
+            prop_assert!(same_bits(ca, cb));
+        }
+        prop_assert!(one
+            .expansion
+            .iter()
+            .zip(&many.expansion)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        let legacy = expansion_curve(&src, &exp_centers, max_h);
+        prop_assert!(one
+            .expansion
+            .iter()
+            .zip(&legacy)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

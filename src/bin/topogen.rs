@@ -119,7 +119,7 @@ fn cmd_gen(args: &[String]) {
             )
             .graph
         }
-        "tiers" => gens::tiers::tiers(&gens::tiers::TiersParams::paper_default(), &mut rng).graph,
+        "tiers" => gens::tiers::tiers(&gens::tiers::TiersParams::paper_default(), &mut rng),
         "plrg" => gens::plrg::plrg(
             &gens::plrg::PlrgParams {
                 n,

@@ -1,0 +1,231 @@
+//! Offline vendored shim of the `criterion` API surface this workspace
+//! uses (see `vendor/README.md` for the policy).
+//!
+//! A minimal wall-clock harness: each `bench_function` runs a short
+//! warm-up, then `sample_size` timed samples, and prints mean/min time
+//! per iteration. No statistics, plots, or baselines — just enough to
+//! keep `cargo bench` compiling, running, and emitting useful numbers
+//! offline. All CLI flags (`--quick`, filters, …) are accepted; a bare
+//! positional argument filters benchmarks by substring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier combining a function name and a parameter display value.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("plrg", 2000)` displays as `plrg/2000`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the `group/name` string used in output.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level handle passed to benchmark functions.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {} // --bench etc.: accept and ignore
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if let Some(filter) = &self.parent.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = if self.parent.quick {
+            1
+        } else {
+            self.sample_size
+        };
+        // Warm-up + calibration pass.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            min = min.min(b.elapsed);
+        }
+        println!(
+            "bench {full:<40} mean {:>12?}   min {:>12?}   ({samples} samples)",
+            total / samples as u32,
+            min,
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::__criterion_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` from one or more `criterion_group!` runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Internal constructor used by `criterion_group!` expansions.
+#[doc(hidden)]
+pub fn __criterion_from_args() -> Criterion {
+    Criterion::from_args()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("plrg", 2000).into_id(), "plrg/2000");
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion {
+            filter: None,
+            quick: true,
+        };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| {
+                b.iter(|| {
+                    ran += 1;
+                })
+            });
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            quick: true,
+        };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline vendored shim of serde's derive macros (see `vendor/README.md`).
+//!
+//! Supports exactly the two shapes this workspace derives:
+//! structs with named fields, and enums whose variants are all unit
+//! variants. The generated impls target the vendored `serde` shim's
+//! `Serialize::to_content` / `Deserialize::from_content` model.
+//!
+//! Parsing is done directly on the `proc_macro::TokenStream` (no
+//! syn/quote available offline): attributes and visibility are skipped,
+//! field types are consumed up to the next top-level comma.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum of unit variants: variant identifiers in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracketed group that follows.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (kind, s.as_str()) {
+                    (None, "struct") => kind = Some("struct"),
+                    (None, "enum") => kind = Some("enum"),
+                    (None, _) => {} // pub, crate, etc.
+                    (Some(_), _) if name.is_none() => name = Some(s),
+                    (Some(_), "where") => {
+                        panic!("vendored serde_derive: where clauses are not supported")
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                panic!("vendored serde_derive: generic types are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && name.is_some() =>
+            {
+                panic!("vendored serde_derive: tuple structs are not supported")
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.expect("vendored serde_derive: expected `struct` or `enum`");
+    let name = name.expect("vendored serde_derive: expected a type name");
+    let body = body.expect("vendored serde_derive: expected a brace-delimited body");
+
+    let shape = match kind {
+        "struct" => Shape::Struct(parse_struct_fields(body)),
+        _ => Shape::Enum(parse_unit_variants(body)),
+    };
+    Input { name, shape }
+}
+
+/// Collect field names from a named-field struct body, skipping
+/// attributes/visibility and consuming each type up to the top-level comma.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field_name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // Optional pub(...) restriction group.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    } else {
+                        break s;
+                    }
+                }
+                Some(other) => {
+                    panic!("vendored serde_derive: unexpected token in struct body: {other}")
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("vendored serde_derive: expected `:` after field `{field_name}`"),
+        }
+        fields.push(field_name);
+        // Consume the type, stopping at a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Collect variant names from an enum body, requiring every variant be unit.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        iter.next();
+                    }
+                    Some(other) => panic!(
+                        "vendored serde_derive: only unit enum variants are supported, \
+                         found `{other}` after variant"
+                    ),
+                }
+            }
+            other => {
+                panic!("vendored serde_derive: unexpected token in enum body: {other}")
+            }
+        }
+    }
+    variants
+}
+
+/// Derive the vendored `serde::Serialize` (`to_content`) impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "::serde::Content::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(" ")
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize` (`from_content`) impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(c.get(\"{f}\").ok_or_else(\
+                         || ::serde::DeError(::std::format!(\"missing field `{f}`\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match c {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected string variant for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("vendored serde_derive: generated invalid Deserialize impl")
+}
