@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_appendix_b-7c4ae739b3cbab18.d: crates/bench/benches/bench_appendix_b.rs
+
+/root/repo/target/debug/deps/bench_appendix_b-7c4ae739b3cbab18: crates/bench/benches/bench_appendix_b.rs
+
+crates/bench/benches/bench_appendix_b.rs:

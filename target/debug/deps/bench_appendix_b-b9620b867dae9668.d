@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_appendix_b-b9620b867dae9668.d: crates/bench/benches/bench_appendix_b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_appendix_b-b9620b867dae9668.rmeta: crates/bench/benches/bench_appendix_b.rs Cargo.toml
+
+crates/bench/benches/bench_appendix_b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

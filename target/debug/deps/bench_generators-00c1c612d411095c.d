@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_generators-00c1c612d411095c.d: crates/bench/benches/bench_generators.rs
+
+/root/repo/target/debug/deps/bench_generators-00c1c612d411095c: crates/bench/benches/bench_generators.rs
+
+crates/bench/benches/bench_generators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_generators-9c71030ec0eb152b.d: crates/bench/benches/bench_generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_generators-9c71030ec0eb152b.rmeta: crates/bench/benches/bench_generators.rs Cargo.toml
+
+crates/bench/benches/bench_generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

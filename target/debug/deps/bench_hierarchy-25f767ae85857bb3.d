@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hierarchy-25f767ae85857bb3.d: crates/bench/benches/bench_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hierarchy-25f767ae85857bb3.rmeta: crates/bench/benches/bench_hierarchy.rs Cargo.toml
+
+crates/bench/benches/bench_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hierarchy-4055c2a587bc8ed5.d: crates/bench/benches/bench_hierarchy.rs
+
+/root/repo/target/debug/deps/bench_hierarchy-4055c2a587bc8ed5: crates/bench/benches/bench_hierarchy.rs
+
+crates/bench/benches/bench_hierarchy.rs:

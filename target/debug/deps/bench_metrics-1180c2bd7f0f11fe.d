@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_metrics-1180c2bd7f0f11fe.d: crates/bench/benches/bench_metrics.rs
+
+/root/repo/target/debug/deps/bench_metrics-1180c2bd7f0f11fe: crates/bench/benches/bench_metrics.rs
+
+crates/bench/benches/bench_metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_policy-08de8b33c9ab3a61.d: crates/bench/benches/bench_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_policy-08de8b33c9ab3a61.rmeta: crates/bench/benches/bench_policy.rs Cargo.toml
+
+crates/bench/benches/bench_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_policy-ae954a45ed2143de.d: crates/bench/benches/bench_policy.rs
+
+/root/repo/target/debug/deps/bench_policy-ae954a45ed2143de: crates/bench/benches/bench_policy.rs
+
+crates/bench/benches/bench_policy.rs:

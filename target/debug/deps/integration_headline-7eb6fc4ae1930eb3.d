@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_headline-7eb6fc4ae1930eb3.d: tests/integration_headline.rs
+
+/root/repo/target/debug/deps/integration_headline-7eb6fc4ae1930eb3: tests/integration_headline.rs
+
+tests/integration_headline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_headline-88a4697fc95fbb10.d: tests/integration_headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_headline-88a4697fc95fbb10.rmeta: tests/integration_headline.rs Cargo.toml
+
+tests/integration_headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

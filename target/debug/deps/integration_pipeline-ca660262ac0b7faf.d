@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-ca660262ac0b7faf.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-ca660262ac0b7faf: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

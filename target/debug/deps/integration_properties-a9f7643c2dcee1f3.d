@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_properties-a9f7643c2dcee1f3.d: tests/integration_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_properties-a9f7643c2dcee1f3.rmeta: tests/integration_properties.rs Cargo.toml
+
+tests/integration_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

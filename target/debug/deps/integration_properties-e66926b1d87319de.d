@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_properties-e66926b1d87319de.d: tests/integration_properties.rs
+
+/root/repo/target/debug/deps/integration_properties-e66926b1d87319de: tests/integration_properties.rs
+
+tests/integration_properties.rs:

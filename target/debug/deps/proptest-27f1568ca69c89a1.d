@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-27f1568ca69c89a1.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-27f1568ca69c89a1.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

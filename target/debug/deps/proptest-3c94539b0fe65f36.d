@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3c94539b0fe65f36.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3c94539b0fe65f36.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3c94539b0fe65f36.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0c60d4616e1e5dc7.d: crates/hierarchy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0c60d4616e1e5dc7.rmeta: crates/hierarchy/tests/proptests.rs Cargo.toml
+
+crates/hierarchy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

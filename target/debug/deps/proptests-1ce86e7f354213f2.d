@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1ce86e7f354213f2.d: crates/hierarchy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1ce86e7f354213f2: crates/hierarchy/tests/proptests.rs
+
+crates/hierarchy/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3419064d0592a466.d: crates/metrics/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3419064d0592a466: crates/metrics/tests/proptests.rs
+
+crates/metrics/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7cb003c684bb49a8.d: crates/measured/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7cb003c684bb49a8: crates/measured/tests/proptests.rs
+
+crates/measured/tests/proptests.rs:

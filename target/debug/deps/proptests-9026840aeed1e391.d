@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9026840aeed1e391.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9026840aeed1e391: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9415e3710b32c7d7.d: crates/generators/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9415e3710b32c7d7: crates/generators/tests/proptests.rs
+
+crates/generators/tests/proptests.rs:

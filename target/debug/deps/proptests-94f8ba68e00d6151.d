@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-94f8ba68e00d6151.d: crates/policy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-94f8ba68e00d6151: crates/policy/tests/proptests.rs
+
+crates/policy/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-95fbf2095151b43a.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-95fbf2095151b43a.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ab9a26a1d2c8787a.d: crates/generators/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ab9a26a1d2c8787a.rmeta: crates/generators/tests/proptests.rs Cargo.toml
+
+crates/generators/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

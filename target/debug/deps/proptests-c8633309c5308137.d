@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c8633309c5308137.d: crates/policy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c8633309c5308137.rmeta: crates/policy/tests/proptests.rs Cargo.toml
+
+crates/policy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

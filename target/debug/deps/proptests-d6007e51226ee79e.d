@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d6007e51226ee79e.d: crates/measured/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d6007e51226ee79e.rmeta: crates/measured/tests/proptests.rs Cargo.toml
+
+crates/measured/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e5a2af76e951b599.d: crates/linalg/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e5a2af76e951b599.rmeta: crates/linalg/tests/proptests.rs Cargo.toml
+
+crates/linalg/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-efba19f92812f3f7.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-efba19f92812f3f7: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

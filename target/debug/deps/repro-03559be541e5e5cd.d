@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-03559be541e5e5cd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-03559be541e5e5cd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

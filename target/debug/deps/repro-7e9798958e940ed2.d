@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7e9798958e940ed2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-7e9798958e940ed2.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-bedc7e65e764e252.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-bedc7e65e764e252: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-176761fa9d0bae97.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-176761fa9d0bae97.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-fae5f945d115cb7f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-fae5f945d115cb7f.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

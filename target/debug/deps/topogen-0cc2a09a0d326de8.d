@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topogen-0cc2a09a0d326de8.d: src/bin/topogen.rs
+
+/root/repo/target/debug/deps/libtopogen-0cc2a09a0d326de8.rmeta: src/bin/topogen.rs
+
+src/bin/topogen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topogen-3fa72bb0c49fcad8.d: src/bin/topogen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen-3fa72bb0c49fcad8.rmeta: src/bin/topogen.rs Cargo.toml
+
+src/bin/topogen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

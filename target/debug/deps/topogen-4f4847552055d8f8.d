@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topogen-4f4847552055d8f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/topogen-4f4847552055d8f8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/topogen-8e432640e1e490a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtopogen-8e432640e1e490a5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtopogen-8e432640e1e490a5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topogen-c133728cb25e2bf9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtopogen-c133728cb25e2bf9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topogen-d59845383c8a7e9a.d: src/bin/topogen.rs
+
+/root/repo/target/debug/deps/topogen-d59845383c8a7e9a: src/bin/topogen.rs
+
+src/bin/topogen.rs:

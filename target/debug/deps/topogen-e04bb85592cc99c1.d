@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topogen-e04bb85592cc99c1.d: src/bin/topogen.rs
+
+/root/repo/target/debug/deps/topogen-e04bb85592cc99c1: src/bin/topogen.rs
+
+src/bin/topogen.rs:

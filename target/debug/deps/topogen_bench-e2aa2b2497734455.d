@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/topogen_bench-e2aa2b2497734455.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/bgp.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/signatures.rs crates/bench/src/experiments/tab1.rs
+
+/root/repo/target/debug/deps/topogen_bench-e2aa2b2497734455: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/bgp.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/robustness.rs crates/bench/src/experiments/signatures.rs crates/bench/src/experiments/tab1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/bgp.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig15.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/robustness.rs:
+crates/bench/src/experiments/signatures.rs:
+crates/bench/src/experiments/tab1.rs:

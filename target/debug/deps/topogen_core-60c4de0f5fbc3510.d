@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/topogen_core-60c4de0f5fbc3510.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_core-60c4de0f5fbc3510.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/hier.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:
+crates/core/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/topogen_core-7692c234771deae5.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+/root/repo/target/debug/deps/libtopogen_core-7692c234771deae5.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+/root/repo/target/debug/deps/libtopogen_core-7692c234771deae5.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/hier.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:
+crates/core/src/zoo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topogen_core-c20f1e9c7be99a7e.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+/root/repo/target/debug/deps/topogen_core-c20f1e9c7be99a7e: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/hier.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:
+crates/core/src/zoo.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/topogen_generators-0e906a203783c882.d: crates/generators/src/lib.rs crates/generators/src/ba.rs crates/generators/src/brite.rs crates/generators/src/canonical.rs crates/generators/src/connectivity.rs crates/generators/src/degseq.rs crates/generators/src/flat.rs crates/generators/src/generate.rs crates/generators/src/glp.rs crates/generators/src/inet.rs crates/generators/src/nlevel.rs crates/generators/src/plrg.rs crates/generators/src/tiers.rs crates/generators/src/transit_stub.rs crates/generators/src/waxman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_generators-0e906a203783c882.rmeta: crates/generators/src/lib.rs crates/generators/src/ba.rs crates/generators/src/brite.rs crates/generators/src/canonical.rs crates/generators/src/connectivity.rs crates/generators/src/degseq.rs crates/generators/src/flat.rs crates/generators/src/generate.rs crates/generators/src/glp.rs crates/generators/src/inet.rs crates/generators/src/nlevel.rs crates/generators/src/plrg.rs crates/generators/src/tiers.rs crates/generators/src/transit_stub.rs crates/generators/src/waxman.rs Cargo.toml
+
+crates/generators/src/lib.rs:
+crates/generators/src/ba.rs:
+crates/generators/src/brite.rs:
+crates/generators/src/canonical.rs:
+crates/generators/src/connectivity.rs:
+crates/generators/src/degseq.rs:
+crates/generators/src/flat.rs:
+crates/generators/src/generate.rs:
+crates/generators/src/glp.rs:
+crates/generators/src/inet.rs:
+crates/generators/src/nlevel.rs:
+crates/generators/src/plrg.rs:
+crates/generators/src/tiers.rs:
+crates/generators/src/transit_stub.rs:
+crates/generators/src/waxman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

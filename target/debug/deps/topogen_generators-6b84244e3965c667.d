@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/topogen_generators-6b84244e3965c667.d: crates/generators/src/lib.rs crates/generators/src/ba.rs crates/generators/src/brite.rs crates/generators/src/canonical.rs crates/generators/src/connectivity.rs crates/generators/src/degseq.rs crates/generators/src/flat.rs crates/generators/src/generate.rs crates/generators/src/glp.rs crates/generators/src/inet.rs crates/generators/src/nlevel.rs crates/generators/src/plrg.rs crates/generators/src/tiers.rs crates/generators/src/transit_stub.rs crates/generators/src/waxman.rs
+
+/root/repo/target/debug/deps/topogen_generators-6b84244e3965c667: crates/generators/src/lib.rs crates/generators/src/ba.rs crates/generators/src/brite.rs crates/generators/src/canonical.rs crates/generators/src/connectivity.rs crates/generators/src/degseq.rs crates/generators/src/flat.rs crates/generators/src/generate.rs crates/generators/src/glp.rs crates/generators/src/inet.rs crates/generators/src/nlevel.rs crates/generators/src/plrg.rs crates/generators/src/tiers.rs crates/generators/src/transit_stub.rs crates/generators/src/waxman.rs
+
+crates/generators/src/lib.rs:
+crates/generators/src/ba.rs:
+crates/generators/src/brite.rs:
+crates/generators/src/canonical.rs:
+crates/generators/src/connectivity.rs:
+crates/generators/src/degseq.rs:
+crates/generators/src/flat.rs:
+crates/generators/src/generate.rs:
+crates/generators/src/glp.rs:
+crates/generators/src/inet.rs:
+crates/generators/src/nlevel.rs:
+crates/generators/src/plrg.rs:
+crates/generators/src/tiers.rs:
+crates/generators/src/transit_stub.rs:
+crates/generators/src/waxman.rs:

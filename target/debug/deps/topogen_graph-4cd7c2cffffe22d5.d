@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/topogen_graph-4cd7c2cffffe22d5.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/bicon.rs crates/graph/src/components.rs crates/graph/src/flow.rs crates/graph/src/geometry.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/prune.rs crates/graph/src/subgraph.rs crates/graph/src/tree.rs crates/graph/src/unionfind.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_graph-4cd7c2cffffe22d5.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/bicon.rs crates/graph/src/components.rs crates/graph/src/flow.rs crates/graph/src/geometry.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/prune.rs crates/graph/src/subgraph.rs crates/graph/src/tree.rs crates/graph/src/unionfind.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/bicon.rs:
+crates/graph/src/components.rs:
+crates/graph/src/flow.rs:
+crates/graph/src/geometry.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/prune.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/tree.rs:
+crates/graph/src/unionfind.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

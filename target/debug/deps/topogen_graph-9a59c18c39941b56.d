@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/topogen_graph-9a59c18c39941b56.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/bicon.rs crates/graph/src/components.rs crates/graph/src/flow.rs crates/graph/src/geometry.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/prune.rs crates/graph/src/subgraph.rs crates/graph/src/tree.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/debug/deps/libtopogen_graph-9a59c18c39941b56.rlib: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/bicon.rs crates/graph/src/components.rs crates/graph/src/flow.rs crates/graph/src/geometry.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/prune.rs crates/graph/src/subgraph.rs crates/graph/src/tree.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/debug/deps/libtopogen_graph-9a59c18c39941b56.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/bicon.rs crates/graph/src/components.rs crates/graph/src/flow.rs crates/graph/src/geometry.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/prune.rs crates/graph/src/subgraph.rs crates/graph/src/tree.rs crates/graph/src/unionfind.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/bicon.rs:
+crates/graph/src/components.rs:
+crates/graph/src/flow.rs:
+crates/graph/src/geometry.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/prune.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/tree.rs:
+crates/graph/src/unionfind.rs:

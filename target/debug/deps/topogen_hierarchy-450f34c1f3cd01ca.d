@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/topogen_hierarchy-450f34c1f3cd01ca.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_hierarchy-450f34c1f3cd01ca.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs Cargo.toml
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/classify.rs:
+crates/hierarchy/src/correlation.rs:
+crates/hierarchy/src/cover.rs:
+crates/hierarchy/src/dag.rs:
+crates/hierarchy/src/linkvalue.rs:
+crates/hierarchy/src/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/topogen_hierarchy-62ba8a56ddbf5fed.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+/root/repo/target/debug/deps/libtopogen_hierarchy-62ba8a56ddbf5fed.rlib: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+/root/repo/target/debug/deps/libtopogen_hierarchy-62ba8a56ddbf5fed.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/classify.rs:
+crates/hierarchy/src/correlation.rs:
+crates/hierarchy/src/cover.rs:
+crates/hierarchy/src/dag.rs:
+crates/hierarchy/src/linkvalue.rs:
+crates/hierarchy/src/traversal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/topogen_hierarchy-f176aa17ebe49481.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+/root/repo/target/debug/deps/libtopogen_hierarchy-f176aa17ebe49481.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/classify.rs:
+crates/hierarchy/src/correlation.rs:
+crates/hierarchy/src/cover.rs:
+crates/hierarchy/src/dag.rs:
+crates/hierarchy/src/linkvalue.rs:
+crates/hierarchy/src/traversal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/topogen_linalg-4549fec853163b06.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_linalg-4549fec853163b06.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topogen_linalg-46bf0b550531ea77.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+/root/repo/target/debug/deps/libtopogen_linalg-46bf0b550531ea77.rlib: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+/root/repo/target/debug/deps/libtopogen_linalg-46bf0b550531ea77.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/sparse.rs:

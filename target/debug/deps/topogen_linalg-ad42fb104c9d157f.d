@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/topogen_linalg-ad42fb104c9d157f.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+/root/repo/target/debug/deps/topogen_linalg-ad42fb104c9d157f: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/sparse.rs:

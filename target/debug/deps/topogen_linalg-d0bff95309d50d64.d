@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/topogen_linalg-d0bff95309d50d64.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+/root/repo/target/debug/deps/libtopogen_linalg-d0bff95309d50d64.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/sparse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topogen_measured-024968553e0c5161.d: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+/root/repo/target/debug/deps/libtopogen_measured-024968553e0c5161.rlib: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+/root/repo/target/debug/deps/libtopogen_measured-024968553e0c5161.rmeta: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+crates/measured/src/lib.rs:
+crates/measured/src/as_graph.rs:
+crates/measured/src/observe.rs:
+crates/measured/src/rl_graph.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/topogen_measured-418552c7b06f3889.d: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+/root/repo/target/debug/deps/libtopogen_measured-418552c7b06f3889.rmeta: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+crates/measured/src/lib.rs:
+crates/measured/src/as_graph.rs:
+crates/measured/src/observe.rs:
+crates/measured/src/rl_graph.rs:

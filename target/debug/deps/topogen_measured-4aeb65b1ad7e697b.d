@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/topogen_measured-4aeb65b1ad7e697b.d: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_measured-4aeb65b1ad7e697b.rmeta: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs Cargo.toml
+
+crates/measured/src/lib.rs:
+crates/measured/src/as_graph.rs:
+crates/measured/src/observe.rs:
+crates/measured/src/rl_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

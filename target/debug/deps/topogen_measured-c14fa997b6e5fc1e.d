@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/topogen_measured-c14fa997b6e5fc1e.d: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+/root/repo/target/debug/deps/topogen_measured-c14fa997b6e5fc1e: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+crates/measured/src/lib.rs:
+crates/measured/src/as_graph.rs:
+crates/measured/src/observe.rs:
+crates/measured/src/rl_graph.rs:

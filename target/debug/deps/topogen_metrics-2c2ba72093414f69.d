@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/topogen_metrics-2c2ba72093414f69.d: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+/root/repo/target/debug/deps/topogen_metrics-2c2ba72093414f69: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balls.rs:
+crates/metrics/src/bicon_metric.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/cover.rs:
+crates/metrics/src/distortion.rs:
+crates/metrics/src/eccentricity.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/expansion.rs:
+crates/metrics/src/extra.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/par.rs:
+crates/metrics/src/partition.rs:
+crates/metrics/src/resilience.rs:
+crates/metrics/src/spectrum.rs:
+crates/metrics/src/tolerance.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/topogen_metrics-53d5404d93380534.d: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_metrics-53d5404d93380534.rmeta: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balls.rs:
+crates/metrics/src/bicon_metric.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/cover.rs:
+crates/metrics/src/distortion.rs:
+crates/metrics/src/eccentricity.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/expansion.rs:
+crates/metrics/src/extra.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/par.rs:
+crates/metrics/src/partition.rs:
+crates/metrics/src/resilience.rs:
+crates/metrics/src/spectrum.rs:
+crates/metrics/src/tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

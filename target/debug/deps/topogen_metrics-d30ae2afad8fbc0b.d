@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/topogen_metrics-d30ae2afad8fbc0b.d: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+/root/repo/target/debug/deps/libtopogen_metrics-d30ae2afad8fbc0b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balls.rs:
+crates/metrics/src/bicon_metric.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/cover.rs:
+crates/metrics/src/distortion.rs:
+crates/metrics/src/eccentricity.rs:
+crates/metrics/src/expansion.rs:
+crates/metrics/src/extra.rs:
+crates/metrics/src/par.rs:
+crates/metrics/src/partition.rs:
+crates/metrics/src/resilience.rs:
+crates/metrics/src/spectrum.rs:
+crates/metrics/src/tolerance.rs:

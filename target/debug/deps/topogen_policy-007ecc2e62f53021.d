@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/topogen_policy-007ecc2e62f53021.d: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs
+
+/root/repo/target/debug/deps/libtopogen_policy-007ecc2e62f53021.rlib: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs
+
+/root/repo/target/debug/deps/libtopogen_policy-007ecc2e62f53021.rmeta: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/balls.rs:
+crates/policy/src/bgp.rs:
+crates/policy/src/bgp_sim.rs:
+crates/policy/src/gao.rs:
+crates/policy/src/overlay.rs:
+crates/policy/src/rel.rs:
+crates/policy/src/valley.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/topogen_policy-416c3e252f3b9b49.d: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopogen_policy-416c3e252f3b9b49.rmeta: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs Cargo.toml
+
+crates/policy/src/lib.rs:
+crates/policy/src/balls.rs:
+crates/policy/src/bgp.rs:
+crates/policy/src/bgp_sim.rs:
+crates/policy/src/gao.rs:
+crates/policy/src/overlay.rs:
+crates/policy/src/rel.rs:
+crates/policy/src/valley.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generator_zoo-55bd94eda7593d30.d: examples/generator_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgenerator_zoo-55bd94eda7593d30.rmeta: examples/generator_zoo.rs Cargo.toml
+
+examples/generator_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

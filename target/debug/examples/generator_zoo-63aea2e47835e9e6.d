@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generator_zoo-63aea2e47835e9e6.d: examples/generator_zoo.rs
+
+/root/repo/target/debug/examples/generator_zoo-63aea2e47835e9e6: examples/generator_zoo.rs
+
+examples/generator_zoo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hierarchy_analysis-386e259f43c7e136.d: examples/hierarchy_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhierarchy_analysis-386e259f43c7e136.rmeta: examples/hierarchy_analysis.rs Cargo.toml
+
+examples/hierarchy_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchy_analysis-834271a837776e8c.d: examples/hierarchy_analysis.rs
+
+/root/repo/target/debug/examples/hierarchy_analysis-834271a837776e8c: examples/hierarchy_analysis.rs
+
+examples/hierarchy_analysis.rs:

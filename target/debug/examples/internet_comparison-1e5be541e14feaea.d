@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/internet_comparison-1e5be541e14feaea.d: examples/internet_comparison.rs
+
+/root/repo/target/debug/examples/internet_comparison-1e5be541e14feaea: examples/internet_comparison.rs
+
+examples/internet_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/internet_comparison-e0066398537eacf0.d: examples/internet_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinternet_comparison-e0066398537eacf0.rmeta: examples/internet_comparison.rs Cargo.toml
+
+examples/internet_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_routing-18346f3ddff4ecb8.d: examples/policy_routing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_routing-18346f3ddff4ecb8.rmeta: examples/policy_routing.rs Cargo.toml
+
+examples/policy_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_routing-f6bbd254cc20f802.d: examples/policy_routing.rs
+
+/root/repo/target/debug/examples/policy_routing-f6bbd254cc20f802: examples/policy_routing.rs
+
+examples/policy_routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_rl-92d0a7d59f0ef8a4.d: crates/core/examples/probe_rl.rs
+
+/root/repo/target/debug/examples/probe_rl-92d0a7d59f0ef8a4: crates/core/examples/probe_rl.rs
+
+crates/core/examples/probe_rl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_signatures-371f3f30910170d0.d: crates/core/examples/probe_signatures.rs
+
+/root/repo/target/debug/examples/probe_signatures-371f3f30910170d0: crates/core/examples/probe_signatures.rs
+
+crates/core/examples/probe_signatures.rs:

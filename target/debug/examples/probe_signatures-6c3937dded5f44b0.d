@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe_signatures-6c3937dded5f44b0.d: crates/core/examples/probe_signatures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe_signatures-6c3937dded5f44b0.rmeta: crates/core/examples/probe_signatures.rs Cargo.toml
+
+crates/core/examples/probe_signatures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

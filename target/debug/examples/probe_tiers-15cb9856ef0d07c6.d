@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_tiers-15cb9856ef0d07c6.d: crates/core/examples/probe_tiers.rs
+
+/root/repo/target/debug/examples/probe_tiers-15cb9856ef0d07c6: crates/core/examples/probe_tiers.rs
+
+crates/core/examples/probe_tiers.rs:

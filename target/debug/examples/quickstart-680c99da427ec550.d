@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-680c99da427ec550.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-680c99da427ec550: examples/quickstart.rs
+
+examples/quickstart.rs:

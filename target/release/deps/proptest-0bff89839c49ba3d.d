@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0bff89839c49ba3d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0bff89839c49ba3d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0bff89839c49ba3d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

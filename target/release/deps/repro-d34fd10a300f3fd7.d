@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d34fd10a300f3fd7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d34fd10a300f3fd7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-70b50806c7ab19fd.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-70b50806c7ab19fd.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-70b50806c7ab19fd.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

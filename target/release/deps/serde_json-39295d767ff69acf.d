@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-39295d767ff69acf.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-39295d767ff69acf.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-39295d767ff69acf.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

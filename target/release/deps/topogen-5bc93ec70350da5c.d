@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topogen-5bc93ec70350da5c.d: src/bin/topogen.rs
+
+/root/repo/target/release/deps/topogen-5bc93ec70350da5c: src/bin/topogen.rs
+
+src/bin/topogen.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/topogen-a619d39331d3d676.d: src/lib.rs
+
+/root/repo/target/release/deps/libtopogen-a619d39331d3d676.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtopogen-a619d39331d3d676.rmeta: src/lib.rs
+
+src/lib.rs:

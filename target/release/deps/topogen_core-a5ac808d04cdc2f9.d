@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/topogen_core-a5ac808d04cdc2f9.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+/root/repo/target/release/deps/libtopogen_core-a5ac808d04cdc2f9.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+/root/repo/target/release/deps/libtopogen_core-a5ac808d04cdc2f9.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/hier.rs crates/core/src/report.rs crates/core/src/suite.rs crates/core/src/zoo.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/hier.rs:
+crates/core/src/report.rs:
+crates/core/src/suite.rs:
+crates/core/src/zoo.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/topogen_hierarchy-91433c49eea322e1.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+/root/repo/target/release/deps/libtopogen_hierarchy-91433c49eea322e1.rlib: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+/root/repo/target/release/deps/libtopogen_hierarchy-91433c49eea322e1.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/classify.rs crates/hierarchy/src/correlation.rs crates/hierarchy/src/cover.rs crates/hierarchy/src/dag.rs crates/hierarchy/src/linkvalue.rs crates/hierarchy/src/traversal.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/classify.rs:
+crates/hierarchy/src/correlation.rs:
+crates/hierarchy/src/cover.rs:
+crates/hierarchy/src/dag.rs:
+crates/hierarchy/src/linkvalue.rs:
+crates/hierarchy/src/traversal.rs:

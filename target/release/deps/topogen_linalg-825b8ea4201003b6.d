@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/topogen_linalg-825b8ea4201003b6.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+/root/repo/target/release/deps/libtopogen_linalg-825b8ea4201003b6.rlib: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+/root/repo/target/release/deps/libtopogen_linalg-825b8ea4201003b6.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/lanczos.rs crates/linalg/src/sparse.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/sparse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/topogen_measured-fbbd968ef23c353f.d: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+/root/repo/target/release/deps/libtopogen_measured-fbbd968ef23c353f.rlib: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+/root/repo/target/release/deps/libtopogen_measured-fbbd968ef23c353f.rmeta: crates/measured/src/lib.rs crates/measured/src/as_graph.rs crates/measured/src/observe.rs crates/measured/src/rl_graph.rs
+
+crates/measured/src/lib.rs:
+crates/measured/src/as_graph.rs:
+crates/measured/src/observe.rs:
+crates/measured/src/rl_graph.rs:

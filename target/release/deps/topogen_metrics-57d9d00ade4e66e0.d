@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/topogen_metrics-57d9d00ade4e66e0.d: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+/root/repo/target/release/deps/libtopogen_metrics-57d9d00ade4e66e0.rlib: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+/root/repo/target/release/deps/libtopogen_metrics-57d9d00ade4e66e0.rmeta: crates/metrics/src/lib.rs crates/metrics/src/balls.rs crates/metrics/src/bicon_metric.rs crates/metrics/src/clustering.rs crates/metrics/src/cover.rs crates/metrics/src/distortion.rs crates/metrics/src/eccentricity.rs crates/metrics/src/engine.rs crates/metrics/src/expansion.rs crates/metrics/src/extra.rs crates/metrics/src/instrument.rs crates/metrics/src/par.rs crates/metrics/src/partition.rs crates/metrics/src/resilience.rs crates/metrics/src/spectrum.rs crates/metrics/src/tolerance.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/balls.rs:
+crates/metrics/src/bicon_metric.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/cover.rs:
+crates/metrics/src/distortion.rs:
+crates/metrics/src/eccentricity.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/expansion.rs:
+crates/metrics/src/extra.rs:
+crates/metrics/src/instrument.rs:
+crates/metrics/src/par.rs:
+crates/metrics/src/partition.rs:
+crates/metrics/src/resilience.rs:
+crates/metrics/src/spectrum.rs:
+crates/metrics/src/tolerance.rs:

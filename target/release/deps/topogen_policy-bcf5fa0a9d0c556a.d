@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/topogen_policy-bcf5fa0a9d0c556a.d: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs
+
+/root/repo/target/release/deps/libtopogen_policy-bcf5fa0a9d0c556a.rlib: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs
+
+/root/repo/target/release/deps/libtopogen_policy-bcf5fa0a9d0c556a.rmeta: crates/policy/src/lib.rs crates/policy/src/balls.rs crates/policy/src/bgp.rs crates/policy/src/bgp_sim.rs crates/policy/src/gao.rs crates/policy/src/overlay.rs crates/policy/src/rel.rs crates/policy/src/valley.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/balls.rs:
+crates/policy/src/bgp.rs:
+crates/policy/src/bgp_sim.rs:
+crates/policy/src/gao.rs:
+crates/policy/src/overlay.rs:
+crates/policy/src/rel.rs:
+crates/policy/src/valley.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tiers-f4fb719ecd5734e3.d: examples/probe_tiers.rs
+
+/root/repo/target/release/examples/probe_tiers-f4fb719ecd5734e3: examples/probe_tiers.rs
+
+examples/probe_tiers.rs:
