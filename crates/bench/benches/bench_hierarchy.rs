@@ -1,15 +1,28 @@
 //! The §5 kernels behind Figures 3–5 and 14: traversal-set
-//! accumulation and weighted-vertex-cover link values, plain and policy.
+//! accumulation and weighted-vertex-cover link values, plain and policy
+//! — plus the arena-engine speedup report.
+//!
+//! Besides the criterion timings, this bench measures `link_values` on a
+//! ~2,000-node PLRG (the scale the paper reserved for the RL *core*,
+//! footnote 29) with the serial pre-arena baseline and with the parallel
+//! arena engine at 1/2/8 workers, checks the outputs are bit-identical,
+//! and archives everything as `out/BENCH_hierarchy.json` (the CI bench
+//! workflow uploads it next to the PR-1 metrics bench output). `--quick`
+//! shrinks the graph and the repetitions for smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::{Duration, Instant};
 use topogen_generators::canonical::kary_tree;
 use topogen_generators::plrg::{plrg, PlrgParams};
 use topogen_graph::components::largest_component;
-use topogen_hierarchy::linkvalue::{link_values, PathMode};
+use topogen_graph::Graph;
+use topogen_hierarchy::baseline::link_values_ref;
+use topogen_hierarchy::linkvalue::{link_values, link_values_threads, PathMode};
 use topogen_hierarchy::traversal::link_traversals;
 use topogen_measured::as_graph::{internet_as, InternetAsParams};
+use topogen_par::Instrument;
 
 fn bench_linkvalues(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3/link-values");
@@ -32,6 +45,9 @@ fn bench_linkvalues(c: &mut Criterion) {
     g.bench_function("link-values/plrg400", |b| {
         b.iter(|| link_values(&plrg_g, &PathMode::Shortest))
     });
+    g.bench_function("link-values/plrg400-serial-baseline", |b| {
+        b.iter(|| link_values_ref(&plrg_g, &PathMode::Shortest))
+    });
     g.bench_function("link-values/tree364", |b| {
         b.iter(|| link_values(&tree, &PathMode::Shortest))
     });
@@ -50,5 +66,104 @@ fn bench_linkvalues(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_linkvalues);
+/// Minimum wall time of `reps` runs.
+fn time_min<F: FnMut() -> R, R>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Serial-baseline vs arena-engine speedup on a ~2,000-node PLRG,
+/// archived as `out/BENCH_hierarchy.json`.
+fn speedup_report(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, reps) = if quick { (500, 1) } else { (2000, 3) };
+    let mut rng = StdRng::seed_from_u64(7);
+    let g: Graph = largest_component(&plrg(
+        &PlrgParams {
+            n,
+            alpha: 2.246,
+            max_degree: None,
+        },
+        &mut rng,
+    ))
+    .0;
+    let mode = PathMode::Shortest;
+
+    let t_baseline = time_min(reps, || link_values_ref(&g, &mode));
+    let serial_values = link_values_ref(&g, &mode);
+
+    let mut per_thread: Vec<(usize, Duration)> = Vec::new();
+    let mut bit_identical = true;
+    for threads in [1usize, 2, 8] {
+        let t = time_min(reps, || link_values_threads(&g, &mode, Some(threads), None));
+        let values = link_values_threads(&g, &mode, Some(threads), None);
+        bit_identical &= values.len() == serial_values.len()
+            && values
+                .iter()
+                .zip(&serial_values)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        per_thread.push((threads, t));
+    }
+    let t_auto = time_min(reps, || link_values(&g, &mode));
+
+    let ins = Instrument::new();
+    let _ = link_values_threads(&g, &mode, None, Some(&ins));
+    let r = ins.report();
+
+    let best_engine = per_thread
+        .iter()
+        .map(|&(_, t)| t)
+        .chain(std::iter::once(t_auto))
+        .min()
+        .unwrap();
+    let speedup = t_baseline.as_secs_f64() / best_engine.as_secs_f64();
+
+    println!(
+        "speedup report: plrg{} ({} nodes, {} links) baseline {:?}, engine best {:?} ({speedup:.2}x), bit-identical {bit_identical}",
+        n,
+        g.node_count(),
+        g.edge_count(),
+        t_baseline,
+        best_engine,
+    );
+
+    let threads_json: Vec<String> = per_thread
+        .iter()
+        .map(|(k, t)| format!("    \"{k}\": {:.6}", t.as_secs_f64()))
+        .collect();
+    let json = format!(
+        "{{\n  \"graph\": {{ \"model\": \"PLRG\", \"alpha\": 2.246, \"nodes\": {}, \"links\": {} }},\n  \"quick\": {},\n  \"reps\": {},\n  \"serial_baseline_secs\": {:.6},\n  \"arena_engine_secs\": {{\n{}\n  }},\n  \"arena_engine_auto_secs\": {:.6},\n  \"speedup_vs_serial_baseline\": {:.3},\n  \"bit_identical_across_1_2_8_threads\": {},\n  \"dag_states\": {},\n  \"pairs_accumulated\": {},\n  \"arena_bytes\": {}\n}}\n",
+        g.node_count(),
+        g.edge_count(),
+        quick,
+        reps,
+        t_baseline.as_secs_f64(),
+        threads_json.join(",\n"),
+        t_auto.as_secs_f64(),
+        speedup,
+        bit_identical,
+        r.dag_states,
+        r.pairs_accumulated,
+        r.arena_bytes,
+    );
+    // Benches run with the package dir as cwd; anchor the default output
+    // at the workspace root so CI finds it at out/BENCH_hierarchy.json.
+    let dir = std::env::var("BENCH_OUT_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../out").into());
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::write(format!("{dir}/BENCH_hierarchy.json"), &json))
+    {
+        eprintln!("warning: cannot write {dir}/BENCH_hierarchy.json: {e}");
+    } else {
+        println!("wrote {dir}/BENCH_hierarchy.json");
+    }
+    assert!(bit_identical, "thread counts 1/2/8 must agree bit-for-bit");
+}
+
+criterion_group!(benches, bench_linkvalues, speedup_report);
 criterion_main!(benches);

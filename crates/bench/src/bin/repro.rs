@@ -3,10 +3,11 @@
 //! ```text
 //! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]
 //!
-//! --timings prints the shared-ball engine's instrumentation (traversal
-//! counts, cache hits, per-phase wall times) for experiments that run
-//! the metric suite, and with --json also archives it as
-//! BENCH_<id>.json.
+//! --timings prints the parallel engines' instrumentation — shared-ball
+//! counters (traversals, cache hits) for the metric suite, hierarchy
+//! counters (DAG states, pairs accumulated, arena bytes) for the
+//! link-value stage, per-phase wall times for both — and with --json
+//! also archives it as BENCH_<id>.json.
 //!
 //! experiments:
 //!   tab1                 Figure 1: the topology table
@@ -190,7 +191,11 @@ fn run_cmd(cmd: &str, ctx: &ExpCtx, out: &Output) {
             out.table(&table);
             out.timing_report(&table.id, &timings);
         }
-        "tab-hierarchy" => out.table(&exp::signatures::run_hierarchy_table(ctx)),
+        "tab-hierarchy" => {
+            let (table, timings) = exp::signatures::run_hierarchy_table_timed(ctx);
+            out.table(&table);
+            out.timing_report(&table.id, &timings);
+        }
         "bgp-vs-policy" => out.table(&exp::bgp::run(ctx)),
         "robustness-snapshots" => out.table(&exp::robustness::run_snapshots(ctx)),
         "robustness-incompleteness" => out.table(&exp::robustness::run_incompleteness(ctx)),

@@ -4,7 +4,7 @@
 
 use crate::experiments::fig3::linkvalue_zoo;
 use crate::ExpCtx;
-use topogen_core::hier::{hierarchy_report, HierOptions};
+use topogen_core::hier::{hierarchy_report_timed, HierOptions};
 use topogen_core::report::{TableData, TimingReport};
 use topogen_core::suite::{run_suite, run_suite_policy, run_suite_rl_policy};
 use topogen_core::zoo::{build, TopologySpec};
@@ -118,10 +118,21 @@ pub fn paper_hierarchy(name: &str) -> Option<&'static str> {
 
 /// The §5.1 strict/moderate/loose table (with the AS policy variant).
 pub fn run_hierarchy_table(ctx: &ExpCtx) -> TableData {
+    run_hierarchy_table_timed(ctx).0
+}
+
+/// [`run_hierarchy_table`] plus the merged link-value engine
+/// instrumentation of every hierarchy analysis it performed (what
+/// `repro tab-hierarchy --timings` prints and archives as
+/// `BENCH_tab-hierarchy.json`): per-stage wall times, DAG states
+/// visited, pairs accumulated, arena bytes.
+pub fn run_hierarchy_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
+    let mut timings = TimingReport::default();
     let mut rows = Vec::new();
     for spec in linkvalue_zoo(ctx) {
         let t = build(&spec, ctx.scale, ctx.seed);
-        let r = hierarchy_report(&t, &HierOptions::default());
+        let (r, rt) = hierarchy_report_timed(&t, &HierOptions::default());
+        timings.merge(&rt);
         let expect = paper_hierarchy(&t.name).unwrap_or("-");
         let ok = if expect == "-" || r.class == expect {
             "yes"
@@ -136,13 +147,14 @@ pub fn run_hierarchy_table(ctx: &ExpCtx) -> TableData {
             ok.to_string(),
         ]);
         if t.annotations.is_some() {
-            let rp = hierarchy_report(
+            let (rp, rpt) = hierarchy_report_timed(
                 &t,
                 &HierOptions {
                     policy: true,
                     core_threshold: 3000,
                 },
             );
+            timings.merge(&rpt);
             let pname = format!("{}(Policy)", t.name);
             let pexpect = paper_hierarchy(&pname).unwrap_or("-");
             let pok = if pexpect == "-" || rp.class == pexpect {
@@ -159,17 +171,20 @@ pub fn run_hierarchy_table(ctx: &ExpCtx) -> TableData {
             ]);
         }
     }
-    TableData {
-        id: "tab-hierarchy".into(),
-        header: vec![
-            "Topology".into(),
-            "Class".into(),
-            "MaxValue".into(),
-            "Paper".into(),
-            "Match".into(),
-        ],
-        rows,
-    }
+    (
+        TableData {
+            id: "tab-hierarchy".into(),
+            header: vec![
+                "Topology".into(),
+                "Class".into(),
+                "MaxValue".into(),
+                "Paper".into(),
+                "Match".into(),
+            ],
+            rows,
+        },
+        timings,
+    )
 }
 
 #[cfg(test)]

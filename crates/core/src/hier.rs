@@ -1,12 +1,14 @@
 //! Hierarchy-analysis glue (§5): link values, classification, and the
 //! degree correlation for a built topology, with and without policy.
 
+use crate::report::TimingReport;
 use crate::zoo::BuiltTopology;
 use serde::{Deserialize, Serialize};
 use topogen_graph::prune::core as core_prune;
 use topogen_hierarchy::classify::HierarchyClass;
 use topogen_hierarchy::correlation::link_value_degree_correlation;
-use topogen_hierarchy::linkvalue::{link_value_stats, link_values, PathMode};
+use topogen_hierarchy::linkvalue::{link_value_stats, link_values_threads, PathMode};
+use topogen_par::Instrument;
 
 /// Everything §5 reports about one topology.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -53,6 +55,17 @@ impl Default for HierOptions {
 /// Panics if `opts.policy` is set but the topology has no annotations
 /// (policy analysis is only defined for the annotated AS graph).
 pub fn hierarchy_report(t: &BuiltTopology, opts: &HierOptions) -> HierarchyReport {
+    hierarchy_report_timed(t, opts).0
+}
+
+/// [`hierarchy_report`] plus the link-value engine's instrumentation
+/// (per-stage wall times, DAG states visited, pairs accumulated, arena
+/// bytes) — what `repro tab-hierarchy --timings` aggregates and archives
+/// as `BENCH_tab-hierarchy.json`.
+pub fn hierarchy_report_timed(
+    t: &BuiltTopology,
+    opts: &HierOptions,
+) -> (HierarchyReport, TimingReport) {
     // Core-prune very large graphs, as the paper did for RL. The pruned
     // graph loses the annotation alignment, so policy analysis skips the
     // pruning (the annotated AS graphs are small enough anyway).
@@ -71,12 +84,13 @@ pub fn hierarchy_report(t: &BuiltTopology, opts: &HierOptions) -> HierarchyRepor
     } else {
         PathMode::Shortest
     };
-    let mut values = link_values(&work, &mode);
+    let ins = Instrument::new();
+    let mut values = link_values_threads(&work, &mode, None, Some(&ins));
     let degree_correlation = link_value_degree_correlation(&work, &values);
     let class = topogen_hierarchy::classify_hierarchy(&values);
     let stats = link_value_stats(&values);
     values.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    HierarchyReport {
+    let report = HierarchyReport {
         name: if pruned {
             format!("{} (core)", t.name)
         } else {
@@ -88,7 +102,8 @@ pub fn hierarchy_report(t: &BuiltTopology, opts: &HierOptions) -> HierarchyRepor
         median: stats.median,
         class: class.to_string(),
         degree_correlation,
-    }
+    };
+    (report, TimingReport::from(&ins.report()))
 }
 
 /// Re-expose the class enum for downstream matching.
@@ -113,6 +128,20 @@ mod tests {
         assert!(r.max > 0.25);
         assert!(!r.policy);
         assert_eq!(class_of(&r), HierarchyClass::Strict);
+    }
+
+    #[test]
+    fn timed_report_populates_hierarchy_counters() {
+        let t = build(&TopologySpec::Mesh { side: 6 }, Scale::Small, 1);
+        let (r, timings) = hierarchy_report_timed(&t, &HierOptions::default());
+        assert_eq!(r.values.len(), t.graph.edge_count());
+        // 36 nodes, all reachable: C(36, 2) pairs accumulated.
+        assert_eq!(timings.pairs_accumulated, 36 * 35 / 2);
+        assert!(timings.dag_states > 0);
+        assert!(timings.arena_bytes > 0);
+        let names: Vec<&str> = timings.phases.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"hier-traversal"), "phases: {names:?}");
+        assert!(names.contains(&"hier-cover"), "phases: {names:?}");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub struct FigureData {
 }
 
 /// One engine phase's accumulated wall time (serializable mirror of
-/// [`topogen_metrics::instrument::PhaseTiming`]).
+/// [`topogen_par::PhaseTiming`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TimingPhase {
     /// Phase name (`"balls"`, `"distances"`, a metric's name, `"total"`).
@@ -60,11 +60,12 @@ pub struct TimingPhase {
     pub seconds: f64,
 }
 
-/// Per-run instrumentation from the shared-ball engine: traversal and
-/// ball-construction counts, how much work sharing saved, and per-phase
-/// wall times. Serializable mirror of
-/// [`topogen_metrics::instrument::InstrumentReport`]; the `repro` binary
-/// prints it with `--timings` and archives it as `BENCH_*.json`.
+/// Per-run instrumentation from the parallel engines: traversal and
+/// ball-construction counts from the shared-ball metrics engine, the
+/// hierarchy stage's DAG/pair/arena volumes, and per-phase wall times.
+/// Serializable mirror of [`topogen_par::InstrumentReport`]; the
+/// `repro` binary prints it with `--timings` and archives it as
+/// `BENCH_*.json`.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TimingReport {
     /// Distance-field computations performed (one traversal each).
@@ -75,17 +76,26 @@ pub struct TimingReport {
     pub ball_cache_hits: u64,
     /// Partitioner restarts performed by resilience consumers.
     pub partitioner_restarts: u64,
+    /// Path-DAG states visited by the link-value traversal stage (§5).
+    pub dag_states: u64,
+    /// (source, target) pairs accumulated into traversal sets.
+    pub pairs_accumulated: u64,
+    /// Bytes held by traversal-set arenas.
+    pub arena_bytes: u64,
     /// Per-phase accumulated wall times.
     pub phases: Vec<TimingPhase>,
 }
 
-impl From<&topogen_metrics::InstrumentReport> for TimingReport {
-    fn from(r: &topogen_metrics::InstrumentReport) -> Self {
+impl From<&topogen_par::InstrumentReport> for TimingReport {
+    fn from(r: &topogen_par::InstrumentReport) -> Self {
         TimingReport {
             bfs_runs: r.bfs_runs,
             balls_built: r.balls_built,
             ball_cache_hits: r.ball_cache_hits,
             partitioner_restarts: r.partitioner_restarts,
+            dag_states: r.dag_states,
+            pairs_accumulated: r.pairs_accumulated,
+            arena_bytes: r.arena_bytes,
             phases: r
                 .phases
                 .iter()
@@ -106,6 +116,9 @@ impl TimingReport {
         self.balls_built += other.balls_built;
         self.ball_cache_hits += other.ball_cache_hits;
         self.partitioner_restarts += other.partitioner_restarts;
+        self.dag_states += other.dag_states;
+        self.pairs_accumulated += other.pairs_accumulated;
+        self.arena_bytes += other.arena_bytes;
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
                 mine.seconds += p.seconds;
@@ -122,6 +135,12 @@ impl TimingReport {
             "traversals {}  balls {}  cache-hits {}  partitioner-restarts {}\n",
             self.bfs_runs, self.balls_built, self.ball_cache_hits, self.partitioner_restarts
         ));
+        if self.dag_states + self.pairs_accumulated + self.arena_bytes > 0 {
+            out.push_str(&format!(
+                "dag-states {}  pairs {}  arena-bytes {}\n",
+                self.dag_states, self.pairs_accumulated, self.arena_bytes
+            ));
+        }
         for p in &self.phases {
             out.push_str(&format!("  {:<14} {:>9.3}s\n", p.name, p.seconds));
         }

@@ -5,73 +5,176 @@
 //! the pairs containing `x`. The link's value is the minimum weighted
 //! vertex cover of the pair set — approximated with the classical
 //! primal-dual (local-ratio) algorithm \[30\], a 2-approximation.
+//!
+//! The hot loops run on compact index-remapped vectors: the (few) nodes
+//! appearing in one link's traversal set are collected into a sorted id
+//! table ([`NodeWeights`]) and every per-node quantity (weight sums,
+//! primal-dual residuals) lives in a dense vector parallel to it — no
+//! hash maps anywhere on the link-value path.
 
 use crate::traversal::PairWeight;
-use std::collections::HashMap;
 use topogen_graph::NodeId;
+
+/// Node weights `W(x, l)` for one link's traversal set, remapped to a
+/// compact index space: `ids` holds the sorted distinct endpoints and
+/// `weights[i]` the average pair weight of `ids[i]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeWeights {
+    ids: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl NodeWeights {
+    /// Build from explicit `(id, weight)` pairs (ids need not be
+    /// sorted; duplicates are rejected). Mostly for tests and callers
+    /// supplying custom weightings.
+    pub fn from_pairs_list(mut entries: Vec<(NodeId, f64)>) -> NodeWeights {
+        entries.sort_by_key(|&(x, _)| x);
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate node id in weight list"
+        );
+        NodeWeights {
+            ids: entries.iter().map(|&(x, _)| x).collect(),
+            weights: entries.iter().map(|&(_, w)| w).collect(),
+        }
+    }
+
+    /// The sorted distinct node ids.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Weights parallel to [`ids`](Self::ids).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the traversal set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Weight of node `x`, if it appears in the set.
+    pub fn get(&self, x: NodeId) -> Option<f64> {
+        self.index_of(x).map(|i| self.weights[i])
+    }
+
+    /// Total weight over all nodes.
+    pub fn total(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Compact index of node `x`.
+    fn index_of(&self, x: NodeId) -> Option<usize> {
+        self.ids.binary_search(&x).ok()
+    }
+}
 
 /// Node weights `W(x, l)` for one link's traversal set: the average
 /// pair weight over the pairs containing each node.
-pub fn traversal_node_weights(pairs: &[PairWeight]) -> HashMap<NodeId, f64> {
-    let mut sum: HashMap<NodeId, (f64, usize)> = HashMap::new();
+pub fn traversal_node_weights(pairs: &[PairWeight]) -> NodeWeights {
+    node_weights_indexed(pairs).0
+}
+
+/// [`traversal_node_weights`] plus each pair's endpoints remapped to
+/// compact indices — the id-table lookups happen once here and are
+/// shared with the cover loop by [`link_value`].
+fn node_weights_indexed(pairs: &[PairWeight]) -> (NodeWeights, Vec<(u32, u32)>) {
+    let mut ids: Vec<NodeId> = Vec::with_capacity(2 * pairs.len());
     for p in pairs {
-        let e = sum.entry(p.u).or_insert((0.0, 0));
-        e.0 += p.w;
-        e.1 += 1;
-        let e = sum.entry(p.v).or_insert((0.0, 0));
-        e.0 += p.w;
-        e.1 += 1;
+        ids.push(p.u);
+        ids.push(p.v);
     }
-    sum.into_iter()
-        .map(|(x, (s, c))| (x, s / c as f64))
-        .collect()
+    ids.sort_unstable();
+    ids.dedup();
+    let mut sums = vec![0.0f64; ids.len()];
+    let mut counts = vec![0u32; ids.len()];
+    let mut idx = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        let iu = ids.binary_search(&p.u).expect("endpoint in id table");
+        sums[iu] += p.w;
+        counts[iu] += 1;
+        let iv = ids.binary_search(&p.v).expect("endpoint in id table");
+        sums[iv] += p.w;
+        counts[iv] += 1;
+        idx.push((iu as u32, iv as u32));
+    }
+    let weights = sums
+        .into_iter()
+        .zip(&counts)
+        .map(|(s, &c)| s / c as f64)
+        .collect();
+    (NodeWeights { ids, weights }, idx)
 }
 
 /// Primal-dual 2-approximate minimum weighted vertex cover of the pair
 /// set, given node weights. Returns `(value, cover)` where `value` is
-/// the total weight of the chosen nodes.
-pub fn weighted_vertex_cover(
-    pairs: &[PairWeight],
-    weights: &HashMap<NodeId, f64>,
-) -> (f64, Vec<NodeId>) {
-    let mut residual: HashMap<NodeId, f64> = weights.clone();
-    let tight = |residual: &HashMap<NodeId, f64>, x: NodeId| residual[&x] <= 1e-12;
-    for p in pairs {
-        if p.u == p.v {
+/// the total weight of the chosen nodes; the cover is listed in
+/// ascending node-id order (and `value` summed in that order, so the
+/// result is deterministic).
+pub fn weighted_vertex_cover(pairs: &[PairWeight], weights: &NodeWeights) -> (f64, Vec<NodeId>) {
+    let idx: Vec<(u32, u32)> = pairs
+        .iter()
+        .map(|p| {
+            let iu = weights.index_of(p.u).expect("pair endpoint has a weight");
+            let iv = weights.index_of(p.v).expect("pair endpoint has a weight");
+            (iu as u32, iv as u32)
+        })
+        .collect();
+    vertex_cover_indexed(&idx, weights)
+}
+
+/// The primal-dual loop over pre-remapped endpoint indices.
+fn vertex_cover_indexed(idx: &[(u32, u32)], weights: &NodeWeights) -> (f64, Vec<NodeId>) {
+    let mut residual: Vec<f64> = weights.weights.clone();
+    const TIGHT: f64 = 1e-12;
+    for &(iu, iv) in idx {
+        if iu == iv {
             continue;
         }
-        if tight(&residual, p.u) || tight(&residual, p.v) {
+        let (iu, iv) = (iu as usize, iv as usize);
+        if residual[iu] <= TIGHT || residual[iv] <= TIGHT {
             continue; // already covered
         }
-        let eps = residual[&p.u].min(residual[&p.v]);
-        *residual.get_mut(&p.u).unwrap() -= eps;
-        *residual.get_mut(&p.v).unwrap() -= eps;
+        let eps = residual[iu].min(residual[iv]);
+        residual[iu] -= eps;
+        residual[iv] -= eps;
     }
-    let cover: Vec<NodeId> = weights
-        .keys()
-        .copied()
-        .filter(|&x| residual[&x] <= 1e-12)
-        .collect();
-    let value: f64 = cover.iter().map(|x| weights[x]).sum();
+    let mut value = 0.0;
+    let mut cover = Vec::new();
+    for (i, &r) in residual.iter().enumerate() {
+        if r <= TIGHT {
+            value += weights.weights[i];
+            cover.push(weights.ids[i]);
+        }
+    }
     (value, cover)
 }
 
 /// End-to-end value of one link: node weights from its traversal set,
-/// then the weighted cover value. Zero for an empty traversal set.
+/// then the weighted cover value. Zero for an empty traversal set. The
+/// endpoint→index remap is computed once and shared by both stages.
 pub fn link_value(pairs: &[PairWeight]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let w = traversal_node_weights(pairs);
-    weighted_vertex_cover(pairs, &w).0
+    let (w, idx) = node_weights_indexed(pairs);
+    vertex_cover_indexed(&idx, &w).0
 }
 
 /// Validation helper: does `cover` hit every pair?
 pub fn covers_all(pairs: &[PairWeight], cover: &[NodeId]) -> bool {
-    let set: std::collections::HashSet<NodeId> = cover.iter().copied().collect();
+    let mut set: Vec<NodeId> = cover.to_vec();
+    set.sort_unstable();
     pairs
         .iter()
-        .all(|p| set.contains(&p.u) || set.contains(&p.v))
+        .all(|p| set.binary_search(&p.u).is_ok() || set.binary_search(&p.v).is_ok())
 }
 
 #[cfg(test)]
@@ -87,7 +190,7 @@ mod tests {
         // Star access link: pairs (leaf, x) for all x; leaf weight 1.
         let pairs: Vec<PairWeight> = (1..5).map(|v| pw(0, v, 1.0)).collect();
         let w = traversal_node_weights(&pairs);
-        assert!((w[&0] - 1.0).abs() < 1e-12);
+        assert!((w.get(0).unwrap() - 1.0).abs() < 1e-12);
         let (value, cover) = weighted_vertex_cover(&pairs, &w);
         assert!(covers_all(&pairs, &cover));
         // The singleton {leaf} covers everything at weight 1 — the
@@ -129,7 +232,7 @@ mod tests {
         // Triangle of pairs with distinct weights: OPT picks the two
         // cheapest? Pairs (0,1),(1,2),(0,2) — any cover needs 2 nodes.
         let pairs = vec![pw(0, 1, 1.0), pw(1, 2, 1.0), pw(0, 2, 1.0)];
-        let w: HashMap<NodeId, f64> = [(0, 1.0), (1, 0.1), (2, 1.0)].into_iter().collect();
+        let w = NodeWeights::from_pairs_list(vec![(0, 1.0), (1, 0.1), (2, 1.0)]);
         let (value, cover) = weighted_vertex_cover(&pairs, &w);
         assert!(covers_all(&pairs, &cover));
         // OPT = {1, 0} or {1, 2} = 1.1; 2-approx allows ≤ 2.2.
@@ -142,5 +245,23 @@ mod tests {
         let small = vec![pw(0, 1, 1.0)];
         let big = vec![pw(0, 1, 1.0), pw(2, 3, 1.0), pw(4, 5, 1.0)];
         assert!(link_value(&big) >= link_value(&small) - 1e-9);
+    }
+
+    #[test]
+    fn compact_table_is_sorted_and_queryable() {
+        let pairs = vec![pw(9, 2, 0.5), pw(2, 4, 1.0)];
+        let w = traversal_node_weights(&pairs);
+        assert_eq!(w.ids(), &[2, 4, 9]);
+        assert_eq!(w.len(), 3);
+        // Node 2 appears in both pairs: avg (0.5 + 1.0) / 2.
+        assert!((w.get(2).unwrap() - 0.75).abs() < 1e-12);
+        assert!(w.get(3).is_none());
+        assert!((w.total() - (0.75 + 1.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ids_rejected() {
+        let _ = NodeWeights::from_pairs_list(vec![(1, 0.5), (1, 0.7)]);
     }
 }

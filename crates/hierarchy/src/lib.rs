@@ -24,14 +24,19 @@
 //! Tiers, RL).
 //!
 //! Modules: [`dag`] (unified shortest-path/policy path DAGs),
-//! [`traversal`] (per-link traversal sets), [`cover`] (weighted vertex
-//! cover), [`linkvalue`] (end-to-end link values and rank
-//! distributions), [`classify`] (strict/moderate/loose), [`correlation`]
+//! [`traversal`] (per-link traversal sets — a parallel, arena-backed
+//! engine over the shared `topogen-par` map, bit-identical at any
+//! thread count), [`cover`] (weighted vertex cover on compact
+//! index-remapped vectors), [`linkvalue`] (end-to-end link values and
+//! rank distributions, with optional instrumentation), [`baseline`]
+//! (the serial pre-arena pipeline, kept as correctness oracle and bench
+//! baseline), [`classify`] (strict/moderate/loose), [`correlation`]
 //! (link-value ↔ degree).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod classify;
 pub mod correlation;
 pub mod cover;
@@ -40,4 +45,5 @@ pub mod linkvalue;
 pub mod traversal;
 
 pub use classify::{classify_hierarchy, HierarchyClass};
-pub use linkvalue::{link_values, normalized_rank_distribution, PathMode};
+pub use linkvalue::{link_values, link_values_threads, normalized_rank_distribution, PathMode};
+pub use traversal::{link_traversals, link_traversals_threads, LinkTraversals};

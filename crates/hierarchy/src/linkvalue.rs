@@ -1,8 +1,9 @@
 //! End-to-end link values and their rank distributions (Figures 3 & 4).
 
 use crate::cover::link_value;
-use crate::traversal::link_traversals;
+use crate::traversal::{link_traversals_threads, PairWeight};
 use topogen_graph::Graph;
+use topogen_par::{par_map_threads, Instrument};
 use topogen_policy::rel::AsAnnotations;
 
 /// Which path notion defines the traversal sets.
@@ -32,69 +33,35 @@ pub enum PathMode<'a> {
 /// assert!(v[middle] > 2.0 * v[end]);
 /// ```
 pub fn link_values(g: &Graph, mode: &PathMode<'_>) -> Vec<f64> {
+    link_values_threads(g, mode, None, None)
+}
+
+/// [`link_values`] with an explicit worker count (`None` =
+/// `available_parallelism`, `Some(1)` = fully serial) and an optional
+/// instrumentation sink. Both pipeline stages — the per-source traversal
+/// accumulation and the per-link weighted covers — run on the shared
+/// `topogen-par` map, and both are bit-identical at any thread count.
+/// The sink receives the `hier-traversal` / `hier-cover` phase times
+/// plus the DAG-state, pair, and arena-byte counters.
+pub fn link_values_threads(
+    g: &Graph,
+    mode: &PathMode<'_>,
+    threads: Option<usize>,
+    ins: Option<&Instrument>,
+) -> Vec<f64> {
     let n = g.node_count();
     if n == 0 {
         return Vec::new();
     }
-    let t = link_traversals(g, mode);
+    let t = link_traversals_threads(g, mode, threads, ins);
     // Per-link covers are independent: spread them over cores.
-
-    par_map_links(&t.per_link, |pairs| link_value(pairs) / n as f64)
-}
-
-/// Minimal scoped-thread parallel map over the per-link pair lists.
-/// Workers claim chunks of the output via an atomic index; a panicking
-/// worker re-raises its original payload on the calling thread.
-fn par_map_links<F>(links: &[Vec<crate::traversal::PairWeight>], f: F) -> Vec<f64>
-where
-    F: Fn(&[crate::traversal::PairWeight]) -> f64 + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(links.len().max(1));
-    if threads <= 1 || links.len() < 8 {
-        return links.iter().map(|l| f(l)).collect();
+    let start = std::time::Instant::now();
+    let links: Vec<&[PairWeight]> = t.iter_links().collect();
+    let values = par_map_threads(&links, threads, |pairs| link_value(pairs) / n as f64);
+    if let Some(ins) = ins {
+        ins.add_phase("hier-cover", start.elapsed());
     }
-    let mut out = vec![0.0f64; links.len()];
-    let chunk_len = (links.len() / (threads * 8)).max(1);
-    let chunks: Vec<Mutex<(usize, &mut [f64])>> = out
-        .chunks_mut(chunk_len)
-        .enumerate()
-        .map(|(ci, slice)| Mutex::new((ci * chunk_len, slice)))
-        .collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| loop {
-                    let ci = next.fetch_add(1, Ordering::Relaxed);
-                    if ci >= chunks.len() {
-                        break;
-                    }
-                    let mut guard = chunks[ci]
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    let (start, slice) = &mut *guard;
-                    for (k, slot) in slice.iter_mut().enumerate() {
-                        *slot = f(&links[*start + k]);
-                    }
-                })
-            })
-            .collect();
-        let mut first_panic = None;
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                first_panic.get_or_insert(payload);
-            }
-        }
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
-        }
-    });
-    out
+    values
 }
 
 /// One point of the link-value rank distribution.

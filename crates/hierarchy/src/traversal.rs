@@ -7,10 +7,22 @@
 //! per-target backward accumulation (the same bookkeeping as Brandes'
 //! betweenness, but keeping per-pair resolution because the vertex cover
 //! of §5 needs the pair structure, not just totals).
+//!
+//! The engine is parallel and arena-backed: sources are spread over
+//! worker threads (each computes its whole DAG plus all of its pairs'
+//! accumulations independently), per-pair link weights go into a dense
+//! epoch-stamped scratch array indexed by edge id (no hashing in the
+//! inner loop), and the per-source contributions are merged in ascending
+//! source order into one flat CSR-style arena ([`LinkTraversals`]) — a
+//! counting pass, one buffer, one offsets array. Because the merge order
+//! is fixed and every floating-point operation happens within a single
+//! source's worker, the output is bit-identical at any thread count
+//! (the same determinism contract as the shared-ball metrics engine).
 
 use crate::dag::PathDag;
 use crate::linkvalue::PathMode;
 use topogen_graph::{Graph, NodeId, UNREACHED};
+use topogen_par::{par_map_threads, Instrument};
 
 /// One traversal-set entry: pair `(u, v)` crosses the link with weight
 /// `w` (0 < w ≤ 1).
@@ -24,83 +36,249 @@ pub struct PairWeight {
     pub w: f64,
 }
 
-/// The traversal sets of every link, indexed like [`Graph::edges`].
+/// The traversal sets of every link, indexed like [`Graph::edges`],
+/// stored as one flat arena: `offsets[l]..offsets[l+1]` slices the
+/// shared `pairs` buffer. Replaces the former `Vec<Vec<PairWeight>>`
+/// (millions of small allocations on full graphs) with exactly two
+/// allocations regardless of graph size.
 #[derive(Clone, Debug)]
 pub struct LinkTraversals {
-    /// Per link, the pair weights.
-    pub per_link: Vec<Vec<PairWeight>>,
+    /// `offsets[l]..offsets[l+1]` bounds link `l`'s pairs; length
+    /// `link_count + 1`.
+    offsets: Vec<usize>,
+    /// All pair weights, concatenated per link in ascending
+    /// `(u, v)` order within each link.
+    pairs: Vec<PairWeight>,
 }
 
 impl LinkTraversals {
+    /// Number of links (same as [`Graph::edge_count`]).
+    pub fn link_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether there are no links at all.
+    pub fn is_empty(&self) -> bool {
+        self.link_count() == 0
+    }
+
+    /// The traversal set of link `l` (indexed as in [`Graph::edges`]).
+    pub fn link(&self, l: usize) -> &[PairWeight] {
+        &self.pairs[self.offsets[l]..self.offsets[l + 1]]
+    }
+
+    /// Iterate over every link's traversal set, in edge-index order.
+    pub fn iter_links(&self) -> impl Iterator<Item = &[PairWeight]> {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.pairs[w[0]..w[1]])
+    }
+
     /// Traversal-set size of each link (number of pairs).
     pub fn sizes(&self) -> Vec<usize> {
-        self.per_link.iter().map(|p| p.len()).collect()
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
+
+    /// Total number of (pair, link) entries across all links.
+    pub fn total_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Bytes held by the arena (offsets plus the flat pair buffer).
+    pub fn arena_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.pairs.len() * std::mem::size_of::<PairWeight>()
+    }
+}
+
+/// One source's contribution: for each of its pairs' links, the edge
+/// index, the target, and the accumulated weight (the source itself is
+/// implicit). Entries are emitted in ascending target order.
+struct SourceContrib {
+    entries: Vec<(u32, NodeId, f64)>,
+    /// DAG states visited during the backward accumulations.
+    states_visited: u64,
+    /// Pairs accumulated (reachable targets above the source).
+    pairs: u64,
 }
 
 /// Compute all traversal sets under the given path mode. Pairs are
 /// unordered (`u < v`); each link's list accumulates every pair whose
-/// shortest-path DAG crosses it.
+/// shortest-path DAG crosses it. Uses every available core; see
+/// [`link_traversals_threads`] for explicit control.
 ///
-/// Cost: O(Σ_pairs |states on the pair's shortest paths|) time, and the
-/// output's total size is Σ_pairs (path length) — keep graphs at ≲ 2,000
-/// nodes (the paper similarly computed link values on the RL *core*,
-/// footnote 29).
+/// Cost: O(Σ_pairs |states on the pair's shortest paths|) work and the
+/// output's total size is Σ_pairs (path length) — the paper restricted
+/// this to the RL *core* (footnote 29); the parallel arena engine
+/// extends it to full measured graphs.
 pub fn link_traversals(g: &Graph, mode: &PathMode<'_>) -> LinkTraversals {
-    let n = g.node_count();
-    let m = g.edge_count();
-    let mut per_link: Vec<Vec<PairWeight>> = vec![Vec::new(); m];
-    // Scratch buffers reused across targets.
-    let mut frac: Vec<f64> = Vec::new();
-    let mut touched: Vec<u32> = Vec::new();
-    for u in 0..n as NodeId {
-        let dag = match mode {
-            PathMode::Shortest => PathDag::plain(g, u),
-            PathMode::Policy(ann) => PathDag::policy(g, ann, u),
-        };
-        frac.clear();
-        frac.resize(dag.state_count(), 0.0);
-        for v in (u + 1)..n as NodeId {
-            if dag.node_dist[v as usize] == UNREACHED || dag.node_dist[v as usize] == 0 {
-                continue;
-            }
-            accumulate_pair(g, &dag, u, v, &mut frac, &mut touched, &mut per_link);
-        }
-    }
-    LinkTraversals { per_link }
+    link_traversals_threads(g, mode, None, None)
 }
 
-/// Backward accumulation for one (source, target) pair: distribute the
-/// unit of traffic over the shortest-path DAG, pushing per-link weights.
-fn accumulate_pair(
+/// [`link_traversals`] with an explicit worker count (`None` =
+/// `available_parallelism`, `Some(1)` = serial) and an optional
+/// instrumentation sink receiving the `hier-traversal` phase time plus
+/// DAG-state / pair / arena-byte counters.
+pub fn link_traversals_threads(
     g: &Graph,
+    mode: &PathMode<'_>,
+    threads: Option<usize>,
+    ins: Option<&Instrument>,
+) -> LinkTraversals {
+    let start = std::time::Instant::now();
+    let n = g.node_count();
+    let m = g.edge_count();
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+
+    // Phase 1 (parallel): one DAG + all pair accumulations per source.
+    let contribs: Vec<SourceContrib> =
+        par_map_threads(&sources, threads, |&u| source_contrib(g, mode, u));
+
+    // Phase 2 (serial merge, ascending source order): counting pass,
+    // offsets, then one placement sweep — per link, entries land in
+    // ascending (u, v) order, independent of the thread count.
+    let mut counts = vec![0usize; m];
+    for c in &contribs {
+        for &(l, _, _) in &c.entries {
+            counts[l as usize] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(m + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    let mut pairs = vec![PairWeight { u: 0, v: 0, w: 0.0 }; acc];
+    let mut cursor: Vec<usize> = offsets[..m].to_vec();
+    for (u, c) in contribs.iter().enumerate() {
+        for &(l, v, w) in &c.entries {
+            let slot = cursor[l as usize];
+            cursor[l as usize] += 1;
+            pairs[slot] = PairWeight {
+                u: u as NodeId,
+                v,
+                w,
+            };
+        }
+    }
+    let t = LinkTraversals { offsets, pairs };
+
+    if let Some(ins) = ins {
+        ins.add_dag_states(contribs.iter().map(|c| c.states_visited).sum());
+        ins.add_pairs_accumulated(contribs.iter().map(|c| c.pairs).sum());
+        ins.add_arena_bytes(t.arena_bytes() as u64);
+        ins.add_phase("hier-traversal", start.elapsed());
+    }
+    t
+}
+
+/// All of one source's backward accumulations: build the DAG, then for
+/// each reachable target `v > u` distribute the unit of traffic and
+/// record per-link weights through a dense epoch-stamped scratch.
+fn source_contrib(g: &Graph, mode: &PathMode<'_>, u: NodeId) -> SourceContrib {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let dag = match mode {
+        PathMode::Shortest => PathDag::plain(g, u),
+        PathMode::Policy(ann) => PathDag::policy(g, ann, u),
+    };
+    // Resolve each DAG edge's graph-edge index once per source instead of
+    // binary-searching inside every target's accumulation. `SAME_NODE`
+    // marks intra-node policy transitions (no graph edge crossed).
+    let pred_edge: Vec<Vec<u32>> = dag
+        .preds
+        .iter()
+        .enumerate()
+        .map(|(s, ps)| {
+            let node_s = dag.node_of[s];
+            ps.iter()
+                .map(|&p| {
+                    let node_p = dag.node_of[p as usize];
+                    if node_p == node_s {
+                        SAME_NODE
+                    } else {
+                        g.edge_index(node_p, node_s)
+                            .expect("DAG edge projects to a graph edge")
+                            as u32
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut frac = vec![0.0f64; dag.state_count()];
+    let mut touched: Vec<u32> = Vec::new();
+    // Per-link scratch, reused across the source's pairs: `link_stamp[l]
+    // == v` marks `link_w[l]` as belonging to the current target `v`
+    // (targets strictly increase, and no stamp starts at UNREACHED).
+    let mut link_w = vec![0.0f64; m];
+    let mut link_stamp = vec![UNREACHED; m];
+    let mut links_touched: Vec<u32> = Vec::new();
+    let mut out = SourceContrib {
+        entries: Vec::new(),
+        states_visited: 0,
+        pairs: 0,
+    };
+    for v in (u + 1)..n as NodeId {
+        if dag.node_dist[v as usize] == UNREACHED || dag.node_dist[v as usize] == 0 {
+            continue;
+        }
+        accumulate_pair(
+            &dag,
+            &pred_edge,
+            v,
+            &mut frac,
+            &mut touched,
+            &mut link_w,
+            &mut link_stamp,
+            &mut links_touched,
+        );
+        out.pairs += 1;
+        out.states_visited += touched.len() as u64;
+        for &l in &links_touched {
+            out.entries.push((l, v, link_w[l as usize]));
+        }
+    }
+    out
+}
+
+/// Marks a DAG transition between two states of the same node (policy
+/// phase changes) in the per-source `pred_edge` table.
+const SAME_NODE: u32 = u32::MAX;
+
+/// Backward accumulation for one (source, target) pair: distribute the
+/// unit of traffic over the shortest-path DAG, leaving each crossed
+/// link's weight in `link_w` (stamped with `v`) and the crossed link ids
+/// in `links_touched`. `pred_edge` mirrors `dag.preds` with each
+/// transition's pre-resolved graph-edge index.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_pair(
     dag: &PathDag,
-    u: NodeId,
+    pred_edge: &[Vec<u32>],
     v: NodeId,
     frac: &mut [f64],
     touched: &mut Vec<u32>,
-    per_link: &mut [Vec<PairWeight>],
+    link_w: &mut [f64],
+    link_stamp: &mut [u32],
+    links_touched: &mut Vec<u32>,
 ) {
+    links_touched.clear();
+    touched.clear();
     let terminals = dag.terminal_states(v);
     let sigma_tot: f64 = terminals.iter().map(|&s| dag.sigma[s as usize]).sum();
     if sigma_tot <= 0.0 {
         return;
     }
-    touched.clear();
     for &s in &terminals {
         frac[s as usize] = dag.sigma[s as usize] / sigma_tot;
         touched.push(s);
     }
     // Process states in decreasing distance order. Distances decrease by
-    // exactly 1 along preds, so a simple bucket walk works: sort touched
-    // lazily as we append (preds always have smaller dist, and we push
-    // them after their successors — a queue ordered by discovery works
-    // because all terminals share one distance and each step goes one
-    // level down).
+    // exactly 1 along preds, so a simple bucket walk works: a queue
+    // ordered by discovery suffices because all terminals share one
+    // distance and each step goes one level down.
     let mut i = 0usize;
-    // Per-pair link weights can receive multiple contributions (policy
-    // states); aggregate in a small map.
-    let mut link_acc: std::collections::HashMap<usize, f64> = Default::default();
     while i < touched.len() {
         let s = touched[i];
         i += 1;
@@ -108,15 +286,20 @@ fn accumulate_pair(
         if fs <= 0.0 {
             continue;
         }
-        let node_s = dag.node_of[s as usize];
-        for &p in &dag.preds[s as usize] {
+        for (&p, &e) in dag.preds[s as usize].iter().zip(&pred_edge[s as usize]) {
             let share = fs * dag.sigma[p as usize] / dag.sigma[s as usize];
-            let node_p = dag.node_of[p as usize];
-            if node_p != node_s {
-                let idx = g
-                    .edge_index(node_p, node_s)
-                    .expect("DAG edge projects to a graph edge");
-                *link_acc.entry(idx).or_insert(0.0) += share;
+            if e != SAME_NODE {
+                let idx = e as usize;
+                // Per-pair link weights can receive multiple
+                // contributions (policy states); aggregate through the
+                // epoch-stamped scratch instead of a per-pair map.
+                if link_stamp[idx] == v {
+                    link_w[idx] += share;
+                } else {
+                    link_stamp[idx] = v;
+                    link_w[idx] = share;
+                    links_touched.push(idx as u32);
+                }
             }
             if frac[p as usize] == 0.0 {
                 touched.push(p);
@@ -126,9 +309,6 @@ fn accumulate_pair(
     }
     for &s in touched.iter() {
         frac[s as usize] = 0.0;
-    }
-    for (idx, w) in link_acc {
-        per_link[idx].push(PairWeight { u, v, w });
     }
 }
 
@@ -144,7 +324,7 @@ mod tests {
         let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
         let t = link_traversals(&g, &PathMode::Shortest);
         assert_eq!(t.sizes(), vec![2, 2]);
-        for link in &t.per_link {
+        for link in t.iter_links() {
             for pw in link {
                 assert!((pw.w - 1.0).abs() < 1e-12);
                 assert!(pw.u < pw.v);
@@ -158,14 +338,16 @@ mod tests {
         let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
         let t = link_traversals(&g, &PathMode::Shortest);
         let idx01 = g.edge_index(0, 1).unwrap();
-        let pw: Vec<&PairWeight> = t.per_link[idx01]
+        let pw: Vec<&PairWeight> = t
+            .link(idx01)
             .iter()
             .filter(|p| p.u == 0 && p.v == 2)
             .collect();
         assert_eq!(pw.len(), 1);
         assert!((pw[0].w - 0.5).abs() < 1e-12);
         // Adjacent pair (0,1) uses the link fully.
-        let adj: Vec<&PairWeight> = t.per_link[idx01]
+        let adj: Vec<&PairWeight> = t
+            .link(idx01)
             .iter()
             .filter(|p| p.u == 0 && p.v == 1)
             .collect();
@@ -192,7 +374,7 @@ mod tests {
         );
         let t = link_traversals(&g, &PathMode::Shortest);
         let mut per_pair: std::collections::HashMap<(NodeId, NodeId), f64> = Default::default();
-        for link in &t.per_link {
+        for link in t.iter_links() {
             for pw in link {
                 *per_pair.entry((pw.u, pw.v)).or_insert(0.0) += pw.w;
             }
@@ -234,6 +416,32 @@ mod tests {
     fn empty_graph() {
         let g = Graph::empty(3);
         let t = link_traversals(&g, &PathMode::Shortest);
-        assert!(t.per_link.is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.total_pairs(), 0);
+    }
+
+    #[test]
+    fn arena_slices_match_sizes() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let t = link_traversals(&g, &PathMode::Shortest);
+        let sizes = t.sizes();
+        assert_eq!(sizes.len(), t.link_count());
+        for (l, &s) in sizes.iter().enumerate() {
+            assert_eq!(t.link(l).len(), s);
+        }
+        assert_eq!(t.total_pairs(), sizes.iter().sum::<usize>());
+        assert!(t.arena_bytes() >= t.total_pairs() * std::mem::size_of::<PairWeight>());
+    }
+
+    #[test]
+    fn instrument_counters_populate() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let ins = Instrument::new();
+        let t = link_traversals_threads(&g, &PathMode::Shortest, Some(1), Some(&ins));
+        let r = ins.report();
+        assert_eq!(r.pairs_accumulated, 6); // C(4,2) reachable pairs
+        assert!(r.dag_states > 0);
+        assert_eq!(r.arena_bytes, t.arena_bytes() as u64);
+        assert!(r.phases.iter().any(|p| p.name == "hier-traversal"));
     }
 }

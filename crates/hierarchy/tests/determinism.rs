@@ -1,0 +1,218 @@
+//! Determinism and arena invariants of the parallel link-value engine.
+//!
+//! The engine's contract: results are *bit-identical* at any thread
+//! count (1, 2, 8 — including more workers than cores), for plain and
+//! policy paths, and they reproduce the serial pre-arena reference
+//! implementation exactly.
+
+use topogen_generators::canonical::{kary_tree, mesh};
+use topogen_graph::{bfs, Graph, NodeId};
+use topogen_hierarchy::baseline::{link_traversals_ref, link_values_ref};
+use topogen_hierarchy::linkvalue::{link_values, link_values_threads, PathMode};
+use topogen_hierarchy::traversal::{link_traversals, link_traversals_threads, PairWeight};
+use topogen_policy::rel::{annotations_from_pairs, AsAnnotations};
+
+fn star(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as NodeId).map(|i| (0, i)))
+}
+
+/// A small annotated graph exercising providers, peers, and equal-cost
+/// policy paths: two mid-tier nodes under a peered top pair, with
+/// multihomed leaves.
+fn policy_graph() -> (Graph, AsAnnotations) {
+    let g = Graph::from_edges(
+        8,
+        vec![
+            (0, 1), // peers (top tier)
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (3, 5),
+            (3, 6),
+            (4, 7),
+            (5, 7),
+        ],
+    );
+    let ann = annotations_from_pairs(
+        &g,
+        &[
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (3, 5),
+            (3, 6),
+            (4, 7),
+            (5, 7),
+        ],
+        &[(0, 1)],
+        &[],
+    );
+    (g, ann)
+}
+
+fn all_pairs(t: &topogen_hierarchy::LinkTraversals) -> Vec<Vec<PairWeight>> {
+    t.iter_links().map(|l| l.to_vec()).collect()
+}
+
+/// Bit-identical traversal sets and link values across 1/2/8 workers.
+fn assert_thread_invariance(g: &Graph, mode: &PathMode<'_>) {
+    let t1 = link_traversals_threads(g, mode, Some(1), None);
+    let v1 = link_values_threads(g, mode, Some(1), None);
+    for threads in [2, 8] {
+        let tn = link_traversals_threads(g, mode, Some(threads), None);
+        assert_eq!(
+            all_pairs(&t1),
+            all_pairs(&tn),
+            "traversal sets differ at {threads} threads"
+        );
+        let vn = link_values_threads(g, mode, Some(threads), None);
+        assert_eq!(v1.len(), vn.len());
+        for (i, (a, b)) in v1.iter().zip(&vn).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "link {i} value differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_invariance_tree() {
+    assert_thread_invariance(&kary_tree(3, 4), &PathMode::Shortest);
+}
+
+#[test]
+fn thread_invariance_mesh() {
+    assert_thread_invariance(&mesh(7, 7), &PathMode::Shortest);
+}
+
+#[test]
+fn thread_invariance_star() {
+    assert_thread_invariance(&star(24), &PathMode::Shortest);
+}
+
+#[test]
+fn thread_invariance_policy() {
+    let (g, ann) = policy_graph();
+    // Sanity: the policy mode actually constrains some pairs, so this
+    // exercises multi-state DAGs rather than collapsing to plain BFS.
+    let plain: usize = link_traversals(&g, &PathMode::Shortest)
+        .sizes()
+        .iter()
+        .sum();
+    let pol: usize = link_traversals(&g, &PathMode::Policy(&ann))
+        .sizes()
+        .iter()
+        .sum();
+    assert!(pol <= plain);
+    assert!(pol > 0, "policy graph must route something");
+    assert_thread_invariance(&g, &PathMode::Policy(&ann));
+}
+
+/// The arena reproduces the serial pre-arena reference bit-for-bit.
+#[test]
+fn arena_matches_reference_engine() {
+    for (g, mode) in [
+        (kary_tree(2, 5), PathMode::Shortest),
+        (mesh(6, 6), PathMode::Shortest),
+        (star(12), PathMode::Shortest),
+    ] {
+        let arena = link_traversals(&g, &mode);
+        let reference = link_traversals_ref(&g, &mode);
+        assert_eq!(arena.link_count(), reference.len());
+        for (l, ref_pairs) in reference.iter().enumerate() {
+            let mut sorted_ref = ref_pairs.clone();
+            // The reference pushes a pair's links in HashMap order, but
+            // each link still receives its pairs in (u, v) order — only
+            // the per-pair *weights* need an order-insensitive check.
+            sorted_ref.sort_by_key(|p| (p.u, p.v));
+            assert_eq!(arena.link(l), &sorted_ref[..], "link {l} differs");
+        }
+        let values = link_values(&g, &mode);
+        let ref_values = link_values_ref(&g, &mode);
+        assert_eq!(values.len(), ref_values.len());
+        for (i, (a, b)) in values.iter().zip(&ref_values).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "value {i}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn policy_values_match_reference() {
+    let (g, ann) = policy_graph();
+    let mode = PathMode::Policy(&ann);
+    let values = link_values(&g, &mode);
+    let reference = link_values_ref(&g, &mode);
+    assert_eq!(values.len(), reference.len());
+    for (a, b) in values.iter().zip(&reference) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Flow conservation on the arena representation: for every pair,
+/// Σ_links w(u, v, l) equals the pair's shortest-path distance.
+#[test]
+fn arena_flow_conservation() {
+    let g = mesh(6, 6);
+    let t = link_traversals(&g, &PathMode::Shortest);
+    let n = g.node_count();
+    let mut per_pair = vec![0.0f64; n * n];
+    for link in t.iter_links() {
+        for pw in link {
+            assert!(pw.u < pw.v, "pairs are normalized");
+            assert!(pw.w > 0.0 && pw.w <= 1.0 + 1e-9);
+            per_pair[pw.u as usize * n + pw.v as usize] += pw.w;
+        }
+    }
+    for u in 0..n as NodeId {
+        let dist = bfs::distances(&g, u);
+        for v in (u + 1)..n as NodeId {
+            let total = per_pair[u as usize * n + v as usize];
+            let d = dist[v as usize] as f64;
+            assert!(
+                (total - d).abs() < 1e-9,
+                "pair ({u},{v}): Σw = {total}, d = {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_graph_edge_cases() {
+    let g = Graph::empty(5);
+    let t = link_traversals(&g, &PathMode::Shortest);
+    assert!(t.is_empty());
+    assert_eq!(t.sizes(), Vec::<usize>::new());
+    assert_eq!(t.total_pairs(), 0);
+    assert!(link_values(&g, &PathMode::Shortest).is_empty());
+    // Zero-node graph.
+    let g0 = Graph::empty(0);
+    assert!(link_values(&g0, &PathMode::Shortest).is_empty());
+}
+
+#[test]
+fn disconnected_graph_edge_cases() {
+    // Two components + an isolated node: pairs never span components.
+    let g = Graph::from_edges(7, vec![(0, 1), (1, 2), (4, 5), (5, 6)]);
+    let t = link_traversals_threads(&g, &PathMode::Shortest, Some(4), None);
+    assert_eq!(t.link_count(), 4);
+    for link in t.iter_links() {
+        for pw in link {
+            let left = pw.u <= 2 && pw.v <= 2;
+            let right = (4..=6).contains(&pw.u) && (4..=6).contains(&pw.v);
+            assert!(left || right, "cross-component pair ({}, {})", pw.u, pw.v);
+        }
+    }
+    // Flow conservation still holds within components.
+    let values = link_values(&g, &PathMode::Shortest);
+    assert_eq!(values.len(), 4);
+    assert!(values.iter().all(|&v| v > 0.0));
+    assert_thread_invariance(&g, &PathMode::Shortest);
+}

@@ -6,12 +6,12 @@
 //! *policy-induced* balls (Appendix E). [`BallSource`] abstracts over
 //! both so metric code is written once.
 
-use crate::par::par_map;
 use crate::CurvePoint;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use topogen_graph::subgraph::{ball, SubgraphMap};
 use topogen_graph::{bfs, Graph, NodeId};
+use topogen_par::par_map;
 use topogen_policy::balls::policy_ball_from_dag;
 use topogen_policy::rel::AsAnnotations;
 use topogen_policy::valley::policy_shortest_path_dag;

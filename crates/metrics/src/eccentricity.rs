@@ -6,10 +6,10 @@
 //! the fraction of nodes per normalized-eccentricity bin, producing the
 //! bell shapes the paper describes (one-sided for the Tree).
 
-use crate::par::par_map;
 use rand::Rng;
 use topogen_graph::bfs::eccentricity;
 use topogen_graph::{Graph, NodeId};
+use topogen_par::par_map;
 
 /// Eccentricities of the given nodes (one BFS each; pass a sample for
 /// large graphs).

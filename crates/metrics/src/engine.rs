@@ -12,17 +12,17 @@
 //!
 //! Determinism: per-center RNG seeds are derived from the plan seed and
 //! the center id (SplitMix64 finalizer), work is distributed by
-//! [`crate::par::par_map_threads`] which preserves input order, and
+//! [`topogen_par::par_map_threads`] which preserves input order, and
 //! aggregation walks centers in their fixed sampled order — so results
 //! are bit-identical for any thread count, including one.
 
 use crate::balls::BallSource;
 use crate::instrument::{Instrument, InstrumentReport};
-use crate::par::par_map_threads;
 use crate::partition::min_balanced_cut;
 use crate::CurvePoint;
 use std::time::Instant;
 use topogen_graph::{Graph, NodeId, UNREACHED};
+use topogen_par::par_map_threads;
 
 /// Per-ball context handed to a [`BallMetric`]: which ball this is, a
 /// deterministic seed unique to (plan seed, center, radius), and the

@@ -7,8 +7,8 @@
 //! 2(a,d,g,j).
 
 use crate::balls::BallSource;
-use crate::par::par_map;
 use topogen_graph::{NodeId, UNREACHED};
+use topogen_par::par_map;
 
 /// E(h) for `h = 0..=max_h`, averaged over the given centers, normalized
 /// by the total node count. With `centers` = all nodes this is the

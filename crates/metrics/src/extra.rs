@@ -6,11 +6,11 @@
 //! for completeness and as cross-checks.
 
 use crate::balls::BallSource;
-use crate::par::par_map;
 use crate::CurvePoint;
 use topogen_graph::bfs::{average_path_length, distances};
 use topogen_graph::flow::max_flow_unit;
 use topogen_graph::{Graph, NodeId, UNREACHED};
+use topogen_par::par_map;
 
 /// Average pairwise path length inside balls, as a ball-growing curve.
 /// Exact on each ball (BFS from every ball node).

@@ -37,12 +37,17 @@
 //! with and without policy routing, exactly as the paper reports for the
 //! AS and RL graphs. [`engine`] runs several per-ball metrics over one
 //! shared set of balls per center (one traversal serves every consumer),
-//! with [`instrument`] counting the work it saves. [`par`] supplies the
-//! scoped-thread parallel map used to spread per-center computations
-//! over cores (this workload is CPU-bound; threads, not async).
+//! with [`instrument`] counting the work it saves. The scoped-thread
+//! parallel map spreading per-center computations over cores lives in
+//! the shared `topogen-par` crate (re-exported here as [`par`]), which
+//! also serves the `topogen-hierarchy` link-value pipeline (this
+//! workload is CPU-bound; threads, not async).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use topogen_par::instrument;
+pub use topogen_par::par;
 
 pub mod balls;
 pub mod bicon_metric;
@@ -53,8 +58,6 @@ pub mod eccentricity;
 pub mod engine;
 pub mod expansion;
 pub mod extra;
-pub mod instrument;
-pub mod par;
 pub mod partition;
 pub mod resilience;
 pub mod spectrum;

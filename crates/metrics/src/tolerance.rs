@@ -8,13 +8,13 @@
 //! attack tolerance": path lengths blow up, then the network shatters and
 //! the largest component's internal distances fall again).
 
-use crate::par::par_map;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use topogen_graph::bfs::average_path_length;
 use topogen_graph::components::largest_component;
 use topogen_graph::subgraph::induced_subgraph;
 use topogen_graph::{Graph, NodeId};
+use topogen_par::par_map;
 
 /// Removal strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

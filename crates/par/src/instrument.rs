@@ -1,0 +1,229 @@
+//! Lightweight instrumentation sink for the parallel engines.
+//!
+//! [`Instrument`] is a set of atomic counters plus a coarse phase-timer
+//! that worker threads update while an engine runs — the shared-ball
+//! `BallPlan` of `topogen-metrics` or the link-value pipeline of
+//! `topogen-hierarchy`; [`Instrument::report`] snapshots it into a plain
+//! [`InstrumentReport`] that callers can aggregate or serialize. The
+//! counters exist to make the engines' sharing *observable*: a suite run
+//! can assert (and a timing report can show) that the BFS/ball work per
+//! center no longer scales with the number of registered metrics, and
+//! that the hierarchy stage's DAG/arena volumes match expectations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared counters + phase wall-times, updated concurrently by engine
+/// workers. All methods take `&self`; ordering is relaxed (counters are
+/// independent tallies, read only after the run joins its workers).
+#[derive(Debug, Default)]
+pub struct Instrument {
+    /// Distance-field computations (one BFS-equivalent traversal each).
+    bfs_runs: AtomicU64,
+    /// Ball subgraphs constructed.
+    balls_built: AtomicU64,
+    /// Reuses of an already-built ball or distance field by an
+    /// additional consumer (what the shared plan saves over per-metric
+    /// `balls_up_to` calls).
+    ball_cache_hits: AtomicU64,
+    /// Partitioner restarts performed by resilience consumers.
+    partitioner_restarts: AtomicU64,
+    /// Path-DAG states visited by the link-value traversal stage (§5).
+    dag_states: AtomicU64,
+    /// (source, target) pairs accumulated into traversal sets.
+    pairs_accumulated: AtomicU64,
+    /// Bytes held by the traversal-set arena (offsets + flat pair
+    /// buffer), summed over link-value runs.
+    arena_bytes: AtomicU64,
+    /// Accumulated wall time per named phase, in nanoseconds.
+    phase_nanos: Mutex<Vec<(String, u64)>>,
+}
+
+impl Instrument {
+    /// A fresh sink with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` distance-field computations.
+    pub fn add_bfs_runs(&self, n: u64) {
+        self.bfs_runs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` ball subgraph constructions.
+    pub fn add_balls_built(&self, n: u64) {
+        self.balls_built.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` reuses of shared per-center work.
+    pub fn add_ball_cache_hits(&self, n: u64) {
+        self.ball_cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` partitioner restarts.
+    pub fn add_partitioner_restarts(&self, n: u64) {
+        self.partitioner_restarts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` path-DAG states visited by the traversal stage.
+    pub fn add_dag_states(&self, n: u64) {
+        self.dag_states.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` pairs accumulated into traversal sets.
+    pub fn add_pairs_accumulated(&self, n: u64) {
+        self.pairs_accumulated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` bytes held by a traversal-set arena.
+    pub fn add_arena_bytes(&self, n: u64) {
+        self.arena_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add wall time to the named phase (accumulates across threads, so
+    /// parallel phases can exceed elapsed wall-clock time).
+    pub fn add_phase(&self, name: &str, elapsed: Duration) {
+        let nanos = elapsed.as_nanos() as u64;
+        let mut phases = self.phase_nanos.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += nanos;
+        } else {
+            phases.push((name.to_string(), nanos));
+        }
+    }
+
+    /// Snapshot the counters into a plain report.
+    pub fn report(&self) -> InstrumentReport {
+        let phases = self
+            .phase_nanos
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(name, nanos)| PhaseTiming {
+                name: name.clone(),
+                seconds: *nanos as f64 / 1e9,
+            })
+            .collect();
+        InstrumentReport {
+            bfs_runs: self.bfs_runs.load(Ordering::Relaxed),
+            balls_built: self.balls_built.load(Ordering::Relaxed),
+            ball_cache_hits: self.ball_cache_hits.load(Ordering::Relaxed),
+            partitioner_restarts: self.partitioner_restarts.load(Ordering::Relaxed),
+            dag_states: self.dag_states.load(Ordering::Relaxed),
+            pairs_accumulated: self.pairs_accumulated.load(Ordering::Relaxed),
+            arena_bytes: self.arena_bytes.load(Ordering::Relaxed),
+            phases,
+        }
+    }
+}
+
+/// Wall time attributed to one named engine phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name (`"distances"`, `"balls"`, or a metric's name).
+    pub name: String,
+    /// Accumulated wall time in seconds (summed across worker threads).
+    pub seconds: f64,
+}
+
+/// Plain snapshot of an [`Instrument`] after a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InstrumentReport {
+    /// Distance-field computations performed.
+    pub bfs_runs: u64,
+    /// Ball subgraphs constructed.
+    pub balls_built: u64,
+    /// Reuses of shared per-center work by additional consumers.
+    pub ball_cache_hits: u64,
+    /// Partitioner restarts performed.
+    pub partitioner_restarts: u64,
+    /// Path-DAG states visited by the link-value traversal stage.
+    pub dag_states: u64,
+    /// Pairs accumulated into traversal sets.
+    pub pairs_accumulated: u64,
+    /// Bytes held by traversal-set arenas.
+    pub arena_bytes: u64,
+    /// Per-phase accumulated wall times.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl InstrumentReport {
+    /// Merge another report into this one (summing counters and phases),
+    /// for aggregating per-topology runs into a suite-level report.
+    pub fn merge(&mut self, other: &InstrumentReport) {
+        self.bfs_runs += other.bfs_runs;
+        self.balls_built += other.balls_built;
+        self.ball_cache_hits += other.ball_cache_hits;
+        self.partitioner_restarts += other.partitioner_restarts;
+        self.dag_states += other.dag_states;
+        self.pairs_accumulated += other.pairs_accumulated;
+        self.arena_bytes += other.arena_bytes;
+        for p in &other.phases {
+            if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
+                mine.seconds += p.seconds;
+            } else {
+                self.phases.push(p.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let ins = Instrument::new();
+        ins.add_bfs_runs(3);
+        ins.add_bfs_runs(2);
+        ins.add_balls_built(7);
+        ins.add_ball_cache_hits(4);
+        ins.add_partitioner_restarts(9);
+        ins.add_dag_states(100);
+        ins.add_pairs_accumulated(50);
+        ins.add_arena_bytes(1024);
+        let r = ins.report();
+        assert_eq!(r.bfs_runs, 5);
+        assert_eq!(r.balls_built, 7);
+        assert_eq!(r.ball_cache_hits, 4);
+        assert_eq!(r.partitioner_restarts, 9);
+        assert_eq!(r.dag_states, 100);
+        assert_eq!(r.pairs_accumulated, 50);
+        assert_eq!(r.arena_bytes, 1024);
+    }
+
+    #[test]
+    fn phases_accumulate_by_name() {
+        let ins = Instrument::new();
+        ins.add_phase("balls", Duration::from_millis(10));
+        ins.add_phase("balls", Duration::from_millis(5));
+        ins.add_phase("resilience", Duration::from_millis(2));
+        let r = ins.report();
+        assert_eq!(r.phases.len(), 2);
+        let balls = r.phases.iter().find(|p| p.name == "balls").unwrap();
+        assert!((balls.seconds - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_reports() {
+        let a = Instrument::new();
+        a.add_bfs_runs(1);
+        a.add_dag_states(10);
+        a.add_phase("x", Duration::from_secs(1));
+        let b = Instrument::new();
+        b.add_bfs_runs(2);
+        b.add_dag_states(5);
+        b.add_arena_bytes(64);
+        b.add_phase("x", Duration::from_secs(2));
+        b.add_phase("y", Duration::from_secs(3));
+        let mut ra = a.report();
+        ra.merge(&b.report());
+        assert_eq!(ra.bfs_runs, 3);
+        assert_eq!(ra.dag_states, 15);
+        assert_eq!(ra.arena_bytes, 64);
+        assert_eq!(ra.phases.len(), 2);
+        assert!((ra.phases[0].seconds - 3.0).abs() < 1e-9);
+    }
+}

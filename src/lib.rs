@@ -29,6 +29,8 @@
 //! * [`metrics`] — the three basic metrics and the Appendix B suite.
 //! * [`hierarchy`] — link values, strict/moderate/loose classes, the
 //!   link-value ↔ degree correlation.
+//! * [`par`] — the shared parallel substrate: order-preserving scoped
+//!   `par_map` and the `Instrument` counter/phase-timer layer.
 //! * [`linalg`] — Jacobi and Lanczos eigensolvers for spectra.
 //! * [`core`] — the comparison framework: topology zoo, suite runner,
 //!   L/H signatures, reporting.
@@ -58,4 +60,5 @@ pub use topogen_hierarchy as hierarchy;
 pub use topogen_linalg as linalg;
 pub use topogen_measured as measured;
 pub use topogen_metrics as metrics;
+pub use topogen_par as par;
 pub use topogen_policy as policy;
