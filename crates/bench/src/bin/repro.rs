@@ -2,12 +2,29 @@
 //!
 //! ```text
 //! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]
+//!                    [--keep-going] [--resume] [--deadline SECS] [--retries N]
+//!                    [--strict-checks]
 //!
 //! --timings prints the parallel engines' instrumentation — shared-ball
 //! counters (traversals, cache hits) for the metric suite, hierarchy
 //! counters (DAG states, pairs accumulated, arena bytes) for the
 //! link-value stage, per-phase wall times for both — and with --json
 //! also archives it as BENCH_<id>.json.
+//!
+//! Every experiment runs as an isolated unit (panics are caught and
+//! recorded, not fatal). For `all`, outcomes land in the run ledger
+//! `out/run-ledger.json`:
+//!   --keep-going        run the remaining units past a failure
+//!   --resume            skip units the ledger already shows completed
+//!   --deadline SECS     per-unit wall-clock deadline (cooperative)
+//!   --retries N         reseeded retries after a failed attempt (default 1)
+//!   --strict-checks     fig2 [FAIL] qualitative checks fail the unit
+//!
+//! Exit codes: 0 everything completed, 1 failures or timeouts,
+//! 2 usage error, 3 a measured-graph load error.
+//!
+//! Fault injection (tests/CI): TOPOGEN_FAULTS=site[@scope]:kind:rate:seed
+//! with sites build/metric/hier, kinds panic/delay[MS].
 //!
 //! experiments:
 //!   tab1                 Figure 1: the topology table
@@ -32,31 +49,92 @@
 //!   ablation-ts          footnote 17: TS redundancy trade-off
 //!   ablation-extremes    §4.4: extreme parameter regimes
 //!   ablation-distortion  spanning-tree local-search quality
-//!   all                  everything above
+//!   load-measured PATH   load a real measured edge list, print its stats
+//!   all                  everything above (except load-measured)
 //! ```
 
 use std::io::Write as _;
+use std::time::Duration;
 use topogen_bench::experiments as exp;
+use topogen_bench::runner::{self, RunnerOptions, Unit, UnitError};
 use topogen_bench::ExpCtx;
 use topogen_core::report::{render_figure, FigureData, TableData, TimingReport};
 use topogen_core::zoo::Scale;
 use topogen_metrics::tolerance::Removal;
 
+/// The `all` suite, in execution order.
+const ALL_UNITS: [&str; 22] = [
+    "tab1",
+    "tab-signature",
+    "tab-hierarchy",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "bgp-vs-policy",
+    "robustness-snapshots",
+    "robustness-incompleteness",
+    "ablation-ts",
+    "ablation-extremes",
+    "ablation-distortion",
+];
+
 struct Output {
     json_dir: Option<String>,
     timings: bool,
+    strict_checks: bool,
+    /// Degraded components noted while rendering this unit's artifacts;
+    /// drained at the end of `run_cmd` to fail the unit (the outputs are
+    /// still printed and archived with their `n/a (failed)` cells).
+    degraded: std::sync::Mutex<Vec<String>>,
+}
+
+impl Clone for Output {
+    fn clone(&self) -> Self {
+        Output {
+            json_dir: self.json_dir.clone(),
+            timings: self.timings,
+            strict_checks: self.strict_checks,
+            degraded: std::sync::Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Output {
+    fn note_degraded(&self, id: &str, failures: &[topogen_core::report::Degradation]) {
+        if failures.is_empty() {
+            return;
+        }
+        let mut held = self.degraded.lock().unwrap_or_else(|p| p.into_inner());
+        for f in failures {
+            held.push(format!("{id}/{}: {}", f.label, f.reason));
+        }
+    }
+
+    fn take_degraded(&self) -> Vec<String> {
+        std::mem::take(&mut *self.degraded.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
     fn table(&self, t: &TableData) {
         println!("== {} ==", t.id);
         println!("{}", t.render());
+        self.note_degraded(&t.id, &t.failures);
         self.dump(&t.id, serde_json::to_string_pretty(t).unwrap());
     }
 
     fn figure(&self, f: &FigureData) {
         println!("== {} ==", f.id);
         println!("{}", render_figure(f));
+        self.note_degraded(&f.id, &f.failures);
         self.dump(&f.id, serde_json::to_string_pretty(f).unwrap());
     }
 
@@ -87,23 +165,49 @@ impl Output {
     }
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] \
+         [--timings] [--keep-going] [--resume] [--deadline SECS] [--retries N] [--strict-checks]"
+    );
+    eprintln!("run `repro list` for the experiment index");
+    std::process::exit(2);
+}
+
 fn main() {
+    topogen_par::faults::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]"
-        );
-        eprintln!("run `repro list` for the experiment index");
-        std::process::exit(2);
+        usage();
     }
     let mut ctx = ExpCtx::default();
     let mut json_dir = None;
     let mut timings = false;
-    let mut cmd = String::new();
+    let mut strict_checks = false;
+    let mut opts = RunnerOptions::default();
+    let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timings" => timings = true,
+            "--keep-going" => opts.keep_going = true,
+            "--resume" => opts.resume = true,
+            "--strict-checks" => strict_checks = true,
+            "--deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .expect("--deadline needs seconds")
+                    .parse()
+                    .expect("deadline must be a number of seconds");
+                opts.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                opts.retries = it
+                    .next()
+                    .expect("--retries needs a count")
+                    .parse()
+                    .expect("retries must be an integer");
+            }
             "--scale" => {
                 let v = it.next().expect("--scale needs a value");
                 ctx.scale = match v.as_str() {
@@ -125,22 +229,106 @@ fn main() {
                 std::fs::create_dir_all(&dir).expect("create json dir");
                 json_dir = Some(dir);
             }
-            other if cmd.is_empty() => cmd = other.to_string(),
-            other => panic!("unexpected argument {other:?}"),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+            other => positional.push(other.to_string()),
         }
     }
-    let out = Output { json_dir, timings };
-    run_cmd(&cmd, &ctx, &out);
+    let cmd = match positional.first() {
+        Some(c) => c.clone(),
+        None => usage(),
+    };
+    let arg = positional.get(1).cloned();
+    if positional.len() > 2 {
+        eprintln!("unexpected argument {:?}", positional[2]);
+        usage();
+    }
+    let out = Output {
+        json_dir,
+        timings,
+        strict_checks,
+        degraded: std::sync::Mutex::new(Vec::new()),
+    };
+
+    if cmd == "list" {
+        println!("tab1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11");
+        println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
+        println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
+        println!("ablation-ts ablation-extremes ablation-distortion");
+        println!("load-measured all");
+        return;
+    }
+    if cmd == "load-measured" && arg.is_none() {
+        eprintln!("load-measured needs a PATH argument");
+        usage();
+    }
+    if let Some(extra) = arg.as_deref().filter(|_| cmd != "load-measured") {
+        eprintln!("unexpected argument {extra:?}");
+        usage();
+    }
+    let known = cmd == "all"
+        || cmd == "load-measured"
+        || cmd == "fig4"
+        || ALL_UNITS.contains(&cmd.as_str());
+    if !known {
+        eprintln!("unknown experiment {cmd:?}; run `repro list`");
+        std::process::exit(2);
+    }
+
+    // Suppress the expected control-flow panic chatter (deadline
+    // cancellations, injected faults); genuine panics still print.
+    runner::quiet_expected_panics();
+
+    let scale_label = match ctx.scale {
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    let unit_for = |id: &str| -> Unit {
+        let id_owned = id.to_string();
+        let out = out.clone();
+        let arg = arg.clone();
+        let base = ctx;
+        Unit::new(id, move |attempt| {
+            let mut c = base;
+            c.seed = runner::reseed(base.seed, attempt);
+            run_cmd(&id_owned, arg.as_deref(), &c, &out)
+        })
+    };
+
+    let units: Vec<Unit> = if cmd == "all" {
+        opts.ledger_path
+            .get_or_insert_with(|| "out/run-ledger.json".to_string());
+        ALL_UNITS.iter().map(|c| unit_for(c)).collect()
+    } else {
+        vec![unit_for(&cmd)]
+    };
+
+    let report = runner::run_units(&units, &opts, ctx.seed, scale_label);
+    if cmd == "all" {
+        let done = report
+            .ledger
+            .units
+            .iter()
+            .filter(|u| u.status.completed())
+            .count();
+        eprintln!(
+            ">>> suite: {done}/{} units completed ({} executed, ledger at {})",
+            report.ledger.units.len(),
+            report.executed.len(),
+            opts.ledger_path.as_deref().unwrap_or("-"),
+        );
+    }
+    std::process::exit(report.exit_code);
 }
 
-fn run_cmd(cmd: &str, ctx: &ExpCtx, out: &Output) {
+fn run_cmd(cmd: &str, arg: Option<&str>, ctx: &ExpCtx, out: &Output) -> Result<(), UnitError> {
+    if ALL_UNITS.contains(&cmd) || cmd == "fig4" {
+        eprintln!(">>> {cmd}");
+    }
+    let _ = out.take_degraded(); // drop leftovers from an aborted attempt
     match cmd {
-        "list" => {
-            println!("tab1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11");
-            println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
-            println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
-            println!("ablation-ts ablation-extremes ablation-distortion all");
-        }
         "tab1" => out.table(&exp::tab1::run(ctx)),
         "fig2" => {
             for panel in ["canonical", "measured", "generated", "degree-based"] {
@@ -149,8 +337,19 @@ fn run_cmd(cmd: &str, ctx: &ExpCtx, out: &Output) {
                 }
             }
             println!("# qualitative checks (paper §4.1–4.3):");
+            let mut failed = Vec::new();
             for (claim, holds) in exp::fig2::qualitative_checks(ctx) {
                 println!("#   [{}] {}", if holds { "PASS" } else { "FAIL" }, claim);
+                if !holds {
+                    failed.push(claim);
+                }
+            }
+            if out.strict_checks && !failed.is_empty() {
+                return Err(UnitError::Failed(format!(
+                    "{} qualitative check(s) failed: {}",
+                    failed.len(),
+                    failed.join("; ")
+                )));
             }
         }
         "fig3" | "fig4" => out.figure(&exp::fig3::run(ctx)),
@@ -202,38 +401,50 @@ fn run_cmd(cmd: &str, ctx: &ExpCtx, out: &Output) {
         "ablation-ts" => out.table(&exp::ablations::run_ts_redundancy(ctx)),
         "ablation-extremes" => out.table(&exp::ablations::run_extremes(ctx)),
         "ablation-distortion" => out.table(&exp::ablations::run_distortion_polish(ctx)),
-        "all" => {
-            for c in [
-                "tab1",
-                "tab-signature",
-                "tab-hierarchy",
-                "fig2",
-                "fig3",
-                "fig5",
-                "fig6",
-                "fig7",
-                "fig8",
-                "fig9",
-                "fig10",
-                "fig11",
-                "fig12",
-                "fig13",
-                "fig14",
-                "fig15",
-                "bgp-vs-policy",
-                "robustness-snapshots",
-                "robustness-incompleteness",
-                "ablation-ts",
-                "ablation-extremes",
-                "ablation-distortion",
-            ] {
-                eprintln!(">>> {c}");
-                run_cmd(c, ctx, out);
-            }
+        "load-measured" => {
+            let path = arg.expect("validated in main");
+            let m = topogen_measured::load_measured(path)
+                .map_err(|e| UnitError::Load(e.to_string()))?;
+            let table = TableData::new(
+                "load-measured",
+                vec!["Graph".into(), "Quantity".into(), "Value".into()],
+                vec![
+                    vec![m.name.clone(), "raw nodes".into(), m.raw_nodes.to_string()],
+                    vec![m.name.clone(), "raw edges".into(), m.raw_edges.to_string()],
+                    vec![
+                        m.name.clone(),
+                        "giant component nodes".into(),
+                        m.graph.node_count().to_string(),
+                    ],
+                    vec![
+                        m.name.clone(),
+                        "giant component edges".into(),
+                        m.graph.edge_count().to_string(),
+                    ],
+                    vec![
+                        m.name.clone(),
+                        "avg degree".into(),
+                        format!("{:.2}", m.avg_degree()),
+                    ],
+                ],
+            );
+            out.table(&table);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; run `repro list`");
-            std::process::exit(2);
+            // Unknown ids are rejected in main; reaching this is a bug.
+            return Err(UnitError::Failed(format!("unknown experiment {other:?}")));
         }
     }
+    // Degraded components fail the unit (the artifacts above were still
+    // printed and archived); a reseeded retry may recover stochastic
+    // failures, and `--resume` re-runs exactly these units.
+    let degraded = out.take_degraded();
+    if !degraded.is_empty() {
+        return Err(UnitError::Failed(format!(
+            "{} degraded component(s): {}",
+            degraded.len(),
+            degraded.join("; ")
+        )));
+    }
+    Ok(())
 }

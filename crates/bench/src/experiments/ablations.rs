@@ -70,6 +70,7 @@ pub fn run_ts_redundancy(ctx: &ExpCtx) -> TableData {
             "D(last)".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 
@@ -141,6 +142,7 @@ pub fn run_extremes(ctx: &ExpCtx) -> TableData {
             "D(last)".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 
@@ -215,6 +217,7 @@ pub fn run_distortion_polish(ctx: &ExpCtx) -> TableData {
             "improvement".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 

@@ -93,6 +93,7 @@ pub fn run(ctx: &ExpCtx) -> TableData {
         id: "bgp-vs-policy".into(),
         header: vec!["Quantity".into(), "Value".into()],
         rows,
+        failures: Vec::new(),
     }
 }
 

@@ -2,7 +2,7 @@
 //! whole-graph clustering observation (PLRG tracks the AS graph under
 //! ball-growing, but not on the whole graph).
 
-use crate::experiments::build_zoo;
+use crate::experiments::{build_zoo_degraded, zoo_figure_degraded};
 use crate::ExpCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,29 +14,29 @@ use topogen_metrics::clustering::{clustering_curve, graph_clustering};
 pub fn run(ctx: &ExpCtx) -> FigureData {
     let centers_n = if ctx.quick { 8 } else { 24 };
     let max_ball = if ctx.quick { 1_500 } else { 5_000 };
-    let zoo = build_zoo(ctx.scale, ctx.seed);
-    let mut series = Vec::new();
-    for t in &zoo {
-        let src = PlainBalls { graph: &t.graph };
-        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xC1);
-        let centers = sample_centers(t.graph.node_count(), centers_n, &mut rng);
-        let curve = clustering_curve(&src, &centers, if ctx.quick { 40 } else { 64 }, max_ball);
-        let x: Vec<f64> = curve.iter().map(|p| p.avg_size).collect();
-        let y: Vec<f64> = curve.iter().map(|p| p.value).collect();
-        series.push(Series::new(&t.name, &x, &y));
-    }
-    FigureData {
-        id: "fig10-clustering".into(),
-        x_label: "ball size".into(),
-        y_label: "clustering coefficient".into(),
-        series,
-    }
+    zoo_figure_degraded(
+        ctx.scale,
+        ctx.seed,
+        "fig10-clustering",
+        "ball size",
+        "clustering coefficient",
+        |t| {
+            let src = PlainBalls { graph: &t.graph };
+            let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xC1);
+            let centers = sample_centers(t.graph.node_count(), centers_n, &mut rng);
+            let curve = clustering_curve(&src, &centers, if ctx.quick { 40 } else { 64 }, max_ball);
+            let x: Vec<f64> = curve.iter().map(|p| p.avg_size).collect();
+            let y: Vec<f64> = curve.iter().map(|p| p.value).collect();
+            Some(Series::new(&t.name, &x, &y))
+        },
+    )
 }
 
 /// Whole-graph clustering coefficients (the §4.4 caveat table).
 pub fn whole_graph_table(ctx: &ExpCtx) -> TableData {
-    let zoo = build_zoo(ctx.scale, ctx.seed);
+    let zoo = build_zoo_degraded(ctx.scale, ctx.seed);
     let rows = zoo
+        .built
         .iter()
         .map(|t| {
             vec![
@@ -47,11 +47,15 @@ pub fn whole_graph_table(ctx: &ExpCtx) -> TableData {
             ]
         })
         .collect();
-    TableData {
-        id: "fig10-global-clustering".into(),
-        header: vec!["Topology".into(), "global clustering".into()],
+    let mut table = TableData::new(
+        "fig10-global-clustering",
+        vec!["Topology".into(), "global clustering".into()],
         rows,
+    );
+    for (name, reason) in zoo.failures {
+        table.push_failed_row(name, reason);
     }
+    table
 }
 
 #[cfg(test)]

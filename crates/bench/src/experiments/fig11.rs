@@ -133,6 +133,7 @@ pub fn run(ctx: &ExpCtx) -> TableData {
             "AvgDeg".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 

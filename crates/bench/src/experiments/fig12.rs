@@ -48,6 +48,7 @@ pub fn run(ctx: &ExpCtx) -> (FigureData, Vec<FigureData>) {
         x_label: "degree".into(),
         y_label: "complementary cumulative frequency".into(),
         series: ccdf_series,
+        failures: Vec::new(),
     };
     let params = ctx.suite_params();
     let mut figs = Vec::new();
@@ -78,6 +79,7 @@ pub fn run(ctx: &ExpCtx) -> (FigureData, Vec<FigureData>) {
             x_label: "h or n".into(),
             y_label: metric.label().into(),
             series,
+            failures: Vec::new(),
         });
     }
     (ccdf, figs)
@@ -182,6 +184,7 @@ pub fn run_modified(ctx: &ExpCtx) -> TableData {
             "Clustering".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 

@@ -63,6 +63,7 @@ pub fn run(_ctx: &ExpCtx) -> TableData {
         id: "fig15-policy-ball".into(),
         header: vec!["radius h".into(), "ball members".into(), "links".into()],
         rows,
+        failures: Vec::new(),
     }
 }
 
@@ -96,6 +97,7 @@ pub fn run_overlay(_ctx: &ExpCtx) -> TableData {
         id: "fig15-router-overlay".into(),
         header: vec!["router (AS)".into(), "policy distance from A".into()],
         rows,
+        failures: Vec::new(),
     }
 }
 

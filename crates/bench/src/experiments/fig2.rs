@@ -3,7 +3,7 @@
 //! (g–i) and degree-based (j–l) panels, including the AS/RL policy
 //! variants.
 
-use crate::experiments::build_zoo;
+use crate::experiments::{build_zoo, catching};
 use crate::ExpCtx;
 use topogen_core::report::{FigureData, Series};
 use topogen_core::suite::{run_suite, run_suite_policy, run_suite_rl_policy, SuiteResult};
@@ -59,38 +59,45 @@ fn points_series(label: &str, pts: &[CurvePoint]) -> Series {
 pub fn run(ctx: &ExpCtx, panel: &str, metric: Metric) -> FigureData {
     let params = ctx.suite_params();
     let mut series = Vec::new();
-    let topologies: Vec<BuiltTopology> = match panel {
-        "canonical" => ["Tree", "Mesh", "Random"]
-            .iter()
-            .map(|n| build_named(ctx, n))
-            .collect(),
-        "measured" => vec![
-            build(&TopologySpec::MeasuredAs, ctx.scale, ctx.seed),
-            build(&TopologySpec::MeasuredRl, ctx.scale, ctx.seed),
-        ],
-        "generated" => ["TS", "Tiers", "Waxman", "PLRG"]
-            .iter()
-            .map(|n| build_named(ctx, n))
-            .collect(),
-        "degree-based" => TopologySpec::degree_based_zoo(ctx.scale)
-            .iter()
-            .map(|s| build(s, ctx.scale, ctx.seed))
-            .collect(),
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let specs: Vec<TopologySpec> = match panel {
+        "canonical" => named_specs(ctx, &["Tree", "Mesh", "Random"]),
+        "measured" => vec![TopologySpec::MeasuredAs, TopologySpec::MeasuredRl],
+        "generated" => named_specs(ctx, &["TS", "Tiers", "Waxman", "PLRG"]),
+        "degree-based" => TopologySpec::degree_based_zoo(ctx.scale),
         other => panic!("unknown panel {other:?}"),
     };
-    for t in &topologies {
-        let r = run_suite(t, &params);
-        series.push(curve_series(&t.name, metric, &r));
-        // Policy variants, exactly as the paper plots them: AS(Policy)
-        // through valley-free balls, RL(Policy) through the Appendix E
-        // router overlay.
-        if t.annotations.is_some() {
-            let rp = run_suite_policy(t, &params);
-            series.push(curve_series(&format!("{}(Policy)", t.name), metric, &rp));
+    // Per-topology fault isolation, at both stages: a topology that
+    // fails to build or to measure is footnoted instead of aborting the
+    // panel (its seeding is independent, so the survivors are unchanged).
+    let mut topologies: Vec<BuiltTopology> = Vec::new();
+    for s in &specs {
+        match catching(|| build(s, ctx.scale, ctx.seed)) {
+            Ok(t) => topologies.push(t),
+            Err(reason) => failures.push((s.name(), reason)),
         }
-        if t.as_overlay.is_some() {
-            let rp = run_suite_rl_policy(t, &params);
-            series.push(curve_series(&format!("{}(Policy)", t.name), metric, &rp));
+    }
+    for t in &topologies {
+        let measured = catching(|| {
+            let mut local = Vec::new();
+            let r = run_suite(t, &params);
+            local.push(curve_series(&t.name, metric, &r));
+            // Policy variants, exactly as the paper plots them: AS(Policy)
+            // through valley-free balls, RL(Policy) through the Appendix E
+            // router overlay.
+            if t.annotations.is_some() {
+                let rp = run_suite_policy(t, &params);
+                local.push(curve_series(&format!("{}(Policy)", t.name), metric, &rp));
+            }
+            if t.as_overlay.is_some() {
+                let rp = run_suite_rl_policy(t, &params);
+                local.push(curve_series(&format!("{}(Policy)", t.name), metric, &rp));
+            }
+            local
+        });
+        match measured {
+            Ok(local) => series.extend(local),
+            Err(reason) => failures.push((t.name.clone(), reason)),
         }
     }
     let (x_label, y_label) = match metric {
@@ -98,19 +105,31 @@ pub fn run(ctx: &ExpCtx, panel: &str, metric: Metric) -> FigureData {
         Metric::Resilience => ("ball size n", "resilience R(n)"),
         Metric::Distortion => ("ball size n", "distortion D(n)"),
     };
-    FigureData {
-        id: format!("fig2-{}-{}", metric.label(), panel),
-        x_label: x_label.into(),
-        y_label: y_label.into(),
+    let mut fig = FigureData::new(
+        format!("fig2-{}-{}", metric.label(), panel),
+        x_label,
+        y_label,
         series,
+    );
+    for (label, reason) in failures {
+        fig.note_failure(label, reason);
     }
+    fig
 }
 
-fn build_named(ctx: &ExpCtx, name: &str) -> BuiltTopology {
-    build_zoo(ctx.scale, ctx.seed)
-        .into_iter()
-        .find(|t| t.name == name)
-        .unwrap_or_else(|| panic!("{name} not in zoo"))
+/// Look up zoo specs by topology name (each `build` seeds its own RNG,
+/// so building just the named specs matches building the whole zoo).
+fn named_specs(ctx: &ExpCtx, names: &[&str]) -> Vec<TopologySpec> {
+    let zoo = TopologySpec::figure1_zoo(ctx.scale);
+    names
+        .iter()
+        .map(|n| {
+            zoo.iter()
+                .find(|s| s.name() == *n)
+                .unwrap_or_else(|| panic!("{n} not in zoo"))
+                .clone()
+        })
+        .collect()
 }
 
 /// The qualitative checks the panels support (used by EXPERIMENTS.md and

@@ -88,6 +88,7 @@ pub fn run(ctx: &ExpCtx) -> FigureData {
         x_label: "normalized link rank".into(),
         y_label: "normalized link value".into(),
         series,
+        failures: Vec::new(),
     }
 }
 
@@ -119,6 +120,7 @@ pub fn run_variants(ctx: &ExpCtx) -> FigureData {
         x_label: "normalized link rank".into(),
         y_label: "normalized link value".into(),
         series,
+        failures: Vec::new(),
     }
 }
 

@@ -56,6 +56,7 @@ pub fn run(ctx: &ExpCtx) -> TableData {
         id: "fig5-degree-correlation".into(),
         header: vec!["Topology".into(), "corr(link value, min degree)".into()],
         rows,
+        failures: Vec::new(),
     }
 }
 

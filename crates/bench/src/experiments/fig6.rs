@@ -3,29 +3,26 @@
 //! qualitatively captures the degree distribution of the measured
 //! networks".
 
-use crate::experiments::build_zoo;
+use crate::experiments::{build_zoo, zoo_figure_degraded};
 use crate::ExpCtx;
 use topogen_core::report::{FigureData, Series};
 use topogen_generators::degseq::degree_ccdf;
 
 /// All zoo CCDFs as one figure.
 pub fn run(ctx: &ExpCtx) -> FigureData {
-    let zoo = build_zoo(ctx.scale, ctx.seed);
-    let series = zoo
-        .iter()
-        .map(|t| {
+    zoo_figure_degraded(
+        ctx.scale,
+        ctx.seed,
+        "fig6-degree-ccdf",
+        "degree",
+        "complementary cumulative frequency",
+        |t| {
             let c = degree_ccdf(&t.graph);
             let x: Vec<f64> = c.iter().map(|p| p.degree as f64).collect();
             let y: Vec<f64> = c.iter().map(|p| p.fraction).collect();
-            Series::new(&t.name, &x, &y)
-        })
-        .collect();
-    FigureData {
-        id: "fig6-degree-ccdf".into(),
-        x_label: "degree".into(),
-        y_label: "complementary cumulative frequency".into(),
-        series,
-    }
+            Some(Series::new(&t.name, &x, &y))
+        },
+    )
 }
 
 /// The qualitative claim of Appendix A as a check: the heavy-tail span

@@ -1,7 +1,7 @@
 //! Appendix B, Figure 7: (a–c) eigenvalue vs rank, (d–f) normalized
 //! eccentricity distributions.
 
-use crate::experiments::build_zoo;
+use crate::experiments::zoo_figure_degraded;
 use crate::ExpCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,29 +14,28 @@ use topogen_metrics::spectrum::eigenvalue_spectrum;
 /// substitute, but at quick settings we skip it too for time parity.
 pub fn run_eigen(ctx: &ExpCtx) -> FigureData {
     let k = if ctx.quick { 20 } else { 60 };
-    let zoo = build_zoo(ctx.scale, ctx.seed);
-    let mut series = Vec::new();
-    for t in &zoo {
-        if ctx.quick && t.name == "RL" {
-            continue;
-        }
-        let spec = eigenvalue_spectrum(&t.graph, k, ctx.seed ^ 0xE16);
-        let pts: Vec<(f64, f64)> = spec
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v > 0.0)
-            .map(|(i, &v)| ((i + 1) as f64, v))
-            .collect();
-        let x: Vec<f64> = pts.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pts.iter().map(|p| p.1).collect();
-        series.push(Series::new(&t.name, &x, &y));
-    }
-    FigureData {
-        id: "fig7-eigenvalues".into(),
-        x_label: "rank".into(),
-        y_label: "eigenvalue".into(),
-        series,
-    }
+    zoo_figure_degraded(
+        ctx.scale,
+        ctx.seed,
+        "fig7-eigenvalues",
+        "rank",
+        "eigenvalue",
+        |t| {
+            if ctx.quick && t.name == "RL" {
+                return None;
+            }
+            let spec = eigenvalue_spectrum(&t.graph, k, ctx.seed ^ 0xE16);
+            let pts: Vec<(f64, f64)> = spec
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0.0)
+                .map(|(i, &v)| ((i + 1) as f64, v))
+                .collect();
+            let x: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            Some(Series::new(&t.name, &x, &y))
+        },
+    )
 }
 
 /// Figure 7(d–f): histogram of node eccentricities normalized by the
@@ -44,22 +43,21 @@ pub fn run_eigen(ctx: &ExpCtx) -> FigureData {
 pub fn run_diameter(ctx: &ExpCtx) -> FigureData {
     let samples = if ctx.quick { 150 } else { 1000 };
     let bins = 11;
-    let zoo = build_zoo(ctx.scale, ctx.seed);
-    let mut series = Vec::new();
-    for t in &zoo {
-        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xD1A);
-        let eccs = eccentricity_sample(&t.graph, samples, &mut rng);
-        let hist = eccentricity_histogram(&eccs, bins);
-        let x: Vec<f64> = hist.iter().map(|b| b.normalized).collect();
-        let y: Vec<f64> = hist.iter().map(|b| b.fraction).collect();
-        series.push(Series::new(&t.name, &x, &y));
-    }
-    FigureData {
-        id: "fig7-eccentricity".into(),
-        x_label: "normalized eccentricity".into(),
-        y_label: "fraction of nodes".into(),
-        series,
-    }
+    zoo_figure_degraded(
+        ctx.scale,
+        ctx.seed,
+        "fig7-eccentricity",
+        "normalized eccentricity",
+        "fraction of nodes",
+        |t| {
+            let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xD1A);
+            let eccs = eccentricity_sample(&t.graph, samples, &mut rng);
+            let hist = eccentricity_histogram(&eccs, bins);
+            let x: Vec<f64> = hist.iter().map(|b| b.normalized).collect();
+            let y: Vec<f64> = hist.iter().map(|b| b.fraction).collect();
+            Some(Series::new(&t.name, &x, &y))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Appendix B, Figure 8: (a–c) vertex cover vs ball size and (d–f)
 //! biconnected components vs ball size.
 
-use crate::experiments::build_zoo;
+use crate::experiments::zoo_figure_degraded;
 use crate::ExpCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,9 +21,7 @@ fn run_ball_metric(ctx: &ExpCtx, id: &str, y_label: &str, which: &str) -> Figure
     let centers_n = if ctx.quick { 8 } else { 24 };
     let max_ball = if ctx.quick { 1_200 } else { 4_000 };
     let max_h = if ctx.quick { 40 } else { 64 };
-    let zoo = build_zoo(ctx.scale, ctx.seed);
-    let mut series = Vec::new();
-    for t in &zoo {
+    zoo_figure_degraded(ctx.scale, ctx.seed, id, "ball size", y_label, |t| {
         // The RL graph at quick settings is large; its balls are capped
         // like everything else's, so it stays included.
         let src = PlainBalls { graph: &t.graph };
@@ -34,14 +32,8 @@ fn run_ball_metric(ctx: &ExpCtx, id: &str, y_label: &str, which: &str) -> Figure
             "bicon" => bicon_curve(&src, &centers, max_h, max_ball),
             other => panic!("unknown metric {other:?}"),
         };
-        series.push(to_series(&t.name, &curve));
-    }
-    FigureData {
-        id: id.into(),
-        x_label: "ball size".into(),
-        y_label: y_label.into(),
-        series,
-    }
+        Some(to_series(&t.name, &curve))
+    })
 }
 
 /// Figure 8(a–c): vertex cover growth.

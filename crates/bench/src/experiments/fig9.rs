@@ -2,7 +2,7 @@
 //! (d–f) — average path length of the largest component as nodes are
 //! removed by decreasing degree (attack) or at random (error).
 
-use crate::experiments::build_zoo;
+use crate::experiments::{build_zoo, zoo_figure_degraded};
 use crate::ExpCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,30 +13,29 @@ use topogen_metrics::tolerance::{standard_fractions, tolerance_curve, Removal};
 pub fn run(ctx: &ExpCtx, mode: Removal) -> FigureData {
     let samples = if ctx.quick { 12 } else { 60 };
     let fractions = standard_fractions();
-    let zoo = build_zoo(ctx.scale, ctx.seed);
-    let mut series = Vec::new();
-    for t in &zoo {
-        if ctx.quick && t.name == "RL" {
-            // Path-length sampling on the 15k-node RL graph at every
-            // removal fraction is minutes-scale; thorough runs include it.
-            continue;
-        }
-        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x7019);
-        let pts = tolerance_curve(&t.graph, mode, &fractions, samples, &mut rng);
-        let x: Vec<f64> = pts.iter().map(|p| p.fraction).collect();
-        let y: Vec<f64> = pts.iter().map(|p| p.avg_path_length).collect();
-        series.push(Series::new(&t.name, &x, &y));
-    }
     let label = match mode {
         Removal::Attack => "attack",
         Removal::Error => "error",
     };
-    FigureData {
-        id: format!("fig9-{label}-tolerance"),
-        x_label: "fraction of nodes removed".into(),
-        y_label: "average path length (largest component)".into(),
-        series,
-    }
+    zoo_figure_degraded(
+        ctx.scale,
+        ctx.seed,
+        format!("fig9-{label}-tolerance"),
+        "fraction of nodes removed",
+        "average path length (largest component)",
+        |t| {
+            if ctx.quick && t.name == "RL" {
+                // Path-length sampling on the 15k-node RL graph at every
+                // removal fraction is minutes-scale; thorough runs include it.
+                return None;
+            }
+            let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x7019);
+            let pts = tolerance_curve(&t.graph, mode, &fractions, samples, &mut rng);
+            let x: Vec<f64> = pts.iter().map(|p| p.fraction).collect();
+            let y: Vec<f64> = pts.iter().map(|p| p.avg_path_length).collect();
+            Some(Series::new(&t.name, &x, &y))
+        },
+    )
 }
 
 /// The Albert-et-al. claim the panel supports: power-law graphs (PLRG,

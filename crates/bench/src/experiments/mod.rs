@@ -18,6 +18,7 @@ pub mod signatures;
 pub mod tab1;
 
 use topogen_core::zoo::{build, BuiltTopology, Scale, TopologySpec};
+use topogen_par::{cancel, panic_message};
 
 /// Build the Figure 1 zoo (shared by most experiments). Cached per call
 /// site; building is seconds-scale at `Scale::Small`.
@@ -26,6 +27,73 @@ pub fn build_zoo(scale: Scale, seed: u64) -> Vec<BuiltTopology> {
         .iter()
         .map(|s| build(s, scale, seed))
         .collect()
+}
+
+/// Run one component of an experiment (one topology's build or suite)
+/// with panic isolation: a panic becomes `Err(redacted message)` so the
+/// rest of the table/figure still renders. Deadline cancellations are
+/// *not* absorbed — they unwind the whole unit so timeouts stay prompt.
+pub fn catching<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            if cancel::is_cancelled_payload(payload.as_ref()) {
+                std::panic::resume_unwind(payload);
+            }
+            Err(panic_message(payload.as_ref()))
+        }
+    }
+}
+
+/// The Figure 1 zoo with per-topology fault isolation: topologies that
+/// fail to build are reported as `(name, reason)` instead of aborting
+/// the whole experiment (the degraded entries render as footnotes).
+pub struct ZooBuild {
+    /// The topologies that built successfully, in zoo order.
+    pub built: Vec<BuiltTopology>,
+    /// `(topology name, redacted reason)` for each failed build.
+    pub failures: Vec<(String, String)>,
+}
+
+/// The common shape of the zoo figures (fig6–fig10): one series per
+/// topology, with per-topology panic isolation at both the build and
+/// the measure stage. `f` returns `None` to skip a topology (the
+/// existing RL-at-quick-settings escape hatches); panics inside `f`
+/// become footnoted failures instead of aborting the figure.
+pub fn zoo_figure_degraded(
+    scale: Scale,
+    seed: u64,
+    id: impl Into<String>,
+    x_label: &str,
+    y_label: &str,
+    mut f: impl FnMut(&BuiltTopology) -> Option<topogen_core::report::Series>,
+) -> topogen_core::report::FigureData {
+    let zoo = build_zoo_degraded(scale, seed);
+    let mut fig = topogen_core::report::FigureData::new(id, x_label, y_label, Vec::new());
+    for (name, reason) in zoo.failures {
+        fig.note_failure(name, reason);
+    }
+    for t in &zoo.built {
+        match catching(|| f(t)) {
+            Ok(Some(s)) => fig.series.push(s),
+            Ok(None) => {}
+            Err(reason) => fig.note_failure(t.name.clone(), reason),
+        }
+    }
+    fig
+}
+
+/// [`build_zoo`] with per-topology panic isolation.
+pub fn build_zoo_degraded(scale: Scale, seed: u64) -> ZooBuild {
+    let mut built = Vec::new();
+    let mut failures = Vec::new();
+    for s in &TopologySpec::figure1_zoo(scale) {
+        match catching(|| build(s, scale, seed)) {
+            Ok(t) => built.push(t),
+            Err(reason) => failures.push((s.name(), reason)),
+        }
+    }
+    ZooBuild { built, failures }
 }
 
 /// The canonical / measured / generated grouping the paper's figures use.

@@ -79,6 +79,7 @@ pub fn run_snapshots(ctx: &ExpCtx) -> TableData {
             "Hierarchy".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 
@@ -132,6 +133,7 @@ pub fn run_incompleteness(ctx: &ExpCtx) -> TableData {
             "Hierarchy".into(),
         ],
         rows,
+        failures: Vec::new(),
     }
 }
 

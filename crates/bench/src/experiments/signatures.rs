@@ -2,6 +2,7 @@
 //! and §5.1's strict/moderate/loose hierarchy table — the paper's two
 //! headline results.
 
+use crate::experiments::catching;
 use crate::experiments::fig3::linkvalue_zoo;
 use crate::ExpCtx;
 use topogen_core::hier::{hierarchy_report_timed, HierOptions};
@@ -47,9 +48,22 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
         topogen_generators::nlevel::NLevelParams::three_level_1000(),
     ));
     let mut rows = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
     for spec in specs {
-        let t = build(&spec, ctx.scale, ctx.seed);
-        let r = run_suite(&t, &params);
+        // Per-topology isolation: a failed build or suite degrades this
+        // spec's rows instead of aborting the table.
+        let outcome = catching(|| {
+            let t = build(&spec, ctx.scale, ctx.seed);
+            let r = run_suite(&t, &params);
+            (t, r)
+        });
+        let (t, r) = match outcome {
+            Ok(tr) => tr,
+            Err(reason) => {
+                failures.push((spec.name(), reason));
+                continue;
+            }
+        };
         timings.merge(&r.timings);
         let sig = r.signature.to_string();
         let expect = paper_signature(&t.name).unwrap_or("-");
@@ -91,19 +105,20 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             rows.push(vec![pname, psig, pexpect.to_string(), pok.to_string()]);
         }
     }
-    (
-        TableData {
-            id: "tab-signature".into(),
-            header: vec![
-                "Topology".into(),
-                "Signature".into(),
-                "Paper".into(),
-                "Match".into(),
-            ],
-            rows,
-        },
-        timings,
-    )
+    let mut table = TableData::new(
+        "tab-signature",
+        vec![
+            "Topology".into(),
+            "Signature".into(),
+            "Paper".into(),
+            "Match".into(),
+        ],
+        rows,
+    );
+    for (name, reason) in failures {
+        table.push_failed_row(name, reason);
+    }
+    (table, timings)
 }
 
 /// The paper's expected hierarchy class per topology (§5.1's table).
@@ -129,9 +144,20 @@ pub fn run_hierarchy_table(ctx: &ExpCtx) -> TableData {
 pub fn run_hierarchy_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
     let mut timings = TimingReport::default();
     let mut rows = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
     for spec in linkvalue_zoo(ctx) {
-        let t = build(&spec, ctx.scale, ctx.seed);
-        let (r, rt) = hierarchy_report_timed(&t, &HierOptions::default());
+        let outcome = catching(|| {
+            let t = build(&spec, ctx.scale, ctx.seed);
+            let (r, rt) = hierarchy_report_timed(&t, &HierOptions::default());
+            (t, r, rt)
+        });
+        let (t, r, rt) = match outcome {
+            Ok(trt) => trt,
+            Err(reason) => {
+                failures.push((spec.name(), reason));
+                continue;
+            }
+        };
         timings.merge(&rt);
         let expect = paper_hierarchy(&t.name).unwrap_or("-");
         let ok = if expect == "-" || r.class == expect {
@@ -171,20 +197,21 @@ pub fn run_hierarchy_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             ]);
         }
     }
-    (
-        TableData {
-            id: "tab-hierarchy".into(),
-            header: vec![
-                "Topology".into(),
-                "Class".into(),
-                "MaxValue".into(),
-                "Paper".into(),
-                "Match".into(),
-            ],
-            rows,
-        },
-        timings,
-    )
+    let mut table = TableData::new(
+        "tab-hierarchy",
+        vec![
+            "Topology".into(),
+            "Class".into(),
+            "MaxValue".into(),
+            "Paper".into(),
+            "Match".into(),
+        ],
+        rows,
+    );
+    for (name, reason) in failures {
+        table.push_failed_row(name, reason);
+    }
+    (table, timings)
 }
 
 #[cfg(test)]

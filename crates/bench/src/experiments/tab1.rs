@@ -5,7 +5,7 @@
 //! 9230 / 4.46, TS 1008 / 2.78, Tiers 5000 / 2.83, Waxman 5000 / 7.22,
 //! Mesh 900 / 3.87, Random 5018 / 4.18, Tree 1093 / 2.00.
 
-use crate::experiments::build_zoo;
+use crate::experiments::build_zoo_degraded;
 use crate::ExpCtx;
 use topogen_core::report::TableData;
 
@@ -25,10 +25,12 @@ fn paper_reference(name: &str) -> (&'static str, &'static str) {
     }
 }
 
-/// Build the zoo and emit the table.
+/// Build the zoo and emit the table. Topologies that fail to build are
+/// rendered as degraded rows with the reason footnoted.
 pub fn run(ctx: &ExpCtx) -> TableData {
-    let zoo = build_zoo(ctx.scale, ctx.seed);
+    let zoo = build_zoo_degraded(ctx.scale, ctx.seed);
     let rows = zoo
+        .built
         .iter()
         .map(|t| {
             let (pn, pd) = paper_reference(&t.name);
@@ -41,9 +43,9 @@ pub fn run(ctx: &ExpCtx) -> TableData {
             ]
         })
         .collect();
-    TableData {
-        id: "tab1".into(),
-        header: vec![
+    let mut table = TableData::new(
+        "tab1",
+        vec![
             "Topology".into(),
             "Nodes".into(),
             "AvgDeg".into(),
@@ -51,7 +53,11 @@ pub fn run(ctx: &ExpCtx) -> TableData {
             "Paper deg".into(),
         ],
         rows,
+    );
+    for (name, reason) in zoo.failures {
+        table.push_failed_row(name, reason);
     }
+    table
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod runner;
 
 use topogen_core::zoo::Scale;
 

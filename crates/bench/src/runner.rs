@@ -1,0 +1,672 @@
+//! Fault-tolerant execution of the experiment suite.
+//!
+//! Each experiment runs as an isolated *unit*: on its own thread, under
+//! `catch_unwind`, with an optional per-unit wall-clock deadline
+//! (cooperatively enforced — the engines check the ambient
+//! [`topogen_par::Deadline`] between chunks and at phase boundaries) and
+//! bounded retry-with-reseed for stochastic failures. Every unit's
+//! outcome lands in a [`RunLedger`] (`out/run-ledger.json`): status,
+//! duration, attempt count, and the redacted panic payload. `--resume`
+//! skips units the ledger already shows completed; `--keep-going` runs
+//! the rest of the suite past a failure; the process exit code reflects
+//! the aggregate status (0 all ok, 1 failures/timeouts, 3 load errors).
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use topogen_par::{cancel, faults, panic_message};
+
+/// Extra wall-clock slack past the deadline before the runner abandons
+/// a unit: the cooperative cancellation usually lands the `Cancelled`
+/// unwind shortly after expiry, which is cleaner than detaching.
+const DEADLINE_GRACE: Duration = Duration::from_secs(2);
+
+/// How a unit failed (determines retry eligibility and exit code).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnitError {
+    /// The unit completed but reported failure (degraded components, a
+    /// `--strict-checks` violation, …). Retried — it may be stochastic.
+    Failed(String),
+    /// A measured-graph load error: deterministic, never retried, and
+    /// the suite exits 3 (the CLI contract for missing/corrupt inputs).
+    Load(String),
+}
+
+impl UnitError {
+    fn message(&self) -> &str {
+        match self {
+            UnitError::Failed(m) | UnitError::Load(m) => m,
+        }
+    }
+}
+
+/// One isolated piece of suite work. `work` receives the attempt number
+/// (0 = first try) so retries can reseed deterministically.
+pub struct Unit {
+    /// Stable id (the `repro` experiment name).
+    pub id: String,
+    /// The work; panics are caught by the runner.
+    pub work: Arc<dyn Fn(u64) -> Result<(), UnitError> + Send + Sync>,
+}
+
+impl Unit {
+    /// Convenience constructor.
+    pub fn new(
+        id: impl Into<String>,
+        work: impl Fn(u64) -> Result<(), UnitError> + Send + Sync + 'static,
+    ) -> Unit {
+        Unit {
+            id: id.into(),
+            work: Arc::new(work),
+        }
+    }
+}
+
+/// Mix an attempt number into a seed (SplitMix64 finalizer); attempt 0
+/// returns the seed unchanged so fault-free runs are byte-identical.
+pub fn reseed(seed: u64, attempt: u64) -> u64 {
+    if attempt == 0 {
+        return seed;
+    }
+    let mut z = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Terminal status of one unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// Completed on the first attempt.
+    Ok,
+    /// Completed, but only after at least one reseeded retry.
+    Retried,
+    /// Every attempt failed (panic or reported failure).
+    Failed,
+    /// The per-unit deadline expired.
+    TimedOut,
+}
+
+impl UnitStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            UnitStatus::Ok => "ok",
+            UnitStatus::Retried => "retried",
+            UnitStatus::Failed => "failed",
+            UnitStatus::TimedOut => "timed-out",
+        }
+    }
+
+    /// Whether the unit produced its outputs.
+    pub fn completed(&self) -> bool {
+        matches!(self, UnitStatus::Ok | UnitStatus::Retried)
+    }
+}
+
+impl Serialize for UnitStatus {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for UnitStatus {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => match s.as_str() {
+                "ok" => Ok(UnitStatus::Ok),
+                "retried" => Ok(UnitStatus::Retried),
+                "failed" => Ok(UnitStatus::Failed),
+                "timed-out" => Ok(UnitStatus::TimedOut),
+                other => Err(DeError(format!("unknown unit status {other:?}"))),
+            },
+            other => Err(DeError(format!("expected status string, got {other:?}"))),
+        }
+    }
+}
+
+/// One ledger row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LedgerUnit {
+    /// Unit id (`repro` experiment name).
+    pub id: String,
+    /// Terminal status.
+    pub status: UnitStatus,
+    /// Wall-clock duration of all attempts, seconds.
+    pub duration_secs: f64,
+    /// Attempts performed (1 = no retries).
+    pub attempts: u64,
+    /// Redacted failure message (panic payload / reported reason),
+    /// `null` for successful units.
+    pub error: Option<String>,
+}
+
+/// The structured run ledger (`out/run-ledger.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunLedger {
+    /// Schema version.
+    pub version: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Scale label ("small" / "paper").
+    pub scale: String,
+    /// Per-unit outcomes, in execution order.
+    pub units: Vec<LedgerUnit>,
+}
+
+impl RunLedger {
+    /// An empty ledger for a run configuration.
+    pub fn new(seed: u64, scale: &str) -> RunLedger {
+        RunLedger {
+            version: 1,
+            seed,
+            scale: scale.to_string(),
+            units: Vec::new(),
+        }
+    }
+
+    /// Load a ledger from disk (for `--resume`).
+    pub fn load(path: &str) -> Result<RunLedger, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Persist to disk (rewritten after every unit, so a crash of the
+    /// runner itself loses at most the unit in flight).
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, serde_json::to_string_pretty(self).unwrap())
+            .map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// The recorded entry for `id`, if any.
+    pub fn unit(&self, id: &str) -> Option<&LedgerUnit> {
+        self.units.iter().find(|u| u.id == id)
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerOptions {
+    /// Continue past failed units instead of stopping at the first.
+    pub keep_going: bool,
+    /// Skip units a prior ledger shows completed; re-run the rest.
+    pub resume: bool,
+    /// Per-unit wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Reseeded retries per unit after a failed attempt.
+    pub retries: u64,
+    /// Where to persist the ledger (`None` = in-memory only).
+    pub ledger_path: Option<String>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            keep_going: false,
+            resume: false,
+            deadline: None,
+            retries: 1,
+            ledger_path: None,
+        }
+    }
+}
+
+/// The aggregate result of a suite run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The final ledger (carried-over entries first-class).
+    pub ledger: RunLedger,
+    /// Aggregate process exit code: 0 all completed, 3 any load error,
+    /// 1 any other failure or timeout.
+    pub exit_code: i32,
+    /// Ids actually executed this run (resume skips are absent).
+    pub executed: Vec<String>,
+}
+
+/// Install a process-wide panic hook that suppresses the expected
+/// control-flow panics (deadline `Cancelled` unwinds and injected
+/// faults) while leaving genuine panics visible. Idempotent.
+pub fn quiet_expected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if cancel::is_cancelled_payload(payload) {
+                return;
+            }
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.starts_with("injected fault at ") {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// The outcome of one attempt.
+enum Attempt {
+    Success,
+    Soft(UnitError),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Run one attempt of `work` on its own thread, under `catch_unwind`
+/// and (when configured) an ambient deadline.
+fn run_attempt(
+    work: &Arc<dyn Fn(u64) -> Result<(), UnitError> + Send + Sync>,
+    attempt: u64,
+    deadline: Option<Duration>,
+) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let work = Arc::clone(work);
+    let ambient = deadline.map(cancel::Deadline::after);
+    let thread_ambient = ambient.clone();
+    let builder = std::thread::Builder::new()
+        .name("topogen-unit".to_string())
+        // Deep generator/metric recursion fits comfortably; match the
+        // main thread rather than the 2 MiB spawn default.
+        .stack_size(16 * 1024 * 1024);
+    let handle = builder.spawn(move || {
+        let body = || std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(attempt)));
+        let result = match thread_ambient {
+            Some(d) => cancel::with_deadline(d, body),
+            None => body(),
+        };
+        // The receiver may have abandoned us after the grace period.
+        let _ = tx.send(result);
+    });
+    let handle = match handle {
+        Ok(h) => h,
+        Err(e) => return Attempt::Panicked(format!("spawn failed: {e}")),
+    };
+
+    let received = match deadline {
+        None => rx.recv().ok(),
+        Some(limit) => match rx.recv_timeout(limit + DEADLINE_GRACE) {
+            Ok(r) => Some(r),
+            Err(_) => {
+                // Cooperative cancellation did not land in time: tell
+                // the workers once more and abandon the thread (it will
+                // unwind at its next checkpoint).
+                if let Some(d) = &ambient {
+                    d.token().cancel();
+                }
+                drop(handle);
+                return Attempt::TimedOut;
+            }
+        },
+    };
+    if deadline.is_none() {
+        let _ = handle.join();
+    }
+    match received {
+        Some(Ok(Ok(()))) => Attempt::Success,
+        Some(Ok(Err(soft))) => Attempt::Soft(soft),
+        Some(Err(payload)) => {
+            if cancel::is_cancelled_payload(payload.as_ref()) {
+                Attempt::TimedOut
+            } else {
+                Attempt::Panicked(panic_message(payload.as_ref()))
+            }
+        }
+        None => Attempt::Panicked("unit thread vanished without a result".to_string()),
+    }
+}
+
+/// Execute `units` in order under the runner's fault-isolation policy.
+pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -> RunReport {
+    let prior = match (&opts.ledger_path, opts.resume) {
+        (Some(path), true) => match RunLedger::load(path) {
+            Ok(l) if l.seed == seed && l.scale == scale => Some(l),
+            Ok(_) => {
+                eprintln!("runner: ledger at a different seed/scale; ignoring for --resume");
+                None
+            }
+            Err(e) => {
+                eprintln!("runner: cannot load ledger ({e}); running everything");
+                None
+            }
+        },
+        _ => None,
+    };
+
+    let mut ledger = RunLedger::new(seed, scale);
+    let mut executed = Vec::new();
+    let mut any_load = false;
+    let mut any_failed = false;
+
+    for unit in units {
+        // Resume: carry completed entries over verbatim.
+        if let Some(prev) = prior.as_ref().and_then(|l| l.unit(&unit.id)) {
+            if prev.status.completed() {
+                ledger.units.push(prev.clone());
+                continue;
+            }
+        }
+
+        executed.push(unit.id.clone());
+        faults::set_current_unit(Some(&unit.id));
+        let started = Instant::now();
+        let mut attempts = 0u64;
+        let mut entry: Option<LedgerUnit> = None;
+        while attempts <= opts.retries {
+            let attempt = attempts;
+            attempts += 1;
+            match run_attempt(&unit.work, attempt, opts.deadline) {
+                Attempt::Success => {
+                    entry = Some(LedgerUnit {
+                        id: unit.id.clone(),
+                        status: if attempt == 0 {
+                            UnitStatus::Ok
+                        } else {
+                            UnitStatus::Retried
+                        },
+                        duration_secs: started.elapsed().as_secs_f64(),
+                        attempts,
+                        error: None,
+                    });
+                    break;
+                }
+                Attempt::TimedOut => {
+                    // A longer run would time out again: no retry.
+                    entry = Some(LedgerUnit {
+                        id: unit.id.clone(),
+                        status: UnitStatus::TimedOut,
+                        duration_secs: started.elapsed().as_secs_f64(),
+                        attempts,
+                        error: Some("deadline exceeded".to_string()),
+                    });
+                    break;
+                }
+                Attempt::Soft(UnitError::Load(msg)) => {
+                    // Deterministic input problem: no retry, exit 3.
+                    any_load = true;
+                    entry = Some(LedgerUnit {
+                        id: unit.id.clone(),
+                        status: UnitStatus::Failed,
+                        duration_secs: started.elapsed().as_secs_f64(),
+                        attempts,
+                        error: Some(msg),
+                    });
+                    break;
+                }
+                Attempt::Soft(err) => {
+                    if attempts > opts.retries {
+                        entry = Some(LedgerUnit {
+                            id: unit.id.clone(),
+                            status: UnitStatus::Failed,
+                            duration_secs: started.elapsed().as_secs_f64(),
+                            attempts,
+                            error: Some(err.message().to_string()),
+                        });
+                    } else {
+                        eprintln!(
+                            "runner: {} attempt {} failed ({}); retrying with reseed",
+                            unit.id,
+                            attempt,
+                            err.message()
+                        );
+                    }
+                }
+                Attempt::Panicked(msg) => {
+                    if attempts > opts.retries {
+                        entry = Some(LedgerUnit {
+                            id: unit.id.clone(),
+                            status: UnitStatus::Failed,
+                            duration_secs: started.elapsed().as_secs_f64(),
+                            attempts,
+                            error: Some(msg),
+                        });
+                    } else {
+                        eprintln!(
+                            "runner: {} attempt {attempt} panicked ({msg}); retrying with reseed",
+                            unit.id
+                        );
+                    }
+                }
+            }
+        }
+        faults::set_current_unit(None);
+
+        let entry = entry.expect("every unit records an outcome");
+        let ok = entry.status.completed();
+        if !ok {
+            any_failed = true;
+            eprintln!(
+                "runner: {} {} after {} attempt(s): {}",
+                entry.id,
+                entry.status.as_str(),
+                entry.attempts,
+                entry.error.as_deref().unwrap_or("-")
+            );
+        }
+        ledger.units.push(entry);
+        if let Some(path) = &opts.ledger_path {
+            if let Err(e) = ledger.save(path) {
+                eprintln!("runner: cannot write ledger: {e}");
+            }
+        }
+        if !ok && !opts.keep_going {
+            break;
+        }
+    }
+
+    let exit_code = if any_load {
+        3
+    } else if any_failed {
+        1
+    } else {
+        0
+    };
+    RunReport {
+        ledger,
+        exit_code,
+        executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counting_unit(
+        id: &str,
+        counter: Arc<AtomicU64>,
+        behavior: impl Fn(u64) -> Result<(), UnitError> + Send + Sync + 'static,
+    ) -> Unit {
+        Unit::new(id, move |attempt| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            behavior(attempt)
+        })
+    }
+
+    #[test]
+    fn keep_going_records_failure_and_continues() {
+        let ran = Arc::new(AtomicU64::new(0));
+        let units = vec![
+            counting_unit("a", ran.clone(), |_| Ok(())),
+            Unit::new("b", |_| panic!("unit b exploded")),
+            counting_unit("c", ran.clone(), |_| Ok(())),
+        ];
+        let opts = RunnerOptions {
+            keep_going: true,
+            retries: 0,
+            ..Default::default()
+        };
+        let report = run_units(&units, &opts, 42, "small");
+        assert_eq!(report.exit_code, 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "a and c both ran");
+        let statuses: Vec<_> = report.ledger.units.iter().map(|u| u.status).collect();
+        assert_eq!(
+            statuses,
+            vec![UnitStatus::Ok, UnitStatus::Failed, UnitStatus::Ok]
+        );
+        let b = report.ledger.unit("b").unwrap();
+        assert_eq!(b.error.as_deref(), Some("unit b exploded"));
+    }
+
+    #[test]
+    fn stop_on_first_failure_without_keep_going() {
+        let ran = Arc::new(AtomicU64::new(0));
+        let units = vec![
+            Unit::new("a", |_| panic!("down")),
+            counting_unit("b", ran.clone(), |_| Ok(())),
+        ];
+        let opts = RunnerOptions {
+            retries: 0,
+            ..Default::default()
+        };
+        let report = run_units(&units, &opts, 1, "small");
+        assert_eq!(report.exit_code, 1);
+        assert_eq!(report.ledger.units.len(), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "b never ran");
+    }
+
+    #[test]
+    fn retry_with_reseed_flips_stochastic_failure_to_retried() {
+        let unit = Unit::new("flaky", |attempt| {
+            if attempt == 0 {
+                panic!("bad seed");
+            }
+            Ok(())
+        });
+        let opts = RunnerOptions {
+            retries: 1,
+            ..Default::default()
+        };
+        let report = run_units(&[unit], &opts, 9, "small");
+        assert_eq!(report.exit_code, 0);
+        let u = &report.ledger.units[0];
+        assert_eq!(u.status, UnitStatus::Retried);
+        assert_eq!(u.attempts, 2);
+        assert!(u.error.is_none());
+    }
+
+    #[test]
+    fn load_errors_exit_three_without_retry() {
+        let tries = Arc::new(AtomicU64::new(0));
+        let unit = counting_unit("measured", tries.clone(), |_| {
+            Err(UnitError::Load("as.edges:17: bad line".to_string()))
+        });
+        let opts = RunnerOptions {
+            retries: 3,
+            keep_going: true,
+            ..Default::default()
+        };
+        let report = run_units(&[unit], &opts, 2, "small");
+        assert_eq!(report.exit_code, 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 1, "load errors never retry");
+        assert_eq!(
+            report.ledger.units[0].error.as_deref(),
+            Some("as.edges:17: bad line")
+        );
+    }
+
+    #[test]
+    fn deadline_expiry_is_timed_out_not_a_hang() {
+        // The unit sleeps far past the deadline but checkpoints after,
+        // exactly like a delay fault inside an engine phase.
+        let unit = Unit::new("slow", |_| {
+            std::thread::sleep(Duration::from_millis(150));
+            cancel::checkpoint();
+            Ok(())
+        });
+        let opts = RunnerOptions {
+            deadline: Some(Duration::from_millis(30)),
+            retries: 2,
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let report = run_units(&[unit], &opts, 3, "small");
+        assert!(started.elapsed() < Duration::from_secs(5), "no hang");
+        let u = &report.ledger.units[0];
+        assert_eq!(u.status, UnitStatus::TimedOut);
+        assert_eq!(u.attempts, 1, "timeouts are not retried");
+        assert_eq!(report.exit_code, 1);
+    }
+
+    #[test]
+    fn resume_skips_completed_and_reruns_failed() {
+        let dir = std::env::temp_dir().join(format!(
+            "topogen-runner-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-ledger.json").to_string_lossy().to_string();
+
+        let first = vec![
+            Unit::new("good", |_| Ok(())),
+            Unit::new("bad", |_| panic!("first pass fails")),
+        ];
+        let opts = RunnerOptions {
+            keep_going: true,
+            retries: 0,
+            ledger_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let r1 = run_units(&first, &opts, 7, "small");
+        assert_eq!(r1.exit_code, 1);
+        assert_eq!(r1.executed, vec!["good", "bad"]);
+
+        // Second pass: "bad" is fixed; --resume must re-run only it.
+        let good_runs = Arc::new(AtomicU64::new(0));
+        let second = vec![
+            counting_unit("good", good_runs.clone(), |_| Ok(())),
+            Unit::new("bad", |_| Ok(())),
+        ];
+        let opts2 = RunnerOptions {
+            resume: true,
+            ..opts
+        };
+        let r2 = run_units(&second, &opts2, 7, "small");
+        assert_eq!(r2.exit_code, 0);
+        assert_eq!(r2.executed, vec!["bad"], "only the failed unit re-ran");
+        assert_eq!(good_runs.load(Ordering::SeqCst), 0);
+        assert_eq!(r2.ledger.unit("good").unwrap().status, UnitStatus::Ok);
+        assert_eq!(r2.ledger.unit("bad").unwrap().status, UnitStatus::Ok);
+
+        // The persisted ledger reflects the second pass.
+        let reloaded = RunLedger::load(&path).unwrap();
+        assert!(reloaded.units.iter().all(|u| u.status.completed()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reseed_identity_on_first_attempt() {
+        assert_eq!(reseed(42, 0), 42);
+        assert_ne!(reseed(42, 1), 42);
+        assert_ne!(reseed(42, 1), reseed(42, 2));
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let mut l = RunLedger::new(5, "small");
+        l.units.push(LedgerUnit {
+            id: "tab1".into(),
+            status: UnitStatus::TimedOut,
+            duration_secs: 1.25,
+            attempts: 1,
+            error: Some("deadline exceeded".into()),
+        });
+        let j = serde_json::to_string_pretty(&l).unwrap();
+        assert!(j.contains("timed-out"));
+        let back: RunLedger = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.units[0].status, UnitStatus::TimedOut);
+        assert_eq!(back.units[0].error.as_deref(), Some("deadline exceeded"));
+        assert_eq!(back.seed, 5);
+    }
+}

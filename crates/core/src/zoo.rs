@@ -219,6 +219,9 @@ pub struct BuiltTopology {
 pub fn build(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
     let mut rng = StdRng::seed_from_u64(seed);
     let name = spec.name();
+    // Fault site for robustness tests; a no-op unless TOPOGEN_FAULTS
+    // arms a `build` entry (optionally scoped to this topology's name).
+    topogen_par::faults::inject("build", &name);
     let (graph, annotations, router_as) = match spec {
         TopologySpec::Tree { k, depth } => (canonical::kary_tree(*k, *depth), None, None),
         TopologySpec::Mesh { side } => (canonical::mesh(*side, *side), None, None),

@@ -47,6 +47,48 @@ pub fn power_law_degrees<R: Rng>(
         .collect()
 }
 
+/// Draw a *graphical* power-law degree sequence: sample with
+/// [`power_law_degrees`], fix parity with [`evenize`], and accept only
+/// draws passing the Erdős–Gallai test ([`is_graphical`]) — the
+/// "feasibility test" the original Inet tool performs (Appendix D.1).
+/// The resampling loop is bounded at `max_attempts`; exhaustion (which
+/// only happens at adversarial scales, e.g. `n = 2` with a degree cap
+/// above `n`) returns [`GenError::Infeasible`] instead of spinning.
+pub fn power_law_degrees_graphical<R: Rng>(
+    n: usize,
+    alpha: f64,
+    max_degree: usize,
+    max_attempts: u64,
+    rng: &mut R,
+) -> Result<Vec<usize>, crate::errors::GenError> {
+    if alpha <= 1.0 {
+        return Err(crate::errors::GenError::BadParam {
+            what: format!("power-law exponent must exceed 1, got {alpha}"),
+        });
+    }
+    if max_degree == 0 {
+        return Err(crate::errors::GenError::BadParam {
+            what: "max_degree must be at least 1".into(),
+        });
+    }
+    if max_attempts == 0 {
+        return Err(crate::errors::GenError::BadParam {
+            what: "max_attempts must be at least 1".into(),
+        });
+    }
+    for _ in 0..max_attempts {
+        let mut degrees = power_law_degrees(n, alpha, max_degree, rng);
+        evenize(&mut degrees);
+        if is_graphical(&degrees) {
+            return Ok(degrees);
+        }
+    }
+    Err(crate::errors::GenError::Infeasible {
+        stage: "power-law degree sequence",
+        attempts: max_attempts,
+    })
+}
+
 /// Natural max-degree cutoff for an `n`-node power law with exponent
 /// `alpha`: approximately `n^(1/(alpha-1))`, the expected maximum of `n`
 /// i.i.d. Pareto draws.
@@ -202,6 +244,57 @@ mod tests {
     fn power_law_rejects_alpha_one() {
         let mut rng = StdRng::seed_from_u64(5);
         let _ = power_law_degrees(10, 1.0, 10, &mut rng);
+    }
+
+    #[test]
+    fn graphical_sampling_accepts_reasonable_scales() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = power_law_degrees_graphical(500, 2.25, 50, 32, &mut rng).unwrap();
+        assert!(is_graphical(&d));
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn graphical_sampling_bounded_at_adversarial_scale() {
+        // n = 2 with a degree cap of 5: any draw whose evenized max is
+        // >= 2 fails Erdős–Gallai (degree >= n). With a budget of one
+        // attempt, infeasible draws must surface as a typed error —
+        // scanning a handful of seeds is guaranteed to hit one.
+        let mut saw_infeasible = false;
+        for seed in 0..64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            match power_law_degrees_graphical(2, 1.1, 5, 1, &mut rng) {
+                Ok(d) => assert!(is_graphical(&d)),
+                Err(e) => {
+                    assert_eq!(
+                        e,
+                        crate::errors::GenError::Infeasible {
+                            stage: "power-law degree sequence",
+                            attempts: 1
+                        }
+                    );
+                    saw_infeasible = true;
+                }
+            }
+        }
+        assert!(
+            saw_infeasible,
+            "no seed in 0..64 produced an infeasible draw"
+        );
+    }
+
+    #[test]
+    fn graphical_sampling_rejects_bad_params() {
+        use crate::errors::GenError;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            power_law_degrees_graphical(10, 1.0, 5, 8, &mut rng),
+            Err(GenError::BadParam { .. })
+        ));
+        assert!(matches!(
+            power_law_degrees_graphical(10, 2.2, 0, 8, &mut rng),
+            Err(GenError::BadParam { .. })
+        ));
     }
 
     #[test]

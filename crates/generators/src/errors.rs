@@ -1,0 +1,62 @@
+//! Typed generation errors for the fallible generator entry points.
+//!
+//! The original tools (GT-ITM, the PLRG samplers) guarantee feasibility
+//! by resampling until a draw works — an unbounded loop that, at
+//! adversarial parameters (a two-node power law with a degree cap of
+//! five, a zero-probability random block), never terminates. The `try_*`
+//! entry points bound those loops and surface the exhaustion as a typed
+//! [`GenError`] the suite runner can record and retry with a new seed,
+//! instead of hanging or panicking.
+
+/// Why a fallible generator entry point could not produce a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenError {
+    /// The stochastic feasibility loop exhausted its attempt budget —
+    /// e.g. no graphical degree sequence or no connected block was drawn.
+    Infeasible {
+        /// Which stage of the construction gave up.
+        stage: &'static str,
+        /// How many attempts were made before giving up.
+        attempts: u64,
+    },
+    /// A parameter is structurally invalid (zero counts, probabilities
+    /// outside `[0, 1]`, non-normalizable exponents).
+    BadParam {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::Infeasible { stage, attempts } => {
+                write!(f, "{stage}: infeasible after {attempts} attempt(s)")
+            }
+            GenError::BadParam { what } => write!(f, "bad parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_line_messages() {
+        let e = GenError::Infeasible {
+            stage: "power-law degree sequence",
+            attempts: 32,
+        };
+        assert_eq!(
+            e.to_string(),
+            "power-law degree sequence: infeasible after 32 attempt(s)"
+        );
+        let b = GenError::BadParam {
+            what: "alpha must exceed 1".into(),
+        };
+        assert!(!b.to_string().contains('\n'));
+    }
+}

@@ -50,6 +50,7 @@ pub mod brite;
 pub mod canonical;
 pub mod connectivity;
 pub mod degseq;
+pub mod errors;
 pub mod flat;
 pub mod generate;
 pub mod glp;
@@ -60,4 +61,5 @@ pub mod tiers;
 pub mod transit_stub;
 pub mod waxman;
 
+pub use errors::GenError;
 pub use generate::Generate;

@@ -63,6 +63,35 @@ pub fn plrg<R: Rng>(params: &PlrgParams, rng: &mut R) -> Graph {
     match_plrg(&degrees, rng)
 }
 
+/// Fallible PLRG: draws the degree sequence through the bounded
+/// Erdős–Gallai feasibility loop
+/// ([`power_law_degrees_graphical`](crate::degseq::power_law_degrees_graphical))
+/// and returns a typed error instead of panicking on adversarial
+/// parameters. `max_attempts` bounds the resampling loop; the suite
+/// runner retries exhausted draws with a fresh seed.
+pub fn try_plrg<R: Rng>(
+    params: &PlrgParams,
+    max_attempts: u64,
+    rng: &mut R,
+) -> Result<Graph, crate::errors::GenError> {
+    if params.n == 0 {
+        return Err(crate::errors::GenError::BadParam {
+            what: "PLRG needs at least one node".into(),
+        });
+    }
+    let cutoff = params
+        .max_degree
+        .unwrap_or_else(|| natural_cutoff(params.n, params.alpha));
+    let degrees = crate::degseq::power_law_degrees_graphical(
+        params.n,
+        params.alpha,
+        cutoff,
+        max_attempts,
+        rng,
+    )?;
+    Ok(match_plrg(&degrees, rng))
+}
+
 /// Generate a PLRG from an explicit degree sequence (used by the
 /// "Modified B-A"/"Modified Brite" reconnection experiments of Figure 13).
 pub fn plrg_from_degrees<R: Rng>(degrees: &[usize], rng: &mut R) -> Graph {
@@ -132,6 +161,56 @@ mod tests {
         for (v, &want) in degrees.iter().enumerate() {
             assert!(g.degree(v as u32) <= want);
         }
+    }
+
+    #[test]
+    fn try_plrg_succeeds_at_paper_scale() {
+        let g = try_plrg(
+            &PlrgParams {
+                n: 500,
+                alpha: 2.246,
+                max_degree: None,
+            },
+            32,
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(g.node_count() == 500);
+        assert!(g.edge_count() > 100);
+    }
+
+    #[test]
+    fn try_plrg_typed_error_at_adversarial_scale() {
+        use crate::errors::GenError;
+        // Degree cap far above n: most draws are non-graphical. With a
+        // one-attempt budget some seed in a small scan must exhaust.
+        let saw_infeasible = (0..64).any(|seed| {
+            matches!(
+                try_plrg(
+                    &PlrgParams {
+                        n: 2,
+                        alpha: 1.1,
+                        max_degree: Some(10),
+                    },
+                    1,
+                    &mut StdRng::seed_from_u64(seed),
+                ),
+                Err(GenError::Infeasible { .. })
+            )
+        });
+        assert!(saw_infeasible, "no seed in 0..64 exhausted the budget");
+        assert!(matches!(
+            try_plrg(
+                &PlrgParams {
+                    n: 0,
+                    alpha: 2.2,
+                    max_degree: None
+                },
+                8,
+                &mut rng()
+            ),
+            Err(GenError::BadParam { .. })
+        ));
     }
 
     #[test]

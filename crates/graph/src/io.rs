@@ -33,6 +33,66 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Errors from loading an edge-list file, with enough context
+/// (file, line) for a one-line diagnostic — the suite runner prints
+/// these and exits 3 instead of unwinding with a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file could not be read at all.
+    Io {
+        /// The path as given.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// The file was read but a line failed to parse.
+    Parse {
+        /// The path as given.
+        path: String,
+        /// The parse failure (carries the 1-based line number).
+        source: ParseError,
+    },
+    /// The file parsed but holds no edges — almost always a wrong path
+    /// or an export in a different format whose lines all look like
+    /// comments.
+    Empty {
+        /// The path as given.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io { path, message } => write!(f, "{path}: {message}"),
+            LoadError::Parse { path, source } => write!(f, "{path}: {source}"),
+            LoadError::Empty { path } => write!(f, "{path}: edge list holds no edges"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Load an edge list from disk. Every failure mode — unreadable file,
+/// malformed line, edge-free content — comes back as a typed
+/// [`LoadError`] naming the file (and line, where there is one).
+pub fn load_edge_list(path: &str) -> Result<Graph, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| LoadError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    let g = parse_edge_list(&text).map_err(|source| LoadError::Parse {
+        path: path.to_string(),
+        source,
+    })?;
+    if g.edge_count() == 0 {
+        return Err(LoadError::Empty {
+            path: path.to_string(),
+        });
+    }
+    Ok(g)
+}
+
 /// Parse an edge list. Self-loops are dropped and duplicate edges
 /// collapsed, matching [`GraphBuilder`] semantics.
 pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
@@ -154,5 +214,38 @@ mod tests {
         let g = parse_edge_list("").unwrap();
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn load_missing_file_names_the_path() {
+        let err = load_edge_list("/nonexistent/topogen-no-such.edges").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.starts_with("/nonexistent/topogen-no-such.edges: "),
+            "{msg}"
+        );
+        assert!(matches!(err, LoadError::Io { .. }));
+    }
+
+    #[test]
+    fn load_corrupt_file_names_path_and_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("topogen-io-test-{}.edges", std::process::id()));
+        std::fs::write(&path, "0 1\nnot an edge\n").unwrap();
+        let err = load_edge_list(path.to_str().unwrap()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("topogen-io-test"), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_edge_free_file_is_an_error() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("topogen-io-empty-{}.edges", std::process::id()));
+        std::fs::write(&path, "# just a comment\n").unwrap();
+        let err = load_edge_list(path.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, LoadError::Empty { .. }));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -126,6 +126,10 @@ pub fn link_traversals_threads(
     ins: Option<&Instrument>,
 ) -> LinkTraversals {
     let start = std::time::Instant::now();
+    // Fault site + deadline checkpoint at the phase boundary; both are
+    // no-ops unless armed / a deadline is ambient.
+    topogen_par::faults::inject("hier", "traversal");
+    topogen_par::cancel::checkpoint();
     let n = g.node_count();
     let m = g.edge_count();
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
@@ -133,6 +137,9 @@ pub fn link_traversals_threads(
     // Phase 1 (parallel): one DAG + all pair accumulations per source.
     let contribs: Vec<SourceContrib> =
         par_map_threads(&sources, threads, |&u| source_contrib(g, mode, u));
+
+    // Phase boundary between traversal and merge.
+    topogen_par::cancel::checkpoint();
 
     // Phase 2 (serial merge, ascending source order): counting pass,
     // offsets, then one placement sweep — per link, entries land in

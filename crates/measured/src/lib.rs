@@ -25,13 +25,18 @@
 //! * [`observe`] — the measurement model: the AS graph *as seen from a
 //!   BGP vantage point* (union of table paths), reproducing the
 //!   incompleteness the paper repeatedly cautions about.
+//! * [`load`] — the escape hatch for users who *do* have the real
+//!   artifacts: load an edge-list export, cut to the giant component,
+//!   with typed file/line errors instead of panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod as_graph;
+pub mod load;
 pub mod observe;
 pub mod rl_graph;
 
 pub use as_graph::{internet_as, InternetAs, InternetAsParams};
+pub use load::{load_measured, MeasuredFile};
 pub use rl_graph::{expand_to_routers, RouterExpansionParams, RouterLevel};

@@ -275,6 +275,13 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
     /// metrics), one `distances` per expansion-only center.
     pub fn run(&self) -> PlanResult {
         let t_total = Instant::now();
+        // Fault site + deadline checkpoint at the phase boundary; both
+        // are no-ops unless armed / a deadline is ambient.
+        topogen_par::faults::inject(
+            "metric",
+            self.metrics.first().map_or("expansion", |m| m.name()),
+        );
+        topogen_par::cancel::checkpoint();
         let instrument = Instrument::new();
         let jobs = self.merge_centers();
         let radii = self.max_radius as usize + 1;
@@ -344,6 +351,9 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
             }
             (ball_rows, cum)
         });
+
+        // Phase boundary between measurement and aggregation.
+        topogen_par::cancel::checkpoint();
 
         // Aggregate in fixed job order: bit-identical for any thread
         // count, and matching the legacy ball_curve semantics (only

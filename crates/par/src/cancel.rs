@@ -1,0 +1,170 @@
+//! Cooperative cancellation and wall-clock deadlines.
+//!
+//! The suite runner hands each experiment unit a [`Deadline`]; the
+//! parallel engines call [`checkpoint`] between chunks and at phase
+//! boundaries. When the deadline expires (or the token is cancelled
+//! explicitly), `checkpoint` raises a [`Cancelled`] panic payload that
+//! unwinds the unit cleanly through `catch_unwind` — workers never
+//! block a timed-out run past their next chunk boundary.
+//!
+//! The active deadline is *ambient*: installed thread-locally with
+//! [`with_deadline`], and re-installed by [`par_map`](crate::par_map)
+//! inside each of its scoped workers, so engine code deep in the call
+//! stack needs no plumbing. With no deadline installed, `checkpoint` is
+//! a single thread-local read.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Panic payload raised by [`checkpoint`] when the ambient deadline has
+/// expired or its token was cancelled. The suite runner downcasts this
+/// to classify a unit as `timed-out` rather than `failed`.
+#[derive(Clone, Copy, Debug)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cancelled by deadline")
+    }
+}
+
+/// Shared cancellation flag; cloned handles observe the same state.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; every holder of a clone observes it at its
+    /// next [`checkpoint`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A cancellation token with an optional wall-clock expiry.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    token: CancelToken,
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline expiring `limit` from now.
+    pub fn after(limit: Duration) -> Self {
+        Deadline {
+            token: CancelToken::new(),
+            at: Some(Instant::now() + limit),
+        }
+    }
+
+    /// A pure cancellation handle with no wall-clock expiry.
+    pub fn cancel_only() -> Self {
+        Deadline {
+            token: CancelToken::new(),
+            at: None,
+        }
+    }
+
+    /// The token; cancel it to stop work before the wall-clock expiry.
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Whether the deadline has expired or been cancelled.
+    pub fn expired(&self) -> bool {
+        self.token.is_cancelled() || self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<Deadline>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with `deadline` installed as this thread's ambient deadline,
+/// restoring the previous one afterwards (unwind-safe via a drop guard).
+pub fn with_deadline<R>(deadline: Deadline, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Deadline>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            AMBIENT.with(|a| *a.borrow_mut() = prev);
+        }
+    }
+    let prev = AMBIENT.with(|a| a.borrow_mut().replace(deadline));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The calling thread's ambient deadline, if any. `par_map` captures
+/// this on entry and re-installs it inside each worker.
+pub fn current_deadline() -> Option<Deadline> {
+    AMBIENT.with(|a| a.borrow().clone())
+}
+
+/// Raise [`Cancelled`] if the ambient deadline has expired. Engines call
+/// this between chunks and at phase boundaries; with no ambient deadline
+/// it is a single thread-local read.
+pub fn checkpoint() {
+    let expired = AMBIENT.with(|a| a.borrow().as_ref().is_some_and(Deadline::expired));
+    if expired {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+/// Whether a caught panic payload is a [`Cancelled`] marker (directly or
+/// by message), i.e. a deadline expiry rather than a genuine fault.
+pub fn is_cancelled_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<Cancelled>().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_without_deadline_is_noop() {
+        checkpoint();
+    }
+
+    #[test]
+    fn expired_deadline_raises_cancelled() {
+        let d = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_deadline(d, checkpoint)
+        }))
+        .expect_err("must cancel");
+        assert!(is_cancelled_payload(err.as_ref()));
+    }
+
+    #[test]
+    fn token_cancellation_observed_across_clones() {
+        let d = Deadline::cancel_only();
+        let token = d.token();
+        assert!(!d.expired());
+        token.cancel();
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn ambient_deadline_restored_after_panic() {
+        let d = Deadline::cancel_only();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_deadline(d, || panic!("boom"))
+        }));
+        assert!(current_deadline().is_none());
+    }
+}

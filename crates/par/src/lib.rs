@@ -15,8 +15,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod faults;
 pub mod instrument;
 pub mod par;
 
+pub use cancel::{CancelToken, Cancelled, Deadline};
 pub use instrument::{Instrument, InstrumentReport, PhaseTiming};
-pub use par::{par_map, par_map_threads};
+pub use par::{panic_message, par_map, par_map_catch, par_map_threads};

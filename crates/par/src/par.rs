@@ -12,6 +12,7 @@
 //! are identical for any thread count (including one), and a panicking
 //! worker re-raises its *original* panic payload on the calling thread.
 
+use crate::cancel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -48,8 +49,17 @@ where
         })
         .min(items.len().max(1));
     if threads <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .map(|item| {
+                cancel::checkpoint();
+                f(item)
+            })
+            .collect();
     }
+    // Capture the caller's ambient deadline so workers observe the same
+    // cancellation state the caller does.
+    let ambient = cancel::current_deadline();
 
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
@@ -66,19 +76,28 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                s.spawn(|| loop {
-                    let ci = next.fetch_add(1, Ordering::Relaxed);
-                    if ci >= chunks.len() {
-                        break;
-                    }
-                    // Each chunk is locked exactly once, by the worker
-                    // that claimed its index — never contended.
-                    let mut guard = chunks[ci]
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    let (start, slice) = &mut *guard;
-                    for (k, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(f(&items[*start + k]));
+                s.spawn(|| {
+                    let work = || loop {
+                        // Expired deadlines stop workers at the next
+                        // chunk boundary via a `Cancelled` panic.
+                        cancel::checkpoint();
+                        let ci = next.fetch_add(1, Ordering::Relaxed);
+                        if ci >= chunks.len() {
+                            break;
+                        }
+                        // Each chunk is locked exactly once, by the worker
+                        // that claimed its index — never contended.
+                        let mut guard = chunks[ci]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        let (start, slice) = &mut *guard;
+                        for (k, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(f(&items[*start + k]));
+                        }
+                    };
+                    match &ambient {
+                        Some(d) => cancel::with_deadline(d.clone(), work),
+                        None => work(),
                     }
                 })
             })
@@ -99,6 +118,53 @@ where
     out.into_iter()
         .map(|slot| slot.expect("every output slot filled"))
         .collect()
+}
+
+/// [`par_map_threads`] with per-item panic isolation: a panicking item
+/// yields `Err(message)` in its slot while every other item completes,
+/// and output order still matches input order — so results (including
+/// which item failed and with what message) are bit-identical at any
+/// thread count. Deadline cancellations are *not* caught: a `Cancelled`
+/// payload unwinds the whole map so timed-out runs stop promptly.
+pub fn par_map_catch<T, R, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(items, threads, |item| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                if cancel::is_cancelled_payload(payload.as_ref()) {
+                    std::panic::resume_unwind(payload);
+                }
+                Err(panic_message(payload.as_ref()))
+            }
+        }
+    })
+}
+
+/// Extract a short, single-line message from a panic payload: the
+/// `&str`/`String` panics carry, a fixed marker for deadline
+/// cancellations, and a placeholder for exotic payloads. Truncated to
+/// 200 characters — what the run ledger records as the redacted payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if cancel::is_cancelled_payload(payload) {
+        cancel::Cancelled.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    let line = msg.lines().next().unwrap_or_default();
+    let mut out: String = line.chars().take(200).collect();
+    if line.chars().count() > 200 {
+        out.push('…');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -142,6 +208,64 @@ mod tests {
             });
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn catch_isolates_panicking_item_bit_identical_across_threads() {
+        let items: Vec<usize> = (0..97).collect();
+        let run = |threads: usize| {
+            par_map_catch(&items, Some(threads), |&x| {
+                if x == 41 {
+                    panic!("item {x} exploded");
+                }
+                x.wrapping_mul(0x9E3779B97F4A7C15)
+            })
+        };
+        let seq = run(1);
+        assert_eq!(seq.len(), 97);
+        assert_eq!(seq[41], Err("item 41 exploded".to_string()));
+        assert!(seq.iter().enumerate().all(|(i, r)| (i == 41) != r.is_ok()));
+        for threads in [2, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn catch_does_not_swallow_cancellation() {
+        let d = cancel::Deadline::cancel_only();
+        d.token().cancel();
+        let items: Vec<usize> = (0..64).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cancel::with_deadline(d, || par_map_catch(&items, Some(4), |&x| x))
+        }))
+        .expect_err("cancelled map must unwind");
+        assert!(cancel::is_cancelled_payload(err.as_ref()));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_parallel_map() {
+        let d = cancel::Deadline::after(std::time::Duration::from_millis(5));
+        let items: Vec<u64> = (0..4096).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cancel::with_deadline(d, || {
+                par_map_threads(&items, Some(4), |&x| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    x
+                })
+            })
+        }))
+        .expect_err("deadline must cancel the map");
+        assert!(cancel::is_cancelled_payload(err.as_ref()));
+    }
+
+    #[test]
+    fn panic_message_redacts_to_one_line() {
+        let payload: Box<dyn std::any::Any + Send> =
+            Box::new(format!("first line {}\nsecond line", "x".repeat(300)));
+        let msg = panic_message(payload.as_ref());
+        assert!(!msg.contains('\n'));
+        assert_eq!(msg.chars().count(), 201); // 200 + ellipsis
+        assert!(msg.ends_with('…'));
     }
 
     #[test]
