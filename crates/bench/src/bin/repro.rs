@@ -3,13 +3,20 @@
 //! ```text
 //! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]
 //!                    [--keep-going] [--resume] [--deadline SECS] [--retries N]
-//!                    [--strict-checks]
+//!                    [--strict-checks] [--cache[=DIR]]
 //!
 //! --timings prints the parallel engines' instrumentation — shared-ball
 //! counters (traversals, cache hits) for the metric suite, hierarchy
 //! counters (DAG states, pairs accumulated, arena bytes) for the
-//! link-value stage, per-phase wall times for both — and with --json
-//! also archives it as BENCH_<id>.json.
+//! link-value stage, per-phase wall times for both, store-cache traffic
+//! when a cache is active — and with --json also archives it as
+//! BENCH_<id>.json.
+//!
+//! --cache[=DIR] caches topologies and derived artifacts (metric
+//! curves, link values) in a content-addressed store (default
+//! out/store); warm runs reuse them and produce byte-identical outputs.
+//! Disabled automatically under TOPOGEN_FAULTS so injected failures
+//! never poison the store.
 //!
 //! Every experiment runs as an isolated unit (panics are caught and
 //! recorded, not fatal). For `all`, outcomes land in the run ledger
@@ -49,8 +56,12 @@
 //!   ablation-ts          footnote 17: TS redundancy trade-off
 //!   ablation-extremes    §4.4: extreme parameter regimes
 //!   ablation-distortion  spanning-tree local-search quality
-//!   load-measured PATH   load a real measured edge list, print its stats
-//!   all                  everything above (except load-measured)
+//!   load-measured PATH   load a measured graph (text edge list or
+//!                        binary .tgr, sniffed by magic), print its stats
+//!   store ls             list the artifact store's entries
+//!   store verify         checksum-walk every entry, report corruption
+//!   store gc --max-bytes N  evict least-recently-used entries over N
+//!   all                  everything above (except load-measured/store)
 //! ```
 
 use std::io::Write as _;
@@ -168,8 +179,10 @@ impl Output {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] \
-         [--timings] [--keep-going] [--resume] [--deadline SECS] [--retries N] [--strict-checks]"
+         [--timings] [--keep-going] [--resume] [--deadline SECS] [--retries N] [--strict-checks] \
+         [--cache[=DIR]]"
     );
+    eprintln!("       repro store <ls|verify|gc> [--cache[=DIR]] [--max-bytes N]");
     eprintln!("run `repro list` for the experiment index");
     std::process::exit(2);
 }
@@ -184,12 +197,31 @@ fn main() {
     let mut json_dir = None;
     let mut timings = false;
     let mut strict_checks = false;
+    let mut cache_dir: Option<String> = None;
+    let mut max_bytes: Option<u64> = None;
     let mut opts = RunnerOptions::default();
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timings" => timings = true,
+            "--cache" => cache_dir = Some("out/store".to_string()),
+            other if other.starts_with("--cache=") => {
+                let dir = &other["--cache=".len()..];
+                if dir.is_empty() {
+                    eprintln!("--cache= needs a directory");
+                    usage();
+                }
+                cache_dir = Some(dir.to_string());
+            }
+            "--max-bytes" => {
+                max_bytes = Some(
+                    it.next()
+                        .expect("--max-bytes needs a byte count")
+                        .parse()
+                        .expect("max-bytes must be u64"),
+                );
+            }
             "--keep-going" => opts.keep_going = true,
             "--resume" => opts.resume = true,
             "--strict-checks" => strict_checks = true,
@@ -245,6 +277,41 @@ fn main() {
         eprintln!("unexpected argument {:?}", positional[2]);
         usage();
     }
+
+    if cmd == "store" {
+        std::process::exit(run_store_cmd(
+            arg.as_deref(),
+            cache_dir.as_deref().unwrap_or("out/store"),
+            max_bytes,
+        ));
+    }
+    if max_bytes.is_some() {
+        eprintln!("--max-bytes only applies to `repro store gc`");
+        usage();
+    }
+
+    // Install the ambient artifact store. Faulted runs never cache:
+    // an injected panic mid-build must not leave a plausible-looking
+    // entry behind for clean runs to consume.
+    if let Some(dir) = &cache_dir {
+        if topogen_par::faults::active() {
+            eprintln!("warning: TOPOGEN_FAULTS active; --cache disabled for this run");
+        } else {
+            match topogen_store::Store::open(dir) {
+                Ok(store) => {
+                    topogen_store::ambient::install(Some(std::sync::Arc::new(store)));
+                    opts.store = Some(runner::StoreInfo {
+                        path: dir.clone(),
+                        codec_version: topogen_store::codec::CODEC_VERSION as u64,
+                    });
+                }
+                Err(e) => {
+                    eprintln!("cannot open store at {dir}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     let out = Output {
         json_dir,
         timings,
@@ -257,7 +324,7 @@ fn main() {
         println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
         println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
         println!("ablation-ts ablation-extremes ablation-distortion");
-        println!("load-measured all");
+        println!("load-measured store all");
         return;
     }
     if cmd == "load-measured" && arg.is_none() {
@@ -306,6 +373,22 @@ fn main() {
     };
 
     let report = runner::run_units(&units, &opts, ctx.seed, scale_label);
+    if let Some(c) = topogen_store::ambient::counters() {
+        if !c.is_zero() {
+            eprintln!(
+                ">>> store-cache: {} hit(s), {} miss(es), {}B read, {}B written{}",
+                c.hits,
+                c.misses,
+                c.bytes_read,
+                c.bytes_written,
+                if c.corrupt > 0 {
+                    format!(", {} corrupt entr(ies) recomputed", c.corrupt)
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
     if cmd == "all" {
         let done = report
             .ledger
@@ -321,6 +404,69 @@ fn main() {
         );
     }
     std::process::exit(report.exit_code);
+}
+
+/// `repro store <ls|verify|gc>` — inspect and maintain the artifact
+/// store without running any experiment. Returns the process exit code
+/// (0 ok, 1 corruption found, 2 usage error).
+fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> i32 {
+    let store = match topogen_store::Store::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store at {dir}: {e}");
+            return 2;
+        }
+    };
+    match sub {
+        Some("ls") => {
+            let entries = store.ls();
+            let total: u64 = entries.iter().map(|e| e.bytes).sum();
+            for e in &entries {
+                println!("{}  {:>10}  {}", e.hash, e.bytes, e.key.as_deref().unwrap_or("-"));
+            }
+            println!("{} entr(ies), {total} bytes at {dir}", entries.len());
+            0
+        }
+        Some("verify") => {
+            let report = store.verify();
+            for (rel, err) in &report.corrupt {
+                eprintln!("corrupt: {rel}: {err}");
+            }
+            println!(
+                "verified {} entr(ies) at {dir}: {} ok, {} corrupt",
+                report.ok + report.corrupt.len(),
+                report.ok,
+                report.corrupt.len()
+            );
+            if report.corrupt.is_empty() {
+                0
+            } else {
+                1
+            }
+        }
+        Some("gc") => {
+            let Some(limit) = max_bytes else {
+                eprintln!("store gc needs --max-bytes N");
+                return 2;
+            };
+            let report = store.gc(limit);
+            println!(
+                "evicted {} entr(ies) ({} bytes); kept {} ({} bytes) under {limit} at {dir}",
+                report.evicted.len(),
+                report.bytes_freed,
+                report.kept,
+                report.bytes_kept
+            );
+            0
+        }
+        other => {
+            eprintln!(
+                "store needs a subcommand ls|verify|gc{}",
+                other.map(|o| format!(" (got {o:?})")).unwrap_or_default()
+            );
+            2
+        }
+    }
 }
 
 fn run_cmd(cmd: &str, arg: Option<&str>, ctx: &ExpCtx, out: &Output) -> Result<(), UnitError> {

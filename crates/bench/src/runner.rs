@@ -125,8 +125,22 @@ impl Deserialize for UnitStatus {
     }
 }
 
+/// Per-unit artifact-store traffic, recorded when a cache is active and
+/// the unit touched it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheBlock {
+    /// Entries served from the store.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Bytes read on hits.
+    pub bytes_read: u64,
+    /// Bytes written on misses.
+    pub bytes_written: u64,
+}
+
 /// One ledger row.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LedgerUnit {
     /// Unit id (`repro` experiment name).
     pub id: String,
@@ -139,10 +153,58 @@ pub struct LedgerUnit {
     /// Redacted failure message (panic payload / reported reason),
     /// `null` for successful units.
     pub error: Option<String>,
+    /// Store traffic attributed to this unit; absent when no cache was
+    /// active or the unit never touched it.
+    pub cache: Option<CacheBlock>,
+}
+
+// Manual serde: `cache` is omitted (not null) when absent, and ledgers
+// written before the field existed must keep loading for `--resume`.
+impl Serialize for LedgerUnit {
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_content()),
+            ("status".to_string(), self.status.to_content()),
+            ("duration_secs".to_string(), self.duration_secs.to_content()),
+            ("attempts".to_string(), self.attempts.to_content()),
+            ("error".to_string(), self.error.to_content()),
+        ];
+        if let Some(cache) = &self.cache {
+            fields.push(("cache".to_string(), cache.to_content()));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for LedgerUnit {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let field = |k: &str| c.get(k).ok_or_else(|| DeError(format!("missing {k}")));
+        Ok(LedgerUnit {
+            id: String::from_content(field("id")?)?,
+            status: UnitStatus::from_content(field("status")?)?,
+            duration_secs: f64::from_content(field("duration_secs")?)?,
+            attempts: u64::from_content(field("attempts")?)?,
+            error: Option::from_content(field("error")?)?,
+            cache: match c.get("cache") {
+                Some(v) => Some(CacheBlock::from_content(v)?),
+                None => None,
+            },
+        })
+    }
+}
+
+/// Which artifact store a run used — recorded in the ledger so
+/// `--resume` only trusts entries produced against the same cache.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreInfo {
+    /// Store root directory as given on the command line.
+    pub path: String,
+    /// `.tgr` codec version the store was written with.
+    pub codec_version: u64,
 }
 
 /// The structured run ledger (`out/run-ledger.json`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunLedger {
     /// Schema version.
     pub version: u64,
@@ -150,8 +212,43 @@ pub struct RunLedger {
     pub seed: u64,
     /// Scale label ("small" / "paper").
     pub scale: String,
+    /// The artifact store this run cached through, if any.
+    pub store: Option<StoreInfo>,
     /// Per-unit outcomes, in execution order.
     pub units: Vec<LedgerUnit>,
+}
+
+// Manual serde for the same reason as [`LedgerUnit`]: `store` is
+// omitted when absent, and pre-cache ledgers must keep loading.
+impl Serialize for RunLedger {
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("version".to_string(), self.version.to_content()),
+            ("seed".to_string(), self.seed.to_content()),
+            ("scale".to_string(), self.scale.to_content()),
+        ];
+        if let Some(store) = &self.store {
+            fields.push(("store".to_string(), store.to_content()));
+        }
+        fields.push(("units".to_string(), self.units.to_content()));
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for RunLedger {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let field = |k: &str| c.get(k).ok_or_else(|| DeError(format!("missing {k}")));
+        Ok(RunLedger {
+            version: u64::from_content(field("version")?)?,
+            seed: u64::from_content(field("seed")?)?,
+            scale: String::from_content(field("scale")?)?,
+            store: match c.get("store") {
+                Some(v) => Some(StoreInfo::from_content(v)?),
+                None => None,
+            },
+            units: Vec::from_content(field("units")?)?,
+        })
+    }
 }
 
 impl RunLedger {
@@ -161,6 +258,7 @@ impl RunLedger {
             version: 1,
             seed,
             scale: scale.to_string(),
+            store: None,
             units: Vec::new(),
         }
     }
@@ -202,6 +300,9 @@ pub struct RunnerOptions {
     pub retries: u64,
     /// Where to persist the ledger (`None` = in-memory only).
     pub ledger_path: Option<String>,
+    /// The artifact store the run caches through (recorded in the
+    /// ledger; `--resume` rejects prior ledgers from a different store).
+    pub store: Option<StoreInfo>,
 }
 
 impl Default for RunnerOptions {
@@ -212,6 +313,7 @@ impl Default for RunnerOptions {
             deadline: None,
             retries: 1,
             ledger_path: None,
+            store: None,
         }
     }
 }
@@ -329,11 +431,15 @@ fn run_attempt(
 pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -> RunReport {
     let prior = match (&opts.ledger_path, opts.resume) {
         (Some(path), true) => match RunLedger::load(path) {
-            Ok(l) if l.seed == seed && l.scale == scale => Some(l),
-            Ok(_) => {
+            Ok(l) if l.seed != seed || l.scale != scale => {
                 eprintln!("runner: ledger at a different seed/scale; ignoring for --resume");
                 None
             }
+            Ok(l) if l.store != opts.store => {
+                eprintln!("runner: ledger from a different store config; ignoring for --resume");
+                None
+            }
+            Ok(l) => Some(l),
             Err(e) => {
                 eprintln!("runner: cannot load ledger ({e}); running everything");
                 None
@@ -343,6 +449,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
     };
 
     let mut ledger = RunLedger::new(seed, scale);
+    ledger.store = opts.store.clone();
     let mut executed = Vec::new();
     let mut any_load = false;
     let mut any_failed = false;
@@ -358,6 +465,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
 
         executed.push(unit.id.clone());
         faults::set_current_unit(Some(&unit.id));
+        let store_before = topogen_store::ambient::counters();
         let started = Instant::now();
         let mut attempts = 0u64;
         let mut entry: Option<LedgerUnit> = None;
@@ -376,6 +484,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         duration_secs: started.elapsed().as_secs_f64(),
                         attempts,
                         error: None,
+                        cache: None,
                     });
                     break;
                 }
@@ -387,6 +496,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         duration_secs: started.elapsed().as_secs_f64(),
                         attempts,
                         error: Some("deadline exceeded".to_string()),
+                        cache: None,
                     });
                     break;
                 }
@@ -399,6 +509,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         duration_secs: started.elapsed().as_secs_f64(),
                         attempts,
                         error: Some(msg),
+                        cache: None,
                     });
                     break;
                 }
@@ -410,6 +521,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                             duration_secs: started.elapsed().as_secs_f64(),
                             attempts,
                             error: Some(err.message().to_string()),
+                            cache: None,
                         });
                     } else {
                         eprintln!(
@@ -428,6 +540,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                             duration_secs: started.elapsed().as_secs_f64(),
                             attempts,
                             error: Some(msg),
+                            cache: None,
                         });
                     } else {
                         eprintln!(
@@ -440,7 +553,18 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
         }
         faults::set_current_unit(None);
 
-        let entry = entry.expect("every unit records an outcome");
+        let mut entry = entry.expect("every unit records an outcome");
+        if let (Some(before), Some(after)) = (store_before, topogen_store::ambient::counters()) {
+            let d = before.delta_to(&after);
+            if !d.is_zero() {
+                entry.cache = Some(CacheBlock {
+                    hits: d.hits,
+                    misses: d.misses,
+                    bytes_read: d.bytes_read,
+                    bytes_written: d.bytes_written,
+                });
+            }
+        }
         let ok = entry.status.completed();
         if !ok {
             any_failed = true;
@@ -655,18 +779,99 @@ mod tests {
     #[test]
     fn ledger_round_trips_through_json() {
         let mut l = RunLedger::new(5, "small");
+        l.store = Some(StoreInfo {
+            path: "out/store".into(),
+            codec_version: 1,
+        });
         l.units.push(LedgerUnit {
             id: "tab1".into(),
             status: UnitStatus::TimedOut,
             duration_secs: 1.25,
             attempts: 1,
             error: Some("deadline exceeded".into()),
+            cache: None,
+        });
+        l.units.push(LedgerUnit {
+            id: "tab2".into(),
+            status: UnitStatus::Ok,
+            duration_secs: 0.5,
+            attempts: 1,
+            error: None,
+            cache: Some(CacheBlock {
+                hits: 3,
+                misses: 1,
+                bytes_read: 4096,
+                bytes_written: 1024,
+            }),
         });
         let j = serde_json::to_string_pretty(&l).unwrap();
         assert!(j.contains("timed-out"));
         let back: RunLedger = serde_json::from_str(&j).unwrap();
         assert_eq!(back.units[0].status, UnitStatus::TimedOut);
         assert_eq!(back.units[0].error.as_deref(), Some("deadline exceeded"));
+        assert_eq!(back.units[0].cache, None);
+        assert_eq!(back.units[1].cache.unwrap().hits, 3);
+        assert_eq!(back.store, l.store);
         assert_eq!(back.seed, 5);
+    }
+
+    #[test]
+    fn pre_cache_ledgers_still_load() {
+        // A ledger written before the cache/store fields existed.
+        let old = r#"{
+            "version": 1,
+            "seed": 7,
+            "scale": "small",
+            "units": [
+                {"id": "a", "status": "ok", "duration_secs": 0.1,
+                 "attempts": 1, "error": null}
+            ]
+        }"#;
+        let l: RunLedger = serde_json::from_str(old).unwrap();
+        assert_eq!(l.store, None);
+        assert_eq!(l.units[0].cache, None);
+        assert!(l.units[0].status.completed());
+    }
+
+    #[test]
+    fn resume_rejects_ledger_from_different_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "topogen-runner-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-ledger.json").to_string_lossy().to_string();
+
+        // First pass: cacheless, everything completes.
+        let opts = RunnerOptions {
+            retries: 0,
+            ledger_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let r1 = run_units(&[Unit::new("good", |_| Ok(()))], &opts, 7, "small");
+        assert_eq!(r1.exit_code, 0);
+
+        // Second pass resumes with a store configured: the prior
+        // (storeless) ledger must not be trusted, so "good" re-runs.
+        let ran = Arc::new(AtomicU64::new(0));
+        let opts2 = RunnerOptions {
+            resume: true,
+            store: Some(StoreInfo {
+                path: "out/store".into(),
+                codec_version: 1,
+            }),
+            ..opts
+        };
+        let r2 = run_units(
+            &[counting_unit("good", ran.clone(), |_| Ok(()))],
+            &opts2,
+            7,
+            "small",
+        );
+        assert_eq!(r2.executed, vec!["good"], "store mismatch forces a re-run");
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(r2.ledger.store, opts2.store, "new ledger records the store");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,459 @@
+//! Artifact-store glue: content hashes, binary payloads, and cache keys
+//! for the expensive pipelines (topology builds, metric-curve suites,
+//! link-value analyses).
+//!
+//! Everything here is deterministic: content hashes walk the exact
+//! normalized edge lists, floats are stored as IEEE-754 bit patterns,
+//! and cache keys render parameters through the `Generate` trait's
+//! `canonical_params`. That is what makes a warm `repro` run
+//! byte-identical to a cold one — a hit replays the exact bits the cold
+//! run computed, and everything derived from them (signatures, stats)
+//! is a pure function of those bits.
+//!
+//! Decoding is fail-open: any malformed or misaligned payload yields
+//! `None` and the caller recomputes (and overwrites the entry). The
+//! checksum layer below already rejects corrupted files; this layer
+//! guards against semantic drift (e.g. an entry written by a different
+//! graph shape than the key promised).
+
+use crate::zoo::{AsOverlayData, BuiltTopology, Scale, TopologySpec};
+use topogen_graph::Graph;
+use topogen_metrics::CurvePoint;
+use topogen_policy::rel::{AsAnnotations, Relationship};
+use topogen_store::codec::{
+    self, bytes_payload, f64_payload, graph_payload, u32_payload, ContainerWriter,
+};
+use topogen_store::fnv::Fnv1a;
+use topogen_store::key::KeyBuilder;
+
+// ---------------------------------------------------------------------------
+// Content hashes
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a graph's normalized structure (node count + exact edge
+/// list). O(m) — negligible next to the O(n·m) metric pipelines keyed
+/// by it.
+pub fn graph_hash(g: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(g.node_count() as u64);
+    h.write_u64(g.edge_count() as u64);
+    for e in g.edges() {
+        h.write_u64(((e.a as u64) << 32) | e.b as u64);
+    }
+    h.finish()
+}
+
+fn rel_code(r: Relationship) -> u8 {
+    match r {
+        Relationship::CustomerOfB => 0,
+        Relationship::ProviderOfB => 1,
+        Relationship::Peer => 2,
+        Relationship::Sibling => 3,
+    }
+}
+
+fn rel_from_code(c: u8) -> Option<Relationship> {
+    Some(match c {
+        0 => Relationship::CustomerOfB,
+        1 => Relationship::ProviderOfB,
+        2 => Relationship::Peer,
+        3 => Relationship::Sibling,
+        _ => return None,
+    })
+}
+
+fn annotation_codes(ann: &AsAnnotations, edge_count: usize) -> Vec<u8> {
+    (0..edge_count).map(|i| rel_code(ann.by_index(i))).collect()
+}
+
+/// FNV-1a over per-edge relationship codes (edge order).
+pub fn annotations_hash(ann: &AsAnnotations, edge_count: usize) -> u64 {
+    topogen_store::fnv::fnv1a(&annotation_codes(ann, edge_count))
+}
+
+/// FNV-1a over a router→AS assignment vector.
+pub fn router_as_hash(router_as: &[u32]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(router_as.len() as u64);
+    for &v in router_as {
+        h.write(&v.to_le_bytes());
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Canonical spec rendering
+// ---------------------------------------------------------------------------
+
+/// Scale tag folded into topology keys.
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Canonical `generator(params)` rendering of a spec. Parameterized
+/// generators delegate to the `Generate` trait's `canonical_params`, so
+/// any two specs that generate differently render differently.
+pub fn spec_canonical(spec: &TopologySpec) -> String {
+    use topogen_generators::Generate;
+    match spec {
+        TopologySpec::Tree { k, depth } => format!("tree(k={k},depth={depth})"),
+        TopologySpec::Mesh { side } => format!("mesh(side={side})"),
+        TopologySpec::Linear { n } => format!("linear(n={n})"),
+        TopologySpec::Complete { n } => format!("complete(n={n})"),
+        TopologySpec::Random { n, p } => format!("random(n={n},p={p:?})"),
+        TopologySpec::Waxman(p) => format!("waxman({})", p.canonical_params()),
+        TopologySpec::TransitStub(p) => format!("transit-stub({})", p.canonical_params()),
+        TopologySpec::Tiers(p) => format!("tiers({})", p.canonical_params()),
+        TopologySpec::Plrg(p) => format!("plrg({})", p.canonical_params()),
+        TopologySpec::Ba(p) => format!("ba({})", p.canonical_params()),
+        TopologySpec::AlbertBarabasi(p) => format!("albert-barabasi({})", p.canonical_params()),
+        TopologySpec::Brite(p) => format!("brite({})", p.canonical_params()),
+        TopologySpec::Glp(p) => format!("glp({})", p.canonical_params()),
+        TopologySpec::Inet(p) => format!("inet({})", p.canonical_params()),
+        TopologySpec::NLevel(p) => format!("n-level({})", p.canonical_params()),
+        TopologySpec::PlrgRewired(inner) => format!("plrg-rewired({})", spec_canonical(inner)),
+        TopologySpec::MeasuredAs => "measured-as".to_string(),
+        TopologySpec::MeasuredRl => "measured-rl".to_string(),
+    }
+}
+
+/// Cache key for a built topology.
+pub fn topology_key(spec: &TopologySpec, scale: Scale, seed: u64) -> String {
+    KeyBuilder::new("topology")
+        .field("gen", &spec_canonical(spec))
+        .field("scale", scale_tag(scale))
+        .u64("seed", seed)
+        .finish()
+}
+
+// ---------------------------------------------------------------------------
+// Topology payloads
+// ---------------------------------------------------------------------------
+
+/// Serialize a built topology (graph + optional annotations, router→AS
+/// map, and AS overlay) as one `.tgr` container.
+pub fn encode_topology(t: &BuiltTopology) -> Vec<u8> {
+    let mut w = ContainerWriter::new();
+    w.section(codec::SEC_GRAPH, &graph_payload(&t.graph));
+    if let Some(ann) = &t.annotations {
+        w.section(
+            codec::SEC_ANNOTATIONS,
+            &bytes_payload(&annotation_codes(ann, t.graph.edge_count())),
+        );
+    }
+    if let Some(ras) = &t.router_as {
+        w.section(codec::SEC_ROUTER_AS, &u32_payload(ras));
+    }
+    if let Some(ov) = &t.as_overlay {
+        w.section(codec::SEC_OVERLAY_GRAPH, &graph_payload(&ov.as_graph));
+        w.section(
+            codec::SEC_OVERLAY_ANNOTATIONS,
+            &bytes_payload(&annotation_codes(
+                &ov.annotations,
+                ov.as_graph.edge_count(),
+            )),
+        );
+    }
+    w.finish()
+}
+
+fn decode_annotations(payload: &[u8], g: &Graph) -> Option<AsAnnotations> {
+    let codes = codec::bytes_from_payload(payload).ok()?;
+    if codes.len() != g.edge_count() {
+        return None;
+    }
+    let rels: Option<Vec<Relationship>> = codes.into_iter().map(rel_from_code).collect();
+    Some(AsAnnotations::new(g, rels?))
+}
+
+/// Decode a cached topology for `spec`. `None` (caller recomputes) on
+/// any structural mismatch.
+pub fn decode_topology(bytes: &[u8], spec: &TopologySpec) -> Option<BuiltTopology> {
+    let sections = codec::read_sections(bytes).ok()?;
+    let graph = codec::graph_from_payload(codec::find_section(&sections, codec::SEC_GRAPH)?).ok()?;
+    let annotations = match codec::find_section(&sections, codec::SEC_ANNOTATIONS) {
+        Some(p) => Some(decode_annotations(p, &graph)?),
+        None => None,
+    };
+    let router_as = match codec::find_section(&sections, codec::SEC_ROUTER_AS) {
+        Some(p) => {
+            let v = codec::u32_from_payload(p).ok()?;
+            if v.len() != graph.node_count() {
+                return None;
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    let as_overlay = match codec::find_section(&sections, codec::SEC_OVERLAY_GRAPH) {
+        Some(p) => {
+            let as_graph = codec::graph_from_payload(p).ok()?;
+            let ann = decode_annotations(
+                codec::find_section(&sections, codec::SEC_OVERLAY_ANNOTATIONS)?,
+                &as_graph,
+            )?;
+            Some(AsOverlayData {
+                as_graph,
+                annotations: ann,
+            })
+        }
+        None => None,
+    };
+    Some(BuiltTopology {
+        name: spec.name(),
+        graph,
+        annotations,
+        router_as,
+        as_overlay,
+        spec: spec.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Metric-curve payloads
+// ---------------------------------------------------------------------------
+
+fn curve_payload(points: &[CurvePoint]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 20 * points.len());
+    codec::put_u64(&mut buf, points.len() as u64);
+    for p in points {
+        codec::put_u32(&mut buf, p.radius);
+        codec::put_f64(&mut buf, p.avg_size);
+        codec::put_f64(&mut buf, p.value);
+    }
+    buf
+}
+
+fn curve_from_payload(bytes: &[u8]) -> Option<Vec<CurvePoint>> {
+    let mut r = codec::Reader::new(bytes);
+    let c = r.count(20).ok()?;
+    let mut out = Vec::with_capacity(c);
+    for _ in 0..c {
+        out.push(CurvePoint {
+            radius: r.u32().ok()?,
+            avg_size: r.f64().ok()?,
+            value: r.f64().ok()?,
+        });
+    }
+    (r.remaining() == 0).then_some(out)
+}
+
+/// Serialize the three metric curves of a suite run.
+pub fn encode_curves(
+    expansion: &[f64],
+    resilience: &[CurvePoint],
+    distortion: &[CurvePoint],
+) -> Vec<u8> {
+    let mut w = ContainerWriter::new();
+    w.section(codec::SEC_EXPANSION, &f64_payload(expansion));
+    w.section(codec::SEC_RESILIENCE, &curve_payload(resilience));
+    w.section(codec::SEC_DISTORTION, &curve_payload(distortion));
+    w.finish()
+}
+
+/// Decode a cached suite-curves container.
+#[allow(clippy::type_complexity)]
+pub fn decode_curves(bytes: &[u8]) -> Option<(Vec<f64>, Vec<CurvePoint>, Vec<CurvePoint>)> {
+    let sections = codec::read_sections(bytes).ok()?;
+    let expansion =
+        codec::f64_from_payload(codec::find_section(&sections, codec::SEC_EXPANSION)?).ok()?;
+    let resilience = curve_from_payload(codec::find_section(&sections, codec::SEC_RESILIENCE)?)?;
+    let distortion = curve_from_payload(codec::find_section(&sections, codec::SEC_DISTORTION)?)?;
+    Some((expansion, resilience, distortion))
+}
+
+// ---------------------------------------------------------------------------
+// Link-value payloads
+// ---------------------------------------------------------------------------
+
+/// Serialize a link-value vector (edge order, pre-sort).
+pub fn encode_link_values(values: &[f64]) -> Vec<u8> {
+    let mut w = ContainerWriter::new();
+    w.section(codec::SEC_LINK_VALUES, &f64_payload(values));
+    w.finish()
+}
+
+/// Decode a cached link-value vector; `None` unless it holds exactly
+/// `expected_len` values (the work graph's edge count).
+pub fn decode_link_values(bytes: &[u8], expected_len: usize) -> Option<Vec<f64>> {
+    let sections = codec::read_sections(bytes).ok()?;
+    let v = codec::f64_from_payload(codec::find_section(&sections, codec::SEC_LINK_VALUES)?).ok()?;
+    (v.len() == expected_len).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::build;
+
+    #[test]
+    fn graph_hash_sensitive_to_structure() {
+        let a = Graph::from_edges(4, vec![(0, 1), (1, 2)]);
+        let b = Graph::from_edges(4, vec![(0, 1), (1, 3)]);
+        let c = Graph::from_edges(5, vec![(0, 1), (1, 2)]);
+        assert_ne!(graph_hash(&a), graph_hash(&b));
+        assert_ne!(graph_hash(&a), graph_hash(&c));
+        assert_eq!(graph_hash(&a), graph_hash(&a.clone()));
+    }
+
+    #[test]
+    fn spec_canonical_distinguishes_params() {
+        use topogen_generators::waxman::WaxmanParams;
+        let a = TopologySpec::Waxman(WaxmanParams {
+            n: 1200,
+            alpha: 0.02,
+            beta: 0.3,
+        });
+        let b = TopologySpec::Waxman(WaxmanParams {
+            n: 1200,
+            alpha: 0.02,
+            beta: 0.31,
+        });
+        assert_ne!(spec_canonical(&a), spec_canonical(&b));
+        assert_ne!(
+            topology_key(&a, Scale::Small, 42),
+            topology_key(&a, Scale::Small, 43)
+        );
+        assert_ne!(
+            topology_key(&a, Scale::Small, 42),
+            topology_key(&a, Scale::Paper, 42)
+        );
+        // The Modified variants key on the full inner spec.
+        let m = TopologySpec::PlrgRewired(Box::new(a.clone()));
+        assert!(spec_canonical(&m).contains("plrg-rewired(waxman("));
+    }
+
+    #[test]
+    fn plain_topology_roundtrip() {
+        let t = build(&TopologySpec::Mesh { side: 8 }, Scale::Small, 1);
+        let back = decode_topology(&encode_topology(&t), &t.spec).unwrap();
+        assert_eq!(back.graph.edges(), t.graph.edges());
+        assert_eq!(back.name, t.name);
+        assert!(back.annotations.is_none());
+        assert!(back.router_as.is_none());
+        assert!(back.as_overlay.is_none());
+    }
+
+    #[test]
+    fn annotated_topology_roundtrip() {
+        let t = build(&TopologySpec::MeasuredAs, Scale::Small, 7);
+        let back = decode_topology(&encode_topology(&t), &t.spec).unwrap();
+        assert_eq!(back.graph.edges(), t.graph.edges());
+        let (a, b) = (
+            back.annotations.as_ref().unwrap(),
+            t.annotations.as_ref().unwrap(),
+        );
+        for i in 0..t.graph.edge_count() {
+            assert_eq!(a.by_index(i), b.by_index(i));
+        }
+        assert_eq!(
+            annotations_hash(a, back.graph.edge_count()),
+            annotations_hash(b, t.graph.edge_count())
+        );
+    }
+
+    #[test]
+    fn rl_topology_roundtrip_with_overlay() {
+        let t = build(&TopologySpec::MeasuredRl, Scale::Small, 7);
+        let back = decode_topology(&encode_topology(&t), &t.spec).unwrap();
+        assert_eq!(back.graph.edges(), t.graph.edges());
+        assert_eq!(back.router_as, t.router_as);
+        let (a, b) = (back.as_overlay.as_ref().unwrap(), t.as_overlay.as_ref().unwrap());
+        assert_eq!(a.as_graph.edges(), b.as_graph.edges());
+        assert_eq!(
+            annotations_hash(&a.annotations, a.as_graph.edge_count()),
+            annotations_hash(&b.annotations, b.as_graph.edge_count())
+        );
+    }
+
+    #[test]
+    fn curves_roundtrip_bit_exact() {
+        let expansion = vec![1.0, 2.5, 1e-17, f64::INFINITY];
+        let resilience = vec![CurvePoint {
+            radius: 3,
+            avg_size: 120.25,
+            value: 0.125,
+        }];
+        let distortion = vec![
+            CurvePoint {
+                radius: 0,
+                avg_size: 1.0,
+                value: 1.0,
+            },
+            CurvePoint {
+                radius: 9,
+                avg_size: 55.5,
+                value: 2.75,
+            },
+        ];
+        let bytes = encode_curves(&expansion, &resilience, &distortion);
+        let (e, r, d) = decode_curves(&bytes).unwrap();
+        assert_eq!(e.len(), expansion.len());
+        for (x, y) in e.iter().zip(&expansion) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].radius, 3);
+        assert_eq!(r[0].avg_size.to_bits(), 120.25f64.to_bits());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[1].value.to_bits(), 2.75f64.to_bits());
+    }
+
+    /// End-to-end: with an ambient store installed, a second build +
+    /// suite run replays from disk with results identical to the cold
+    /// run — the acceptance invariant behind `repro --cache`.
+    #[test]
+    fn warm_run_matches_cold_run_exactly() {
+        use crate::suite::{run_suite, SuiteParams};
+        let spec = TopologySpec::Mesh { side: 10 };
+        let params = SuiteParams::quick();
+        // Cold, uncached reference.
+        let cold_t = build(&spec, Scale::Small, 5);
+        let cold = run_suite(&cold_t, &params);
+
+        let dir = std::env::temp_dir().join(format!("topogen-core-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = std::sync::Arc::new(topogen_store::Store::open(&dir).unwrap());
+        topogen_store::ambient::install(Some(store.clone()));
+        // First cached run computes and persists; second replays.
+        let t1 = build(&spec, Scale::Small, 5);
+        let warm1 = run_suite(&t1, &params);
+        let t2 = build(&spec, Scale::Small, 5);
+        let warm2 = run_suite(&t2, &params);
+        topogen_store::ambient::install(None);
+
+        assert_eq!(t2.graph.edges(), cold_t.graph.edges());
+        assert!(warm2.timings.store_hits >= 1, "second run must hit");
+        for (w, c) in [(&warm1, &cold), (&warm2, &cold)] {
+            assert_eq!(w.expansion.len(), c.expansion.len());
+            for (a, b) in w.expansion.iter().zip(&c.expansion) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(w.resilience.len(), c.resilience.len());
+            for (a, b) in w.resilience.iter().zip(&c.resilience) {
+                assert_eq!(a.radius, b.radius);
+                assert_eq!(a.avg_size.to_bits(), b.avg_size.to_bits());
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+            }
+            assert_eq!(w.signature.to_string(), c.signature.to_string());
+        }
+        let counters = store.counters().snapshot();
+        assert!(counters.hits >= 2, "topology + curves hit: {counters:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn link_values_roundtrip_checks_length() {
+        let v = vec![0.5, 0.25, 1.0 / 3.0];
+        let bytes = encode_link_values(&v);
+        let back = decode_link_values(&bytes, 3).unwrap();
+        for (x, y) in back.iter().zip(&v) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Length mismatch → recompute.
+        assert!(decode_link_values(&bytes, 4).is_none());
+    }
+}

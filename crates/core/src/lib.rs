@@ -15,6 +15,10 @@
 //!   strict/moderate/loose classes, degree correlation (§5).
 //! * [`report`] — text tables and serde-serializable result records for
 //!   the experiment harness (EXPERIMENTS.md is generated from these).
+//! * [`cache`] — artifact-store glue (content hashes, binary payloads,
+//!   cache keys): when the CLI installs an ambient `topogen-store`
+//!   handle (`repro --cache`), topology builds, metric suites, and
+//!   link-value analyses replay from disk bit-identically.
 //!
 //! The intended entry point is [`zoo::build`] + [`suite::run_suite`]:
 //!
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod classify;
 pub mod hier;
 pub mod report;

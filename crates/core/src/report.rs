@@ -161,6 +161,14 @@ pub struct TimingReport {
     pub pairs_accumulated: u64,
     /// Bytes held by traversal-set arenas.
     pub arena_bytes: u64,
+    /// Artifact-store lookups served from disk (`repro --cache`).
+    pub store_hits: u64,
+    /// Artifact-store lookups that fell through to computation.
+    pub store_misses: u64,
+    /// Bytes of verified store entries read.
+    pub store_bytes_read: u64,
+    /// Bytes of new store entries written.
+    pub store_bytes_written: u64,
     /// Per-phase accumulated wall times.
     pub phases: Vec<TimingPhase>,
 }
@@ -175,6 +183,10 @@ impl From<&topogen_par::InstrumentReport> for TimingReport {
             dag_states: r.dag_states,
             pairs_accumulated: r.pairs_accumulated,
             arena_bytes: r.arena_bytes,
+            store_hits: r.store_hits,
+            store_misses: r.store_misses,
+            store_bytes_read: r.store_bytes_read,
+            store_bytes_written: r.store_bytes_written,
             phases: r
                 .phases
                 .iter()
@@ -198,6 +210,10 @@ impl TimingReport {
         self.dag_states += other.dag_states;
         self.pairs_accumulated += other.pairs_accumulated;
         self.arena_bytes += other.arena_bytes;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_bytes_read += other.store_bytes_read;
+        self.store_bytes_written += other.store_bytes_written;
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
                 mine.seconds += p.seconds;
@@ -218,6 +234,12 @@ impl TimingReport {
             out.push_str(&format!(
                 "dag-states {}  pairs {}  arena-bytes {}\n",
                 self.dag_states, self.pairs_accumulated, self.arena_bytes
+            ));
+        }
+        if self.store_hits + self.store_misses > 0 {
+            out.push_str(&format!(
+                "store-cache hits {}  misses {}  read {}B  written {}B\n",
+                self.store_hits, self.store_misses, self.store_bytes_read, self.store_bytes_written
             ));
         }
         for p in &self.phases {

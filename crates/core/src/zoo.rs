@@ -216,7 +216,29 @@ pub struct BuiltTopology {
 }
 
 /// Build a topology deterministically from `seed`.
+///
+/// When an ambient artifact store is installed (`repro --cache`), the
+/// build is served from disk when a matching entry exists and persisted
+/// after computing otherwise — the codec round-trip is exact, so cached
+/// and computed results are indistinguishable downstream. The CLI never
+/// installs a store while `TOPOGEN_FAULTS` is armed, so fault-perturbed
+/// builds are never cached.
 pub fn build(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
+    let Some(store) = topogen_store::ambient::active() else {
+        return build_uncached(spec, scale, seed);
+    };
+    let key = crate::cache::topology_key(spec, scale, seed);
+    if let Some(bytes) = store.get(&key) {
+        if let Some(t) = crate::cache::decode_topology(&bytes, spec) {
+            return t;
+        }
+    }
+    let t = build_uncached(spec, scale, seed);
+    store.put(&key, &crate::cache::encode_topology(&t));
+    t
+}
+
+fn build_uncached(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
     let mut rng = StdRng::seed_from_u64(seed);
     let name = spec.name();
     // Fault site for robustness tests; a no-op unless TOPOGEN_FAULTS

@@ -68,6 +68,10 @@ impl crate::generate::Generate for BaParams {
     fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
         barabasi_albert(self, rng)
     }
+
+    fn canonical_params(&self) -> String {
+        format!("n={},m={}", self.n, self.m)
+    }
 }
 
 /// Parameters for the Albert–Barabási extended model \[2\].
@@ -186,6 +190,10 @@ impl crate::generate::Generate for AlbertBarabasiParams {
     fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
         // Rewiring can strand nodes; analyze the largest component.
         topogen_graph::components::largest_component(&albert_barabasi(self, rng)).0
+    }
+
+    fn canonical_params(&self) -> String {
+        format!("n={},m={},p={:?},q={:?}", self.n, self.m, self.p, self.q)
     }
 }
 

@@ -122,6 +122,21 @@ impl crate::generate::Generate for BriteParams {
         // Incremental growth keeps the graph connected by construction.
         brite(self, rng)
     }
+
+    fn canonical_params(&self) -> String {
+        let placement = match self.placement {
+            Placement::Random => "random".to_string(),
+            Placement::HeavyTailed { squares } => format!("ht({squares})"),
+        };
+        let bias = match self.waxman_bias {
+            None => "none".to_string(),
+            Some((alpha, beta)) => format!("({alpha:?},{beta:?})"),
+        };
+        format!(
+            "n={},m={},placement={placement},waxman_bias={bias}",
+            self.n, self.m
+        )
+    }
 }
 
 /// Place `n` nodes per the requested strategy.

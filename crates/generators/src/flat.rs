@@ -72,6 +72,20 @@ impl crate::generate::Generate for FlatParams {
         // the paper analyzes the largest component.
         topogen_graph::components::largest_component(&flat_random(self.n, self.method, rng)).0
     }
+
+    fn canonical_params(&self) -> String {
+        let method = match self.method {
+            EdgeMethod::Waxman2 { alpha, beta } => format!("waxman2({alpha:?},{beta:?})"),
+            EdgeMethod::DoarLeslie { ke, beta } => format!("doar-leslie({ke:?},{beta:?})"),
+            EdgeMethod::Exponential { alpha } => format!("exponential({alpha:?})"),
+            EdgeMethod::Locality {
+                alpha,
+                beta,
+                radius,
+            } => format!("locality({alpha:?},{beta:?},{radius:?})"),
+        };
+        format!("n={},method={method}", self.n)
+    }
 }
 
 /// Generate a flat random graph with the given edge method over `n`

@@ -49,6 +49,14 @@ use topogen_graph::Graph;
 pub trait Generate {
     /// Generate the analysis graph deterministically from `rng`.
     fn generate<R: Rng>(&self, rng: &mut R) -> Graph;
+
+    /// A canonical, deterministic rendering of this parameter set —
+    /// `name=value` pairs in declaration order, floats in `{:?}`
+    /// (shortest round-trip) form so the same `f64` always prints the
+    /// same bytes. The artifact store folds this string into cache
+    /// keys, so two parameter sets map to the same entry **iff** they
+    /// generate the same distribution.
+    fn canonical_params(&self) -> String;
 }
 
 #[cfg(test)]
@@ -167,6 +175,57 @@ mod tests {
         let via_trait = b.generate(&mut StdRng::seed_from_u64(9));
         let via_fn = barabasi_albert(&b, &mut StdRng::seed_from_u64(9));
         assert_eq!(via_trait.edges(), via_fn.edges());
+    }
+
+    /// Canonical params are deterministic, distinguish different
+    /// parameter sets, and render floats in shortest round-trip form.
+    #[test]
+    fn canonical_params_deterministic_and_distinct() {
+        let a = WaxmanParams {
+            n: 400,
+            alpha: 0.05,
+            beta: 0.3,
+        };
+        assert_eq!(a.canonical_params(), "n=400,alpha=0.05,beta=0.3");
+        assert_eq!(a.canonical_params(), a.canonical_params());
+        let b = WaxmanParams { beta: 0.31, ..a };
+        assert_ne!(a.canonical_params(), b.canonical_params());
+
+        assert_eq!(BaParams { n: 300, m: 2 }.canonical_params(), "n=300,m=2");
+        assert_eq!(
+            PlrgParams {
+                n: 400,
+                alpha: 2.1,
+                max_degree: None
+            }
+            .canonical_params(),
+            "n=400,alpha=2.1,max_degree=none"
+        );
+        // Every implementor produces non-empty `name=value` output.
+        let all = vec![
+            AlbertBarabasiParams {
+                n: 300,
+                m: 2,
+                p: 0.2,
+                q: 0.2,
+            }
+            .canonical_params(),
+            BriteParams::paper_default(300).canonical_params(),
+            GlpParams::paper_as_fit(300).canonical_params(),
+            InetParams::paper_default(400).canonical_params(),
+            small_tiers().canonical_params(),
+            TransitStubParams::paper_default().canonical_params(),
+            NLevelParams::three_level_1000().canonical_params(),
+            FlatParams {
+                n: 300,
+                method: EdgeMethod::DoarLeslie { ke: 20.0, beta: 0.9 },
+            }
+            .canonical_params(),
+        ];
+        for p in all {
+            assert!(p.contains('='), "{p}");
+            assert!(!p.contains('|'), "key-separator char in params: {p}");
+        }
     }
 
     #[test]

@@ -127,6 +127,13 @@ impl crate::generate::Generate for GlpParams {
         // largest component.
         topogen_graph::components::largest_component(&glp(self, rng)).0
     }
+
+    fn canonical_params(&self) -> String {
+        format!(
+            "n={},m={},p={:?},beta={:?}",
+            self.n, self.m, self.p, self.beta
+        )
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,10 @@ impl crate::generate::Generate for InetParams {
     fn generate<R: Rng>(&self, rng: &mut R) -> Graph {
         topogen_graph::components::largest_component(&inet(self, rng)).0
     }
+
+    fn canonical_params(&self) -> String {
+        format!("n={},alpha={:?}", self.n, self.alpha)
+    }
 }
 
 #[cfg(test)]

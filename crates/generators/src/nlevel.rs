@@ -69,6 +69,13 @@ impl crate::generate::Generate for NLevelParams {
         // Every level-graph is patched connected, so the whole is too.
         n_level(self, rng)
     }
+
+    fn canonical_params(&self) -> String {
+        format!(
+            "nodes_per_level={},edge_prob={:?},levels={}",
+            self.nodes_per_level, self.edge_prob, self.levels
+        )
+    }
 }
 
 /// Replace every node of `g` with a fresh connected random graph,

@@ -106,6 +106,14 @@ impl crate::generate::Generate for PlrgParams {
         // analyzes the giant component.
         topogen_graph::components::largest_component(&plrg(self, rng)).0
     }
+
+    fn canonical_params(&self) -> String {
+        let max_degree = match self.max_degree {
+            None => "none".to_string(),
+            Some(d) => d.to_string(),
+        };
+        format!("n={},alpha={:?},max_degree={max_degree}", self.n, self.alpha)
+    }
 }
 
 #[cfg(test)]

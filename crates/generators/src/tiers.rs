@@ -118,6 +118,25 @@ impl crate::generate::Generate for TiersParams {
         // is its own largest component — the paper's analysis graph.
         tiers_full(self, rng).graph
     }
+
+    fn canonical_params(&self) -> String {
+        format!(
+            "wans={},mans_per_wan={},lans_per_man={},wan_nodes={},man_nodes={},lan_nodes={},\
+             wan_redundancy={},man_redundancy={},lan_redundancy={},man_wan_redundancy={},\
+             lan_man_redundancy={}",
+            self.wans,
+            self.mans_per_wan,
+            self.lans_per_man,
+            self.wan_nodes,
+            self.man_nodes,
+            self.lan_nodes,
+            self.wan_redundancy,
+            self.man_redundancy,
+            self.lan_redundancy,
+            self.man_wan_redundancy,
+            self.lan_man_redundancy
+        )
+    }
 }
 
 /// Generate a Tiers *graph* — the analysis graph the paper measures.

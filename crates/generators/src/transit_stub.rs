@@ -100,6 +100,23 @@ impl crate::generate::Generate for TransitStubParams {
         // [`transit_stub`].
         transit_stub(self, rng).graph
     }
+
+    fn canonical_params(&self) -> String {
+        format!(
+            "stubs_per_transit_node={},extra_transit_stub_edges={},extra_stub_stub_edges={},\
+             transit_domains={},transit_domain_edge_prob={:?},transit_nodes_per_domain={},\
+             transit_edge_prob={:?},stub_nodes_per_domain={},stub_edge_prob={:?}",
+            self.stubs_per_transit_node,
+            self.extra_transit_stub_edges,
+            self.extra_stub_stub_edges,
+            self.transit_domains,
+            self.transit_domain_edge_prob,
+            self.transit_nodes_per_domain,
+            self.transit_edge_prob,
+            self.stub_nodes_per_domain,
+            self.stub_edge_prob
+        )
+    }
 }
 
 /// Generate a Transit-Stub topology.

@@ -74,6 +74,10 @@ impl crate::generate::Generate for WaxmanParams {
         // analyzes the largest component.
         topogen_graph::components::largest_component(&waxman(self, rng)).0
     }
+
+    fn canonical_params(&self) -> String {
+        format!("n={},alpha={:?},beta={:?}", self.n, self.alpha, self.beta)
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,15 @@ pub enum LoadError {
         /// The path as given.
         path: String,
     },
+    /// The file is a binary `.tgr` graph that failed to decode. The
+    /// message carries the codec's byte-offset context (this crate
+    /// stays independent of the codec, so the error arrives as text).
+    Binary {
+        /// The path as given.
+        path: String,
+        /// Decode failure with offset context.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -67,6 +76,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Io { path, message } => write!(f, "{path}: {message}"),
             LoadError::Parse { path, source } => write!(f, "{path}: {source}"),
             LoadError::Empty { path } => write!(f, "{path}: edge list holds no edges"),
+            LoadError::Binary { path, message } => write!(f, "{path}: {message}"),
         }
     }
 }

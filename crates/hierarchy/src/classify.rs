@@ -43,10 +43,16 @@ impl std::fmt::Display for HierarchyClass {
 #[derive(Clone, Copy, Debug)]
 pub struct HierarchyThresholds {
     /// Normalized max link value at or above which the hierarchy is
-    /// strict. The paper's strict graphs (Tree, TS, Tiers) peak at 0.3+
-    /// — our instances measure 0.66–0.89 — while moderate graphs (AS,
-    /// PLRG) fluctuate in 0.09–0.27 across seeds; 0.3 splits the two
-    /// populations with wide margins on both sides.
+    /// strict. Calibration (CI seed 42): the strict graphs (Tree, TS,
+    /// Tiers) measure 0.66–0.89, while every moderate graph stays at or
+    /// below AS(Policy)'s 0.3185 — shortest-path AS/PLRG fluctuate in
+    /// 0.09–0.27 across seeds, and valley-free routing concentrates
+    /// AS traffic onto provider links enough to cross the old 0.30
+    /// boundary without approaching the strict population. 0.45 sits
+    /// between the populations with a documented margin of ≥ 0.13 below
+    /// (0.3185 → 0.45) and ≥ 0.21 above (0.45 → 0.6612), so a seed
+    /// change moving any instance by a full tenth still classifies the
+    /// same way.
     pub strict_max: f64,
     /// A distribution whose median exceeds this fraction of its max is
     /// flat → loose.
@@ -56,7 +62,7 @@ pub struct HierarchyThresholds {
 impl Default for HierarchyThresholds {
     fn default() -> Self {
         HierarchyThresholds {
-            strict_max: 0.3,
+            strict_max: 0.45,
             loose_median_ratio: 0.15,
         }
     }
@@ -141,5 +147,28 @@ mod tests {
     #[test]
     fn empty_distribution_moderate_fallback() {
         assert_eq!(classify_hierarchy(&[]), HierarchyClass::Moderate);
+    }
+
+    /// Pins the recalibrated strict boundary: AS(Policy)'s measured
+    /// peak (0.3185 at the CI seed) is moderate, matching the paper's
+    /// grouping, while the strict population's floor (0.66) stays
+    /// strict — both with at least a 0.13 margin to the 0.45 boundary.
+    #[test]
+    fn policy_as_peak_is_moderate_with_margin() {
+        // Steep falloff (median far below 15% of max) in both cases, so
+        // the loose rule does not fire and the max decides.
+        let policy_like = [0.3185, 0.02, 0.01, 0.005, 0.001];
+        assert_eq!(
+            classify_with(&policy_like, &HierarchyThresholds::default()),
+            HierarchyClass::Moderate
+        );
+        let strict_floor = [0.6612, 0.02, 0.01, 0.005, 0.001];
+        assert_eq!(
+            classify_with(&strict_floor, &HierarchyThresholds::default()),
+            HierarchyClass::Strict
+        );
+        let t = HierarchyThresholds::default();
+        assert!(t.strict_max - 0.3185 >= 0.13);
+        assert!(0.6612 - t.strict_max >= 0.21);
     }
 }

@@ -4,12 +4,14 @@
 //! measured graphs; this module is the door for users who have the real
 //! artifacts (a route-views AS adjacency dump, a Mercator router trace)
 //! exported in the least-common-denominator `u v`-per-line format of
-//! [`topogen_graph::io`]. Loading follows the measurement pipeline's
-//! convention of restricting to the largest connected component — the
-//! paper's metrics (expansion, resilience, distortion) are defined on a
-//! connected graph — and every failure mode comes back as a typed
-//! [`LoadError`] with file/line context so callers can print a one-line
-//! diagnostic instead of unwinding.
+//! [`topogen_graph::io`], or in the binary `.tgr` container of
+//! `topogen-store` (sniffed by magic bytes, so the extension does not
+//! matter). Loading follows the measurement pipeline's convention of
+//! restricting to the largest connected component — the paper's metrics
+//! (expansion, resilience, distortion) are defined on a connected
+//! graph — and every failure mode comes back as a typed [`LoadError`]
+//! with file/line (or byte-offset) context so callers can print a
+//! one-line diagnostic instead of unwinding.
 
 use topogen_graph::components::largest_component;
 use topogen_graph::io::{load_edge_list, LoadError};
@@ -38,11 +40,17 @@ impl MeasuredFile {
     }
 }
 
-/// Load a measured edge list and cut it to its largest connected
-/// component. Unreadable, malformed, or edge-free files return a
-/// [`LoadError`] naming the file (and line, where there is one).
+/// Load a measured graph — a text edge list or a binary `.tgr`
+/// container, distinguished by magic bytes — and cut it to its largest
+/// connected component. Unreadable, malformed, or edge-free files
+/// return a [`LoadError`] naming the file and the position (line for
+/// text, byte offset for binary, where there is one).
 pub fn load_measured(path: &str) -> Result<MeasuredFile, LoadError> {
-    let raw = load_edge_list(path)?;
+    let raw = if sniff_binary(path) {
+        load_binary(path)?
+    } else {
+        load_edge_list(path)?
+    };
     let (graph, _) = largest_component(&raw);
     let name = std::path::Path::new(path)
         .file_stem()
@@ -54,6 +62,37 @@ pub fn load_measured(path: &str) -> Result<MeasuredFile, LoadError> {
         raw_edges: raw.edge_count(),
         graph,
     })
+}
+
+/// True when the file starts with the `.tgr` container magic. Read
+/// failures fall through to the text loader, which reports them with
+/// its usual [`LoadError::Io`] context.
+fn sniff_binary(path: &str) -> bool {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic).is_ok() && magic == topogen_store::codec::MAGIC
+}
+
+/// Read and decode a binary `.tgr` graph; codec failures arrive as
+/// [`LoadError::Binary`] with the codec's byte-offset context.
+fn load_binary(path: &str) -> Result<Graph, LoadError> {
+    let bytes = std::fs::read(path).map_err(|e| LoadError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    let graph = topogen_store::codec::decode_graph(&bytes).map_err(|e| LoadError::Binary {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    if graph.edge_count() == 0 {
+        return Err(LoadError::Empty {
+            path: path.to_string(),
+        });
+    }
+    Ok(graph)
 }
 
 #[cfg(test)]
@@ -94,6 +133,65 @@ mod tests {
         let err = load_measured(&path).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 2"), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn temp_bytes(name: &str, content: &[u8]) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "topogen-measured-{}-{name}.tgr",
+            std::process::id()
+        ));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn loads_binary_tgr_identically_to_text() {
+        // Triangle plus a lone edge, same topology as the text test.
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let path = temp_bytes("roundtrip", &topogen_store::codec::encode_graph(&g));
+        let m = load_measured(&path).unwrap();
+        assert_eq!(m.raw_nodes, 5);
+        assert_eq!(m.raw_edges, 4);
+        assert_eq!(m.graph.node_count(), 3);
+        assert_eq!(m.graph.edge_count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_binary_reports_offset_context() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let mut bytes = topogen_store::codec::encode_graph(&g);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let path = temp_bytes("corrupt", &bytes);
+        let err = load_measured(&path).unwrap_err();
+        assert!(matches!(err, LoadError::Binary { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("offset") || msg.contains("checksum"),
+            "binary errors should carry position context: {msg}"
+        );
+        assert!(!msg.contains('\n'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let bytes = topogen_store::codec::encode_graph(&g);
+        let path = temp_bytes("truncated", &bytes[..bytes.len() - 3]);
+        let err = load_measured(&path).unwrap_err();
+        assert!(matches!(err, LoadError::Binary { .. }), "{err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn edge_free_binary_is_empty_error() {
+        let g = Graph::from_edges(4, vec![]);
+        let path = temp_bytes("empty", &topogen_store::codec::encode_graph(&g));
+        let err = load_measured(&path).unwrap_err();
+        assert!(matches!(err, LoadError::Empty { .. }), "{err:?}");
         let _ = std::fs::remove_file(&path);
     }
 }

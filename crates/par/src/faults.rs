@@ -81,6 +81,13 @@ pub fn install_spec(spec: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// True while any fault entry is armed. The CLI checks this before
+/// installing an artifact-store handle, so results produced under an
+/// active harness are never cached.
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
 /// Disarm every fault entry.
 pub fn clear() {
     ENABLED.store(false, Ordering::Release);

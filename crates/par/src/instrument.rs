@@ -36,6 +36,14 @@ pub struct Instrument {
     /// Bytes held by the traversal-set arena (offsets + flat pair
     /// buffer), summed over link-value runs.
     arena_bytes: AtomicU64,
+    /// Artifact-store lookups served from disk (`repro --cache`).
+    store_hits: AtomicU64,
+    /// Artifact-store lookups that fell through to computation.
+    store_misses: AtomicU64,
+    /// Bytes of verified store entries read.
+    store_bytes_read: AtomicU64,
+    /// Bytes of new store entries written.
+    store_bytes_written: AtomicU64,
     /// Accumulated wall time per named phase, in nanoseconds.
     phase_nanos: Mutex<Vec<(String, u64)>>,
 }
@@ -81,6 +89,16 @@ impl Instrument {
         self.arena_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record artifact-store traffic: `hits`/`misses` lookups plus the
+    /// bytes read from and written to the store.
+    pub fn add_store_traffic(&self, hits: u64, misses: u64, bytes_read: u64, bytes_written: u64) {
+        self.store_hits.fetch_add(hits, Ordering::Relaxed);
+        self.store_misses.fetch_add(misses, Ordering::Relaxed);
+        self.store_bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        self.store_bytes_written
+            .fetch_add(bytes_written, Ordering::Relaxed);
+    }
+
     /// Add wall time to the named phase (accumulates across threads, so
     /// parallel phases can exceed elapsed wall-clock time).
     pub fn add_phase(&self, name: &str, elapsed: Duration) {
@@ -113,6 +131,10 @@ impl Instrument {
             dag_states: self.dag_states.load(Ordering::Relaxed),
             pairs_accumulated: self.pairs_accumulated.load(Ordering::Relaxed),
             arena_bytes: self.arena_bytes.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_bytes_read: self.store_bytes_read.load(Ordering::Relaxed),
+            store_bytes_written: self.store_bytes_written.load(Ordering::Relaxed),
             phases,
         }
     }
@@ -144,6 +166,14 @@ pub struct InstrumentReport {
     pub pairs_accumulated: u64,
     /// Bytes held by traversal-set arenas.
     pub arena_bytes: u64,
+    /// Artifact-store lookups served from disk.
+    pub store_hits: u64,
+    /// Artifact-store lookups that fell through to computation.
+    pub store_misses: u64,
+    /// Bytes of verified store entries read.
+    pub store_bytes_read: u64,
+    /// Bytes of new store entries written.
+    pub store_bytes_written: u64,
     /// Per-phase accumulated wall times.
     pub phases: Vec<PhaseTiming>,
 }
@@ -159,6 +189,10 @@ impl InstrumentReport {
         self.dag_states += other.dag_states;
         self.pairs_accumulated += other.pairs_accumulated;
         self.arena_bytes += other.arena_bytes;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_bytes_read += other.store_bytes_read;
+        self.store_bytes_written += other.store_bytes_written;
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
                 mine.seconds += p.seconds;
@@ -184,6 +218,8 @@ mod tests {
         ins.add_dag_states(100);
         ins.add_pairs_accumulated(50);
         ins.add_arena_bytes(1024);
+        ins.add_store_traffic(2, 3, 100, 200);
+        ins.add_store_traffic(1, 0, 50, 0);
         let r = ins.report();
         assert_eq!(r.bfs_runs, 5);
         assert_eq!(r.balls_built, 7);
@@ -192,6 +228,10 @@ mod tests {
         assert_eq!(r.dag_states, 100);
         assert_eq!(r.pairs_accumulated, 50);
         assert_eq!(r.arena_bytes, 1024);
+        assert_eq!(r.store_hits, 3);
+        assert_eq!(r.store_misses, 3);
+        assert_eq!(r.store_bytes_read, 150);
+        assert_eq!(r.store_bytes_written, 200);
     }
 
     #[test]
@@ -216,6 +256,7 @@ mod tests {
         b.add_bfs_runs(2);
         b.add_dag_states(5);
         b.add_arena_bytes(64);
+        b.add_store_traffic(1, 2, 3, 4);
         b.add_phase("x", Duration::from_secs(2));
         b.add_phase("y", Duration::from_secs(3));
         let mut ra = a.report();
@@ -223,6 +264,10 @@ mod tests {
         assert_eq!(ra.bfs_runs, 3);
         assert_eq!(ra.dag_states, 15);
         assert_eq!(ra.arena_bytes, 64);
+        assert_eq!(ra.store_hits, 1);
+        assert_eq!(ra.store_misses, 2);
+        assert_eq!(ra.store_bytes_read, 3);
+        assert_eq!(ra.store_bytes_written, 4);
         assert_eq!(ra.phases.len(), 2);
         assert!((ra.phases[0].seconds - 3.0).abs() < 1e-9);
     }

@@ -1,0 +1,54 @@
+//! Process-global store handle.
+//!
+//! The topology zoo and the metric suites sit many layers below the
+//! CLI; threading a `Store` handle through every signature would touch
+//! every experiment for no behavioral gain. Instead the CLI installs
+//! one ambient handle after parsing `--cache`, and deep call sites ask
+//! [`active`] whether caching is on. The CLI never installs a store
+//! while a `TOPOGEN_FAULTS` harness is active, which is how "never
+//! cache results produced under fault injection" is enforced in one
+//! place.
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::store::{CounterSnapshot, Store};
+
+fn slot() -> &'static RwLock<Option<Arc<Store>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<Store>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Install (or with `None`, remove) the process-global store.
+pub fn install(store: Option<Arc<Store>>) {
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = store;
+}
+
+/// The ambient store, if one is installed.
+pub fn active() -> Option<Arc<Store>> {
+    slot().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Snapshot the ambient store's traffic counters, if installed.
+pub fn counters() -> Option<CounterSnapshot> {
+    active().map(|s| s.counters().snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_clear() {
+        // Serialized against nothing else: this is the only test in the
+        // crate touching the ambient slot.
+        assert!(active().is_none());
+        let dir = std::env::temp_dir().join(format!("topogen-ambient-{}", std::process::id()));
+        let store = Arc::new(Store::open(&dir).unwrap());
+        install(Some(store));
+        assert!(active().is_some());
+        assert!(counters().unwrap().is_zero());
+        install(None);
+        assert!(active().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

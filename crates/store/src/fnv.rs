@@ -1,0 +1,90 @@
+//! FNV-1a 64-bit hashing — the store's content checksum and key hash.
+//!
+//! FNV-1a is tiny, has no dependencies, and is injective with respect
+//! to single-byte substitution at fixed length (each step xors the byte
+//! into the state and multiplies by an odd prime — both injective on
+//! `u64`), so the codec's trailing checksum always catches a one-byte
+//! corruption.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn single_byte_substitution_always_changes_hash() {
+        let base = b"the quick brown fox".to_vec();
+        let h0 = fnv1a(&base);
+        for i in 0..base.len() {
+            for flip in 1..=3u8 {
+                let mut m = base.clone();
+                m[i] ^= flip;
+                assert_ne!(fnv1a(&m), h0, "byte {i} xor {flip}");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Canonical cache-key construction.
+//!
+//! A store key is a deterministic, human-readable string of
+//! `name=value` fields joined by `|`, always ending with the codec
+//! version and an engine code-version stamp. The on-disk address is the
+//! FNV-1a hash of that string; the string itself is recorded in the
+//! store ledger so `repro store ls` can show what each entry is.
+//!
+//! Determinism rules:
+//! * fields are emitted in the order the caller adds them — callers use
+//!   a fixed field order per artifact kind;
+//! * floats are formatted with `{:?}` (shortest round-trip form), so
+//!   the same `f64` always prints the same bytes;
+//! * content hashes (e.g. of an input graph) are rendered as fixed-width
+//!   16-hex.
+
+use crate::fnv::fnv1a;
+
+/// Code-version stamp folded into every key. Bump whenever an engine
+/// change can alter cached results without any parameter changing
+/// (e.g. a generator or metric algorithm edit): old entries then stop
+/// matching and are recomputed instead of being served stale.
+pub const ENGINE_STAMP: &str = "topogen-engine-1";
+
+/// Builder for canonical key strings.
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    buf: String,
+}
+
+impl KeyBuilder {
+    /// Start a key for an artifact kind (`"topology"`, `"metric-curves"`,
+    /// `"link-values"`, …).
+    pub fn new(kind: &str) -> Self {
+        debug_assert!(!kind.contains('|'));
+        KeyBuilder {
+            buf: format!("kind={kind}"),
+        }
+    }
+
+    /// Append a string-valued field.
+    pub fn field(mut self, name: &str, value: &str) -> Self {
+        debug_assert!(!name.contains('|') && !value.contains('|'));
+        self.buf.push('|');
+        self.buf.push_str(name);
+        self.buf.push('=');
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Append an integer-valued field.
+    pub fn u64(self, name: &str, value: u64) -> Self {
+        let v = value.to_string();
+        self.field(name, &v)
+    }
+
+    /// Append a content hash as fixed-width 16-hex.
+    pub fn hash(self, name: &str, value: u64) -> Self {
+        let v = format!("{value:016x}");
+        self.field(name, &v)
+    }
+
+    /// Finalize: append codec version + engine stamp and return the
+    /// canonical string.
+    pub fn finish(self) -> String {
+        format!(
+            "{}|codec={}|engine={}",
+            self.buf,
+            crate::codec::CODEC_VERSION,
+            ENGINE_STAMP
+        )
+    }
+}
+
+/// The on-disk address for a canonical key string.
+pub fn key_hash(key: &str) -> u64 {
+    fnv1a(key.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let k1 = KeyBuilder::new("topology")
+            .field("gen", "waxman")
+            .field("params", "n=1000,alpha=0.15,beta=0.6")
+            .u64("seed", 42)
+            .field("scale", "small")
+            .finish();
+        let k2 = KeyBuilder::new("topology")
+            .field("gen", "waxman")
+            .field("params", "n=1000,alpha=0.15,beta=0.6")
+            .u64("seed", 42)
+            .field("scale", "small")
+            .finish();
+        assert_eq!(k1, k2);
+        assert!(k1.ends_with(&format!("codec=1|engine={ENGINE_STAMP}")));
+
+        let k3 = KeyBuilder::new("topology")
+            .field("gen", "waxman")
+            .field("params", "n=1000,alpha=0.15,beta=0.6")
+            .u64("seed", 43)
+            .field("scale", "small")
+            .finish();
+        assert_ne!(key_hash(&k1), key_hash(&k3));
+    }
+
+    #[test]
+    fn hash_field_is_fixed_width() {
+        let k = KeyBuilder::new("link-values").hash("graph", 0x2a).finish();
+        assert!(k.contains("graph=000000000000002a"), "{k}");
+    }
+}

@@ -1,0 +1,513 @@
+//! The content-addressed on-disk store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/ab/abcdef0123456789.tgr   entry files (first 2 hex = shard dir)
+//! <root>/ledger.tsv                access ledger (append-only text)
+//! ```
+//!
+//! Every entry is a complete `.tgr` container; `get` re-verifies the
+//! trailing checksum on each read, so a corrupted entry is detected,
+//! deleted, and reported as a miss — the caller recomputes and the
+//! fresh bytes overwrite the bad entry. Writes go through a temp file +
+//! rename so a crash never leaves a half-written entry at its final
+//! address.
+//!
+//! The ledger is plain text, one line per access:
+//!
+//! ```text
+//! <verb>\t<16-hex hash>\t<byte len>\t<canonical key>
+//! ```
+//!
+//! Later lines are more recent. `gc --max-bytes N` derives each entry's
+//! recency from its **last** ledger line and evicts least-recently-used
+//! entries until the total is within budget — fully deterministic, no
+//! clocks involved. `gc` then rewrites the ledger compacted (one line
+//! per surviving entry, recency order preserved).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::codec::{verify_container, CodecError};
+use crate::key::key_hash;
+
+/// Ledger file name under the store root.
+pub const LEDGER_FILE: &str = "ledger.tsv";
+/// Entry file extension.
+pub const ENTRY_EXT: &str = "tgr";
+
+/// Monotonic counters describing store traffic since open.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// A point-in-time copy of [`StoreCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Reads served from the store.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including corrupt entries).
+    pub misses: u64,
+    /// Bytes of verified entries returned to callers.
+    pub bytes_read: u64,
+    /// Bytes of new entries written.
+    pub bytes_written: u64,
+    /// Entries found corrupt (checksum failure) and evicted on read.
+    pub corrupt: u64,
+}
+
+impl StoreCounters {
+    /// Copy the current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CounterSnapshot {
+    /// Traffic between two snapshots (`later - self`), for per-unit
+    /// ledger deltas.
+    pub fn delta_to(&self, later: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            hits: later.hits - self.hits,
+            misses: later.misses - self.misses,
+            bytes_read: later.bytes_read - self.bytes_read,
+            bytes_written: later.bytes_written - self.bytes_written,
+            corrupt: later.corrupt - self.corrupt,
+        }
+    }
+
+    /// True when nothing happened between the snapshots.
+    pub fn is_zero(&self) -> bool {
+        *self == CounterSnapshot::default()
+    }
+}
+
+/// One entry as reported by [`Store::ls`].
+#[derive(Debug, Clone)]
+pub struct EntryInfo {
+    /// 16-hex entry hash.
+    pub hash: String,
+    /// Entry size in bytes.
+    pub bytes: u64,
+    /// Canonical key string, when the ledger knows it.
+    pub key: Option<String>,
+}
+
+/// Result of a [`Store::verify`] walk.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Entries whose checksum verified.
+    pub ok: usize,
+    /// Entries that failed, with the relative path and the error.
+    pub corrupt: Vec<(String, CodecError)>,
+}
+
+/// Result of a [`Store::gc`] pass.
+#[derive(Debug, Default)]
+pub struct GcReport {
+    /// Hashes evicted, least recently used first.
+    pub evicted: Vec<String>,
+    /// Bytes freed.
+    pub bytes_freed: u64,
+    /// Entries kept.
+    pub kept: usize,
+    /// Bytes remaining.
+    pub bytes_kept: u64,
+}
+
+/// The content-addressed store. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    counters: StoreCounters,
+    ledger: Mutex<()>,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store {
+            root,
+            counters: StoreCounters::default(),
+            ledger: Mutex::new(()),
+        })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Traffic counters since open.
+    pub fn counters(&self) -> &StoreCounters {
+        &self.counters
+    }
+
+    fn entry_path(&self, hash: u64) -> PathBuf {
+        let hex = format!("{hash:016x}");
+        self.root
+            .join(&hex[..2])
+            .join(format!("{hex}.{ENTRY_EXT}"))
+    }
+
+    fn append_ledger(&self, verb: &str, hash: u64, len: usize, key: &str) {
+        let _guard = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        let line = format!("{verb}\t{hash:016x}\t{len}\t{key}\n");
+        // Ledger writes are best-effort: a failure here must not fail
+        // the computation the cache is accelerating.
+        let _ = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join(LEDGER_FILE))
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+    }
+
+    /// Look up `key`. Returns the verified container bytes on a hit.
+    /// A checksum failure deletes the entry and reports a miss, so the
+    /// caller recomputes and rewrites.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let hash = key_hash(key);
+        let path = self.entry_path(hash);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match verify_container(&bytes) {
+            Ok(()) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                self.append_ledger("get", hash, bytes.len(), key);
+                Some(bytes)
+            }
+            Err(_) => {
+                // Detected corruption: evict so the recompute path
+                // rewrites a clean entry.
+                let _ = fs::remove_file(&path);
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Write `bytes` (a finished `.tgr` container) under `key`,
+    /// atomically (temp file + rename). Errors are swallowed: the store
+    /// is an accelerator, and a failed write only costs a future miss.
+    pub fn put(&self, key: &str, bytes: &[u8]) {
+        debug_assert!(verify_container(bytes).is_ok(), "put of invalid container");
+        let hash = key_hash(key);
+        let path = self.entry_path(hash);
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!("{hash:016x}.tmp"));
+        let ok = fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, &path).is_ok();
+        if ok {
+            self.counters
+                .bytes_written
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            self.append_ledger("put", hash, bytes.len(), key);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    fn walk_entries(&self) -> Vec<(String, PathBuf, u64)> {
+        let mut out = Vec::new();
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return out;
+        };
+        for shard in shards.flatten() {
+            let sp = shard.path();
+            if !sp.is_dir() {
+                continue;
+            }
+            let Ok(entries) = fs::read_dir(&sp) else {
+                continue;
+            };
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().and_then(|s| s.to_str()) != Some(ENTRY_EXT) {
+                    continue;
+                }
+                let Some(stem) = p.file_stem().and_then(|s| s.to_str()) else {
+                    continue;
+                };
+                if stem.len() != 16 || !stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    continue;
+                }
+                let len = e.metadata().map(|m| m.len()).unwrap_or(0);
+                out.push((stem.to_string(), p, len));
+            }
+        }
+        out.sort(); // deterministic order regardless of readdir order
+        out
+    }
+
+    /// Map each entry hash to its canonical key and recency rank, from
+    /// the ledger (last line per hash wins).
+    fn ledger_index(&self) -> HashMap<String, (usize, String)> {
+        let mut map = HashMap::new();
+        let Ok(text) = fs::read_to_string(self.root.join(LEDGER_FILE)) else {
+            return map;
+        };
+        for (rank, line) in text.lines().enumerate() {
+            let mut parts = line.splitn(4, '\t');
+            let _verb = parts.next();
+            let (Some(hash), Some(_len), Some(key)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            map.insert(hash.to_string(), (rank, key.to_string()));
+        }
+        map
+    }
+
+    /// List entries (sorted by hash) with sizes and, where the ledger
+    /// knows them, canonical keys.
+    pub fn ls(&self) -> Vec<EntryInfo> {
+        let index = self.ledger_index();
+        self.walk_entries()
+            .into_iter()
+            .map(|(hash, _path, bytes)| {
+                let key = index.get(&hash).map(|(_, k)| k.clone());
+                EntryInfo { hash, bytes, key }
+            })
+            .collect()
+    }
+
+    /// Verify every entry's checksum.
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport::default();
+        for (hash, path, _len) in self.walk_entries() {
+            let rel = format!("{}/{hash}.{ENTRY_EXT}", &hash[..2]);
+            match fs::read(&path) {
+                Ok(bytes) => match verify_container(&bytes) {
+                    Ok(()) => report.ok += 1,
+                    Err(e) => report.corrupt.push((rel, e)),
+                },
+                Err(e) => report.corrupt.push((
+                    rel,
+                    CodecError::Malformed {
+                        offset: 0,
+                        what: format!("unreadable: {e}"),
+                    },
+                )),
+            }
+        }
+        report
+    }
+
+    /// Evict least-recently-used entries (by ledger order; entries the
+    /// ledger has never seen count as oldest, in hash order) until the
+    /// total size is at most `max_bytes`. Rewrites the ledger compacted.
+    pub fn gc(&self, max_bytes: u64) -> GcReport {
+        let _guard = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        let index = self.ledger_index();
+        let mut entries = self.walk_entries();
+        // Oldest first: unknown-to-ledger entries (rank 0 tier) by hash,
+        // then ledger entries by recency rank.
+        entries.sort_by_key(|(hash, _, _)| {
+            index
+                .get(hash)
+                .map(|(rank, _)| (1u8, *rank, hash.clone()))
+                .unwrap_or((0, 0, hash.clone()))
+        });
+        let total: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        let mut report = GcReport::default();
+        let mut excess = total.saturating_sub(max_bytes);
+        let mut kept = Vec::new();
+        for (hash, path, len) in entries {
+            if excess > 0 {
+                if fs::remove_file(&path).is_ok() {
+                    excess = excess.saturating_sub(len);
+                    report.bytes_freed += len;
+                    report.evicted.push(hash);
+                    continue;
+                }
+            }
+            report.kept += 1;
+            report.bytes_kept += len;
+            kept.push(hash);
+        }
+        // Compact the ledger: one line per surviving entry, oldest first
+        // (preserving relative recency for future gc passes).
+        let mut out = String::new();
+        for hash in &kept {
+            if let Some((_, key)) = index.get(hash) {
+                out.push_str(&format!("kept\t{hash}\t0\t{key}\n"));
+            }
+        }
+        let _ = fs::write(self.root.join(LEDGER_FILE), out);
+        report
+    }
+
+    /// Total size of all entries in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.walk_entries().iter().map(|(_, _, len)| len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_graph, ContainerWriter, SEC_LINK_VALUES};
+    use topogen_graph::Graph;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "topogen-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_container(seed: u32) -> Vec<u8> {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, seed % 3 + 1)]);
+        encode_graph(&g)
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let store = Store::open(tmpdir("roundtrip")).unwrap();
+        let bytes = sample_container(0);
+        assert!(store.get("k1").is_none());
+        store.put("k1", &bytes);
+        assert_eq!(store.get("k1").as_deref(), Some(bytes.as_slice()));
+        let c = store.counters().snapshot();
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert_eq!(c.bytes_written, bytes.len() as u64);
+        assert_eq!(c.bytes_read, bytes.len() as u64);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_then_rewritten() {
+        let store = Store::open(tmpdir("corrupt")).unwrap();
+        let bytes = sample_container(1);
+        store.put("k", &bytes);
+        // Corrupt the single entry on disk.
+        let (hash, path, _) = store.walk_entries().pop().unwrap();
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xff;
+        fs::write(&path, &raw).unwrap();
+        // Detected: miss, file evicted.
+        assert!(store.get("k").is_none());
+        assert!(!path.exists());
+        let c = store.counters().snapshot();
+        assert_eq!(c.corrupt, 1);
+        // Recompute path rewrites a clean entry at the same address.
+        store.put("k", &bytes);
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+        let report = store.verify();
+        assert_eq!(report.ok, 1);
+        assert!(report.corrupt.is_empty());
+        assert_eq!(store.walk_entries().pop().unwrap().0, hash);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_corruption() {
+        let store = Store::open(tmpdir("verify")).unwrap();
+        store.put("a", &sample_container(0));
+        store.put("b", &sample_container(1));
+        let (_, path, _) = store.walk_entries().remove(0).clone();
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 1;
+        fs::write(&path, &raw).unwrap();
+        let report = store.verify();
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.corrupt.len(), 1);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_lru_deterministically() {
+        let store = Store::open(tmpdir("gc")).unwrap();
+        let mut w = ContainerWriter::new();
+        w.section(SEC_LINK_VALUES, &crate::codec::f64_payload(&[1.0; 64]));
+        let big = w.finish();
+        store.put("old", &big);
+        store.put("mid", &big);
+        store.put("new", &big);
+        // Touch "old" so it becomes most recent.
+        assert!(store.get("old").is_some());
+        let each = big.len() as u64;
+        let report = store.gc(2 * each);
+        // LRU order is now mid, new, old — evict "mid" only.
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(report.kept, 2);
+        assert!(store.get("old").is_some());
+        assert!(store.get("new").is_some());
+        assert!(store.get("mid").is_none());
+        // gc to zero clears everything.
+        let report = store.gc(0);
+        assert_eq!(report.kept, 0);
+        assert_eq!(store.total_bytes(), 0);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn ls_shows_keys_from_ledger() {
+        let store = Store::open(tmpdir("ls")).unwrap();
+        store.put("kind=test|x=1", &sample_container(0));
+        let ls = store.ls();
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].key.as_deref(), Some("kind=test|x=1"));
+        assert!(ls[0].bytes > 0);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let a = CounterSnapshot {
+            hits: 1,
+            misses: 2,
+            bytes_read: 10,
+            bytes_written: 20,
+            corrupt: 0,
+        };
+        let b = CounterSnapshot {
+            hits: 4,
+            misses: 2,
+            bytes_read: 30,
+            bytes_written: 20,
+            corrupt: 1,
+        };
+        let d = a.delta_to(&b);
+        assert_eq!(d.hits, 3);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.bytes_read, 20);
+        assert_eq!(d.corrupt, 1);
+        assert!(!d.is_zero());
+        assert!(a.delta_to(&a).is_zero());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the binary codec: arbitrary graphs survive the
+//! text → binary → text pipeline bit-identically, and corrupted bytes
+//! are always rejected with a typed error — never a panic, never a
+//! silently wrong graph.
+
+use proptest::prelude::*;
+use topogen_store::codec;
+use topogen_graph::io::{parse_edge_list, to_edge_list};
+use topogen_graph::{Graph, NodeId};
+use topogen_store::{decode_graph, encode_graph};
+
+/// Arbitrary graph: up to 40 nodes, arbitrary edge pairs (self-loops
+/// filtered, duplicates collapsed by `Graph::from_edges`).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..40)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..120),
+            )
+        })
+        .prop_map(|(n, pairs)| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// text → binary → text is bit-identical: serializing the decoded
+    /// binary graph reproduces the exact text the loader started from.
+    #[test]
+    fn text_binary_text_bit_identical(g in arb_graph()) {
+        let text = to_edge_list(&g);
+        let parsed = parse_edge_list(&text).unwrap();
+        let binary = encode_graph(&parsed);
+        let decoded = decode_graph(&binary).unwrap();
+        let text2 = to_edge_list(&decoded);
+        prop_assert_eq!(text.as_bytes(), text2.as_bytes());
+        prop_assert_eq!(decoded.node_count(), g.node_count());
+        prop_assert_eq!(decoded.edges(), g.edges());
+    }
+
+    /// Binary encoding is deterministic: same graph, same bytes.
+    #[test]
+    fn encoding_is_deterministic(g in arb_graph()) {
+        prop_assert_eq!(encode_graph(&g), encode_graph(&g));
+    }
+
+    /// Any single corrupted byte is rejected by the checksum (or an
+    /// earlier header check) with a typed error — never a panic.
+    #[test]
+    fn corrupted_byte_rejected_typed(
+        g in arb_graph(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let bytes = encode_graph(&g);
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut bad = bytes.clone();
+        bad[pos] ^= flip;
+        let err = decode_graph(&bad).expect_err("corruption undetected");
+        // Every failure is one of the typed variants; the Display form
+        // carries offset context.
+        let msg = err.to_string();
+        prop_assert!(!msg.is_empty());
+        match err {
+            codec::CodecError::BadMagic
+            | codec::CodecError::UnsupportedVersion(_)
+            | codec::CodecError::BadEndianTag(_)
+            | codec::CodecError::Truncated { .. }
+            | codec::CodecError::Checksum { .. }
+            | codec::CodecError::Malformed { .. } => {}
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_graph(&bytes);
+        let _ = codec::read_sections(&bytes);
+        let _ = codec::verify_container(&bytes);
+    }
+
+    /// Garbage with a valid-looking header still never panics (it gets
+    /// past the magic/version checks into section parsing).
+    #[test]
+    fn garbage_with_valid_header_never_panics(
+        body in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&codec::MAGIC);
+        bytes.extend_from_slice(&codec::CODEC_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&codec::ENDIAN_TAG.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let _ = decode_graph(&bytes);
+        // Even with a correct trailing checksum, malformed sections are
+        // typed errors.
+        let mut h = topogen_store::fnv::Fnv1a::new();
+        h.write(&bytes);
+        let sum = h.finish();
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        let _ = decode_graph(&bytes);
+    }
+}
