@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]
 //!                    [--keep-going] [--resume] [--deadline SECS] [--retries N]
-//!                    [--strict-checks] [--cache[=DIR]]
+//!                    [--strict-checks] [--cache[=DIR]] [--trace[=DIR]]
 //!
 //! --timings prints the parallel engines' instrumentation — shared-ball
 //! counters (traversals, cache hits) for the metric suite, hierarchy
@@ -11,6 +11,17 @@
 //! link-value stage, per-phase wall times for both, store-cache traffic
 //! when a cache is active — and with --json also archives it as
 //! BENCH_<id>.json.
+//!
+//! --trace[=DIR] records a structured span log — suite units and retry
+//! attempts, per-center metric-engine stages, hierarchy traversal/cover
+//! stages, store get/put/gc — to an append-only JSONL file
+//! DIR/<cmd>-seed<seed>.jsonl (default DIR: out/trace). Timestamps live
+//! only in the trace file: archived tables/figures stay byte-identical
+//! with tracing on or off. With --timings, span rollups (count + summed
+//! wall time per span name) are folded into the timing output and
+//! BENCH_<id>.json. `repro trace export [PATH]` converts a JSONL log
+//! (default: the newest in the trace dir) to Chrome trace-event JSON
+//! next to it (.trace.json), loadable in chrome://tracing or Perfetto.
 //!
 //! --cache[=DIR] caches topologies and derived artifacts (metric
 //! curves, link values) in a content-addressed store (default
@@ -61,17 +72,19 @@
 //!   store ls             list the artifact store's entries
 //!   store verify         checksum-walk every entry, report corruption
 //!   store gc --max-bytes N  evict least-recently-used entries over N
-//!   all                  everything above (except load-measured/store)
+//!   trace export [PATH]  convert a trace JSONL log to Chrome trace JSON
+//!   all                  everything above (except load-measured/store/trace)
 //! ```
 
 use std::io::Write as _;
 use std::time::Duration;
 use topogen_bench::experiments as exp;
 use topogen_bench::runner::{self, RunnerOptions, Unit, UnitError};
-use topogen_bench::ExpCtx;
+use topogen_bench::{tracefmt, ExpCtx};
 use topogen_core::report::{render_figure, FigureData, TableData, TimingReport};
 use topogen_core::zoo::Scale;
 use topogen_metrics::tolerance::Removal;
+use topogen_par::trace;
 
 /// The `all` suite, in execution order.
 const ALL_UNITS: [&str; 22] = [
@@ -107,6 +120,10 @@ struct Output {
     /// drained at the end of `run_cmd` to fail the unit (the outputs are
     /// still printed and archived with their `n/a (failed)` cells).
     degraded: std::sync::Mutex<Vec<String>>,
+    /// Trace position at the start of the current unit attempt; spans
+    /// recorded past it are rolled up into that unit's `--timings`
+    /// report. `None` when tracing is off.
+    trace_mark: std::sync::Mutex<Option<trace::Mark>>,
 }
 
 impl Clone for Output {
@@ -116,6 +133,7 @@ impl Clone for Output {
             timings: self.timings,
             strict_checks: self.strict_checks,
             degraded: std::sync::Mutex::new(Vec::new()),
+            trace_mark: std::sync::Mutex::new(None),
         }
     }
 }
@@ -133,6 +151,13 @@ impl Output {
 
     fn take_degraded(&self) -> Vec<String> {
         std::mem::take(&mut *self.degraded.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Remember where the trace buffer stands right now, so this unit's
+    /// `--timings` report can roll up just the spans it records.
+    fn mark_trace(&self) {
+        let mark = trace::active().map(|sink| sink.mark());
+        *self.trace_mark.lock().unwrap_or_else(|p| p.into_inner()) = mark;
     }
 
     fn table(&self, t: &TableData) {
@@ -155,11 +180,17 @@ impl Output {
         if !self.timings {
             return;
         }
+        let mut r = r.clone();
+        if let Some(sink) = trace::active() {
+            if let Some(mark) = &*self.trace_mark.lock().unwrap_or_else(|p| p.into_inner()) {
+                r.add_span_rollups(&sink.rollup_since(mark));
+            }
+        }
         println!("== {id} timings ==");
         print!("{}", r.render());
         self.dump(
             &format!("BENCH_{id}"),
-            serde_json::to_string_pretty(r).unwrap(),
+            serde_json::to_string_pretty(&r).unwrap(),
         );
     }
 
@@ -180,9 +211,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] \
          [--timings] [--keep-going] [--resume] [--deadline SECS] [--retries N] [--strict-checks] \
-         [--cache[=DIR]]"
+         [--cache[=DIR]] [--trace[=DIR]]"
     );
     eprintln!("       repro store <ls|verify|gc> [--cache[=DIR]] [--max-bytes N]");
+    eprintln!("       repro trace export [PATH] [--trace[=DIR]]");
     eprintln!("run `repro list` for the experiment index");
     std::process::exit(2);
 }
@@ -198,6 +230,7 @@ fn main() {
     let mut timings = false;
     let mut strict_checks = false;
     let mut cache_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut max_bytes: Option<u64> = None;
     let mut opts = RunnerOptions::default();
     let mut positional: Vec<String> = Vec::new();
@@ -213,6 +246,15 @@ fn main() {
                     usage();
                 }
                 cache_dir = Some(dir.to_string());
+            }
+            "--trace" => trace_dir = Some("out/trace".to_string()),
+            other if other.starts_with("--trace=") => {
+                let dir = &other["--trace=".len()..];
+                if dir.is_empty() {
+                    eprintln!("--trace= needs a directory");
+                    usage();
+                }
+                trace_dir = Some(dir.to_string());
             }
             "--max-bytes" => {
                 max_bytes = Some(
@@ -273,7 +315,7 @@ fn main() {
         None => usage(),
     };
     let arg = positional.get(1).cloned();
-    if positional.len() > 2 {
+    if positional.len() > 2 && cmd != "trace" {
         eprintln!("unexpected argument {:?}", positional[2]);
         usage();
     }
@@ -283,6 +325,17 @@ fn main() {
             arg.as_deref(),
             cache_dir.as_deref().unwrap_or("out/store"),
             max_bytes,
+        ));
+    }
+    if cmd == "trace" {
+        if positional.len() > 3 {
+            eprintln!("unexpected argument {:?}", positional[3]);
+            usage();
+        }
+        std::process::exit(run_trace_cmd(
+            arg.as_deref(),
+            positional.get(2).map(|s| s.as_str()),
+            trace_dir.as_deref().unwrap_or("out/trace"),
         ));
     }
     if max_bytes.is_some() {
@@ -312,11 +365,19 @@ fn main() {
             }
         }
     }
+    // Install the trace sink. Recording is append-only and off the
+    // result path: experiment outputs are byte-identical either way.
+    let trace_sink = trace_dir.as_ref().map(|_| {
+        let sink = std::sync::Arc::new(trace::TraceSink::new());
+        trace::install(Some(sink.clone()));
+        sink
+    });
     let out = Output {
         json_dir,
         timings,
         strict_checks,
         degraded: std::sync::Mutex::new(Vec::new()),
+        trace_mark: std::sync::Mutex::new(None),
     };
 
     if cmd == "list" {
@@ -324,7 +385,7 @@ fn main() {
         println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
         println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
         println!("ablation-ts ablation-extremes ablation-distortion");
-        println!("load-measured store all");
+        println!("load-measured store trace all");
         return;
     }
     if cmd == "load-measured" && arg.is_none() {
@@ -373,6 +434,12 @@ fn main() {
     };
 
     let report = runner::run_units(&units, &opts, ctx.seed, scale_label);
+    if let (Some(sink), Some(dir)) = (&trace_sink, &trace_dir) {
+        match flush_trace(sink, dir, &cmd, ctx.seed) {
+            Ok((path, events)) => eprintln!(">>> trace: {events} event(s) at {path}"),
+            Err(e) => eprintln!("warning: cannot write trace log: {e}"),
+        }
+    }
     if let Some(c) = topogen_store::ambient::counters() {
         if !c.is_zero() {
             eprintln!(
@@ -406,6 +473,95 @@ fn main() {
     std::process::exit(report.exit_code);
 }
 
+/// Append the sink's recorded events to `<dir>/<cmd>-seed<seed>.jsonl`.
+/// Returns the path and the number of events written.
+fn flush_trace(
+    sink: &trace::TraceSink,
+    dir: &str,
+    cmd: &str,
+    seed: u64,
+) -> std::io::Result<(String, usize)> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{cmd}-seed{seed}.jsonl");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    let events = sink.write_jsonl(&mut file)?;
+    file.sync_all()?;
+    Ok((path, events))
+}
+
+/// `repro trace export [PATH]` — convert a trace JSONL log (default:
+/// the newest `.jsonl` under the trace dir) to Chrome trace-event JSON
+/// written next to it as `<stem>.trace.json`. Returns the process exit
+/// code (0 ok, 1 unreadable/malformed input, 2 usage error).
+fn run_trace_cmd(sub: Option<&str>, path: Option<&str>, dir: &str) -> i32 {
+    if sub != Some("export") {
+        eprintln!(
+            "trace needs the subcommand `export [PATH]`{}",
+            sub.map(|s| format!(" (got {s:?})")).unwrap_or_default()
+        );
+        return 2;
+    }
+    let src = match path {
+        Some(p) => std::path::PathBuf::from(p),
+        None => match newest_jsonl(dir) {
+            Some(p) => p,
+            None => {
+                eprintln!("no .jsonl trace logs under {dir}; run with --trace first");
+                return 1;
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(&src) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", src.display());
+            return 1;
+        }
+    };
+    let events = match tracefmt::parse_jsonl(&text) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("{}: {e}", src.display());
+            return 1;
+        }
+    };
+    let json = tracefmt::chrome_trace(&events);
+    let dst = src.with_extension("trace.json");
+    if let Err(e) = std::fs::write(&dst, json) {
+        eprintln!("cannot write {}: {e}", dst.display());
+        return 1;
+    }
+    println!(
+        "exported {} event(s): {} -> {} (open in chrome://tracing or ui.perfetto.dev)",
+        events.len(),
+        src.display(),
+        dst.display()
+    );
+    0
+}
+
+/// The most recently modified `.jsonl` file directly under `dir`.
+fn newest_jsonl(dir: &str) -> Option<std::path::PathBuf> {
+    let mut best: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(t, _)| modified > *t) {
+            best = Some((modified, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 /// `repro store <ls|verify|gc>` — inspect and maintain the artifact
 /// store without running any experiment. Returns the process exit code
 /// (0 ok, 1 corruption found, 2 usage error).
@@ -422,7 +578,12 @@ fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> i32 {
             let entries = store.ls();
             let total: u64 = entries.iter().map(|e| e.bytes).sum();
             for e in &entries {
-                println!("{}  {:>10}  {}", e.hash, e.bytes, e.key.as_deref().unwrap_or("-"));
+                println!(
+                    "{}  {:>10}  {}",
+                    e.hash,
+                    e.bytes,
+                    e.key.as_deref().unwrap_or("-")
+                );
             }
             println!("{} entr(ies), {total} bytes at {dir}", entries.len());
             0
@@ -474,6 +635,7 @@ fn run_cmd(cmd: &str, arg: Option<&str>, ctx: &ExpCtx, out: &Output) -> Result<(
         eprintln!(">>> {cmd}");
     }
     let _ = out.take_degraded(); // drop leftovers from an aborted attempt
+    out.mark_trace();
     match cmd {
         "tab1" => out.table(&exp::tab1::run(ctx)),
         "fig2" => {

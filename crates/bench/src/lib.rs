@@ -36,6 +36,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod tracefmt;
 
 use topogen_core::zoo::Scale;
 

@@ -15,7 +15,7 @@ use serde::{Content, DeError, Deserialize, Serialize};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use topogen_par::{cancel, faults, panic_message};
+use topogen_par::{cancel, faults, panic_message, trace};
 
 /// Extra wall-clock slack past the deadline before the runner abandons
 /// a unit: the cooperative cancellation usually lands the `Cancelled`
@@ -146,8 +146,16 @@ pub struct LedgerUnit {
     pub id: String,
     /// Terminal status.
     pub status: UnitStatus,
-    /// Wall-clock duration of all attempts, seconds.
+    /// Wall-clock duration of the **terminal attempt only**, seconds —
+    /// what the unit's outputs actually cost, agreeing with the
+    /// `--timings` phase tables (which are also per-attempt). Earlier
+    /// failed attempts land in `duration_total_secs` instead; blending
+    /// them here used to over-report every retried unit.
     pub duration_secs: f64,
+    /// Wall-clock duration across *all* attempts, seconds; present only
+    /// when the unit ran more than one attempt (otherwise it would
+    /// equal `duration_secs`).
+    pub duration_total_secs: Option<f64>,
     /// Attempts performed (1 = no retries).
     pub attempts: u64,
     /// Redacted failure message (panic payload / reported reason),
@@ -158,17 +166,21 @@ pub struct LedgerUnit {
     pub cache: Option<CacheBlock>,
 }
 
-// Manual serde: `cache` is omitted (not null) when absent, and ledgers
-// written before the field existed must keep loading for `--resume`.
+// Manual serde: `cache` / `duration_total_secs` are omitted (not null)
+// when absent, and ledgers written before the fields existed must keep
+// loading for `--resume`.
 impl Serialize for LedgerUnit {
     fn to_content(&self) -> Content {
         let mut fields = vec![
             ("id".to_string(), self.id.to_content()),
             ("status".to_string(), self.status.to_content()),
             ("duration_secs".to_string(), self.duration_secs.to_content()),
-            ("attempts".to_string(), self.attempts.to_content()),
-            ("error".to_string(), self.error.to_content()),
         ];
+        if let Some(total) = self.duration_total_secs {
+            fields.push(("duration_total_secs".to_string(), total.to_content()));
+        }
+        fields.push(("attempts".to_string(), self.attempts.to_content()));
+        fields.push(("error".to_string(), self.error.to_content()));
         if let Some(cache) = &self.cache {
             fields.push(("cache".to_string(), cache.to_content()));
         }
@@ -183,6 +195,10 @@ impl Deserialize for LedgerUnit {
             id: String::from_content(field("id")?)?,
             status: UnitStatus::from_content(field("status")?)?,
             duration_secs: f64::from_content(field("duration_secs")?)?,
+            duration_total_secs: match c.get("duration_total_secs") {
+                Some(v) => Some(f64::from_content(v)?),
+                None => None,
+            },
             attempts: u64::from_content(field("attempts")?)?,
             error: Option::from_content(field("error")?)?,
             cache: match c.get("cache") {
@@ -371,6 +387,11 @@ fn run_attempt(
     attempt: u64,
     deadline: Option<Duration>,
 ) -> Attempt {
+    // The attempt span opens on the runner thread (so timed-out,
+    // abandoned unit threads still close it) and parents everything the
+    // unit thread traces via the captured parent id.
+    let _attempt_span = trace::span_labeled("attempt", &attempt.to_string());
+    let trace_parent = trace::current_parent();
     let (tx, rx) = mpsc::channel();
     let work = Arc::clone(work);
     let ambient = deadline.map(cancel::Deadline::after);
@@ -382,10 +403,10 @@ fn run_attempt(
         .stack_size(16 * 1024 * 1024);
     let handle = builder.spawn(move || {
         let body = || std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(attempt)));
-        let result = match thread_ambient {
+        let result = trace::with_parent(trace_parent, || match thread_ambient {
             Some(d) => cancel::with_deadline(d, body),
             None => body(),
-        };
+        });
         // The receiver may have abandoned us after the grace period.
         let _ = tx.send(result);
     });
@@ -454,6 +475,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
     let mut any_load = false;
     let mut any_failed = false;
 
+    let _suite_span = trace::span_labeled("suite", scale);
     for unit in units {
         // Resume: carry completed entries over verbatim.
         if let Some(prev) = prior.as_ref().and_then(|l| l.unit(&unit.id)) {
@@ -465,6 +487,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
 
         executed.push(unit.id.clone());
         faults::set_current_unit(Some(&unit.id));
+        let unit_span = trace::span_labeled("unit", &unit.id);
         let store_before = topogen_store::ambient::counters();
         let started = Instant::now();
         let mut attempts = 0u64;
@@ -472,6 +495,12 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
         while attempts <= opts.retries {
             let attempt = attempts;
             attempts += 1;
+            // Snapshot per attempt: the recorded duration covers only
+            // the terminal attempt, so it matches what the unit's
+            // outputs (and the `--timings` phase tables) actually cost;
+            // earlier failed/retried attempts are kept apart in
+            // `duration_total_secs` instead of blended in.
+            let attempt_started = Instant::now();
             match run_attempt(&unit.work, attempt, opts.deadline) {
                 Attempt::Success => {
                     entry = Some(LedgerUnit {
@@ -481,7 +510,8 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         } else {
                             UnitStatus::Retried
                         },
-                        duration_secs: started.elapsed().as_secs_f64(),
+                        duration_secs: attempt_started.elapsed().as_secs_f64(),
+                        duration_total_secs: None,
                         attempts,
                         error: None,
                         cache: None,
@@ -493,7 +523,8 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                     entry = Some(LedgerUnit {
                         id: unit.id.clone(),
                         status: UnitStatus::TimedOut,
-                        duration_secs: started.elapsed().as_secs_f64(),
+                        duration_secs: attempt_started.elapsed().as_secs_f64(),
+                        duration_total_secs: None,
                         attempts,
                         error: Some("deadline exceeded".to_string()),
                         cache: None,
@@ -506,7 +537,8 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                     entry = Some(LedgerUnit {
                         id: unit.id.clone(),
                         status: UnitStatus::Failed,
-                        duration_secs: started.elapsed().as_secs_f64(),
+                        duration_secs: attempt_started.elapsed().as_secs_f64(),
+                        duration_total_secs: None,
                         attempts,
                         error: Some(msg),
                         cache: None,
@@ -518,7 +550,8 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         entry = Some(LedgerUnit {
                             id: unit.id.clone(),
                             status: UnitStatus::Failed,
-                            duration_secs: started.elapsed().as_secs_f64(),
+                            duration_secs: attempt_started.elapsed().as_secs_f64(),
+                            duration_total_secs: None,
                             attempts,
                             error: Some(err.message().to_string()),
                             cache: None,
@@ -537,7 +570,8 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         entry = Some(LedgerUnit {
                             id: unit.id.clone(),
                             status: UnitStatus::Failed,
-                            duration_secs: started.elapsed().as_secs_f64(),
+                            duration_secs: attempt_started.elapsed().as_secs_f64(),
+                            duration_total_secs: None,
                             attempts,
                             error: Some(msg),
                             cache: None,
@@ -551,9 +585,13 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                 }
             }
         }
+        drop(unit_span);
         faults::set_current_unit(None);
 
         let mut entry = entry.expect("every unit records an outcome");
+        if attempts > 1 {
+            entry.duration_total_secs = Some(started.elapsed().as_secs_f64());
+        }
         if let (Some(before), Some(after)) = (store_before, topogen_store::ambient::counters()) {
             let d = before.delta_to(&after);
             if !d.is_zero() {
@@ -787,6 +825,7 @@ mod tests {
             id: "tab1".into(),
             status: UnitStatus::TimedOut,
             duration_secs: 1.25,
+            duration_total_secs: None,
             attempts: 1,
             error: Some("deadline exceeded".into()),
             cache: None,
@@ -795,6 +834,7 @@ mod tests {
             id: "tab2".into(),
             status: UnitStatus::Ok,
             duration_secs: 0.5,
+            duration_total_secs: Some(0.9),
             attempts: 1,
             error: None,
             cache: Some(CacheBlock {
@@ -810,6 +850,8 @@ mod tests {
         assert_eq!(back.units[0].status, UnitStatus::TimedOut);
         assert_eq!(back.units[0].error.as_deref(), Some("deadline exceeded"));
         assert_eq!(back.units[0].cache, None);
+        assert_eq!(back.units[0].duration_total_secs, None);
+        assert_eq!(back.units[1].duration_total_secs, Some(0.9));
         assert_eq!(back.units[1].cache.unwrap().hits, 3);
         assert_eq!(back.store, l.store);
         assert_eq!(back.seed, 5);

@@ -1,0 +1,290 @@
+//! Trace-file formats: parsing the JSONL event log written by
+//! `repro --trace` and exporting it as Chrome trace-event JSON
+//! (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)).
+//!
+//! The JSONL log is one event object per line, exactly as emitted by
+//! [`topogen_par::TraceSink::write_jsonl`]:
+//!
+//! ```text
+//! {"ev":"enter","id":3,"parent":1,"tid":2,"name":"unit","label":"tab1","t_ns":120}
+//! {"ev":"exit","id":3,"tid":2,"name":"unit","t_ns":950,"dur_ns":830}
+//! ```
+//!
+//! Events appear in per-thread order (enter/exit properly nested per
+//! `tid`) but threads are interleaved shard-by-shard, not globally
+//! time-sorted.
+
+use serde::{Content, DeError, Deserialize};
+
+/// One parsed line of a trace JSONL file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceLine {
+    /// `"enter"` or `"exit"`.
+    pub ev: String,
+    /// Span id (unique per run, never 0).
+    pub id: u64,
+    /// Parent span id (`0` = root; only on enter events).
+    pub parent: Option<u64>,
+    /// Trace-local thread id.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Optional dynamic label (unit id, metric name, ...).
+    pub label: Option<String>,
+    /// Nanoseconds since the sink's epoch.
+    pub t_ns: u64,
+    /// Span duration in nanoseconds (only on exit events).
+    pub dur_ns: Option<u64>,
+}
+
+impl Deserialize for TraceLine {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let field = |k: &str| c.get(k).ok_or_else(|| DeError(format!("missing {k}")));
+        Ok(TraceLine {
+            ev: String::from_content(field("ev")?)?,
+            id: u64::from_content(field("id")?)?,
+            parent: match c.get("parent") {
+                Some(v) => Some(u64::from_content(v)?),
+                None => None,
+            },
+            tid: u64::from_content(field("tid")?)?,
+            name: String::from_content(field("name")?)?,
+            label: match c.get("label") {
+                Some(v) => Some(String::from_content(v)?),
+                None => None,
+            },
+            t_ns: u64::from_content(field("t_ns")?)?,
+            dur_ns: match c.get("dur_ns") {
+                Some(v) => Some(u64::from_content(v)?),
+                None => None,
+            },
+        })
+    }
+}
+
+/// Parse a whole JSONL trace log. Blank lines are skipped; any
+/// malformed line is an error naming its (1-based) line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceLine>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceLine =
+            serde_json::from_str(line).map_err(|e| format!("trace line {}: {}", i + 1, e))?;
+        if ev.ev != "enter" && ev.ev != "exit" {
+            return Err(format!("trace line {}: unknown ev {:?}", i + 1, ev.ev));
+        }
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Render parsed trace events as Chrome trace-event JSON (the
+/// `{"traceEvents":[...]}` object form).
+///
+/// Each exit event (which carries its own duration) becomes one `"X"`
+/// complete event with microsecond `ts`/`dur` computed from
+/// `t_ns - dur_ns` and `dur_ns`. Enter events with no matching exit
+/// (spans abandoned by a timed-out worker thread) become `"i"` instant
+/// events so they remain visible on the timeline.
+pub fn chrome_trace(events: &[TraceLine]) -> String {
+    use std::collections::HashSet;
+    let exited: HashSet<u64> = events
+        .iter()
+        .filter(|e| e.ev == "exit")
+        .map(|e| e.id)
+        .collect();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for e in events {
+        let entry = match e.ev.as_str() {
+            "exit" => {
+                let dur = e.dur_ns.unwrap_or(0);
+                let start = e.t_ns.saturating_sub(dur);
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                    topogen_par::trace::escape_json(&e.name),
+                    start as f64 / 1e3,
+                    dur as f64 / 1e3,
+                    e.tid
+                )
+            }
+            _ if !exited.contains(&e.id) => {
+                let name = match &e.label {
+                    Some(l) => format!("{} [{}]", e.name, l),
+                    None => e.name.clone(),
+                };
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"s\":\"t\"}}",
+                    topogen_par::trace::escape_json(&name),
+                    e.t_ns as f64 / 1e3,
+                    e.tid
+                )
+            }
+            _ => continue, // matched enter: its exit carries the timing
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&entry);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Check well-formedness of a parsed trace: no span id is entered
+/// twice; per thread, enters and exits nest LIFO (every exit matches
+/// the innermost open enter of its thread); every parent id is either
+/// root (0) or a span entered somewhere in the trace. The parent check
+/// is a separate pass because the log is ordered per thread, not
+/// globally: a worker's child enter can precede its cross-thread
+/// parent's enter line. Returns a description of the first violation.
+pub fn check_well_formed(events: &[TraceLine]) -> Result<(), String> {
+    use std::collections::{HashMap, HashSet};
+    let mut entered: HashSet<u64> = HashSet::new();
+    for e in events.iter().filter(|e| e.ev == "enter") {
+        if !entered.insert(e.id) {
+            return Err(format!("span {} entered twice", e.id));
+        }
+    }
+    let mut open_per_tid: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut exits = 0usize;
+    for e in events {
+        let stack = open_per_tid.entry(e.tid).or_default();
+        match e.ev.as_str() {
+            "enter" => {
+                let parent = e.parent.unwrap_or(0);
+                if parent != 0 && !entered.contains(&parent) {
+                    return Err(format!(
+                        "span {} opened under unknown parent {}",
+                        e.id, parent
+                    ));
+                }
+                stack.push(e.id);
+            }
+            _ => {
+                exits += 1;
+                match stack.pop() {
+                    Some(top) if top == e.id => {}
+                    Some(top) => {
+                        return Err(format!(
+                            "tid {}: exit {} while {} still open (non-LIFO)",
+                            e.tid, e.id, top
+                        ))
+                    }
+                    None => return Err(format!("tid {}: exit {} without enter", e.tid, e.id)),
+                }
+            }
+        }
+    }
+    if exits > entered.len() {
+        return Err(format!("{} exits for {} enters", exits, entered.len()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"ev":"enter","id":1,"parent":0,"tid":1,"name":"suite","label":"small","t_ns":10}"#,
+        "\n",
+        r#"{"ev":"enter","id":2,"parent":1,"tid":1,"name":"unit","label":"tab1","t_ns":20}"#,
+        "\n",
+        r#"{"ev":"exit","id":2,"tid":1,"name":"unit","t_ns":90,"dur_ns":70}"#,
+        "\n",
+        r#"{"ev":"exit","id":1,"tid":1,"name":"suite","t_ns":100,"dur_ns":90}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_jsonl_lines() {
+        let evs = parse_jsonl(SAMPLE).unwrap();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].ev, "enter");
+        assert_eq!(evs[0].parent, Some(0));
+        assert_eq!(evs[1].label.as_deref(), Some("tab1"));
+        assert_eq!(evs[2].dur_ns, Some(70));
+        assert_eq!(evs[3].name, "suite");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"ev\":\"enter\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        let err = parse_jsonl(&format!("{}\ngarbage", SAMPLE.trim_end())).unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_complete_events() {
+        let evs = parse_jsonl(SAMPLE).unwrap();
+        let j = chrome_trace(&evs);
+        // Round-trip through the JSON parser to prove validity.
+        let c: Content = serde_json::from_str(&j).unwrap();
+        let list = match c.get("traceEvents").unwrap() {
+            Content::Seq(s) => s.clone(),
+            other => panic!("traceEvents not a list: {other:?}"),
+        };
+        assert_eq!(list.len(), 2); // two exits -> two X events
+        let ph = list[0].get("ph").unwrap();
+        assert_eq!(String::from_content(ph).unwrap(), "X");
+    }
+
+    #[test]
+    fn unmatched_enter_becomes_instant_event() {
+        let text = concat!(
+            r#"{"ev":"enter","id":1,"parent":0,"tid":3,"name":"stuck","t_ns":5}"#,
+            "\n"
+        );
+        let evs = parse_jsonl(text).unwrap();
+        let j = chrome_trace(&evs);
+        let c: Content = serde_json::from_str(&j).unwrap();
+        let list = match c.get("traceEvents").unwrap() {
+            Content::Seq(s) => s.clone(),
+            other => panic!("traceEvents not a list: {other:?}"),
+        };
+        assert_eq!(list.len(), 1);
+        assert_eq!(
+            String::from_content(list[0].get("ph").unwrap()).unwrap(),
+            "i"
+        );
+    }
+
+    #[test]
+    fn well_formedness_accepts_nesting_and_rejects_violations() {
+        let evs = parse_jsonl(SAMPLE).unwrap();
+        check_well_formed(&evs).unwrap();
+
+        // Exit without enter.
+        let bad =
+            parse_jsonl(r#"{"ev":"exit","id":9,"tid":1,"name":"x","t_ns":1,"dur_ns":1}"#).unwrap();
+        assert!(check_well_formed(&bad)
+            .unwrap_err()
+            .contains("without enter"));
+
+        // Non-LIFO exits on one thread.
+        let crossed = parse_jsonl(concat!(
+            r#"{"ev":"enter","id":1,"parent":0,"tid":1,"name":"a","t_ns":1}"#,
+            "\n",
+            r#"{"ev":"enter","id":2,"parent":1,"tid":1,"name":"b","t_ns":2}"#,
+            "\n",
+            r#"{"ev":"exit","id":1,"tid":1,"name":"a","t_ns":3,"dur_ns":2}"#,
+            "\n",
+        ))
+        .unwrap();
+        assert!(check_well_formed(&crossed)
+            .unwrap_err()
+            .contains("non-LIFO"));
+
+        // Unknown parent.
+        let orphan =
+            parse_jsonl(r#"{"ev":"enter","id":5,"parent":4,"tid":1,"name":"c","t_ns":1}"#).unwrap();
+        assert!(check_well_formed(&orphan)
+            .unwrap_err()
+            .contains("unknown parent"));
+    }
+}

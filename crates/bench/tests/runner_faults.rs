@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use topogen_bench::experiments as exp;
-use topogen_bench::runner::{run_units, RunLedger, RunnerOptions, Unit, UnitStatus};
+use topogen_bench::runner::{run_units, RunLedger, RunnerOptions, Unit, UnitError, UnitStatus};
 use topogen_bench::ExpCtx;
 use topogen_core::report::FAILED_CELL;
 use topogen_par::{cancel, faults};
@@ -122,6 +122,59 @@ fn resume_reruns_only_the_faulted_unit() {
     let reloaded = RunLedger::load(&path).unwrap();
     assert!(reloaded.units.iter().all(|u| u.status.completed()));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_durations_attribute_only_the_terminal_attempt() {
+    let _guard = faults::exclusive_for_tests();
+    // Every attempt crosses a 300ms injected delay; the first attempt
+    // then fails, the reseeded retry succeeds. The ledger's
+    // `duration_secs` must cover only the terminal attempt (matching
+    // what the `--timings` phase tables measure), with the failed
+    // attempt's time kept apart in `duration_total_secs` — not blended.
+    faults::install_spec("metric:delay300:1:5").unwrap();
+    let unit = Unit::new("flaky", move |attempt| {
+        faults::inject("metric", "flaky");
+        cancel::checkpoint();
+        if attempt == 0 {
+            Err(UnitError::Failed("transient failure".into()))
+        } else {
+            Ok(())
+        }
+    });
+    let opts = RunnerOptions {
+        retries: 1,
+        ..Default::default()
+    };
+    let report = run_units(&[unit], &opts, 9, "small");
+    faults::clear();
+    assert_eq!(report.exit_code, 0);
+    let u = &report.ledger.units[0];
+    assert_eq!(u.status, UnitStatus::Retried);
+    assert_eq!(u.attempts, 2);
+    let total = u
+        .duration_total_secs
+        .expect("retried units record the all-attempts total");
+    assert!(
+        u.duration_secs >= 0.25,
+        "terminal attempt crossed the delay: {}",
+        u.duration_secs
+    );
+    assert!(
+        total >= u.duration_secs + 0.25,
+        "total covers the failed attempt too: total {total}, terminal {}",
+        u.duration_secs
+    );
+
+    // Single-attempt successes record no separate total.
+    let clean = run_units(
+        &[phase("metric", "clean-unit")],
+        &RunnerOptions::default(),
+        9,
+        "small",
+    );
+    assert_eq!(clean.ledger.units[0].attempts, 1);
+    assert_eq!(clean.ledger.units[0].duration_total_secs, None);
 }
 
 #[test]

@@ -151,10 +151,7 @@ pub fn encode_topology(t: &BuiltTopology) -> Vec<u8> {
         w.section(codec::SEC_OVERLAY_GRAPH, &graph_payload(&ov.as_graph));
         w.section(
             codec::SEC_OVERLAY_ANNOTATIONS,
-            &bytes_payload(&annotation_codes(
-                &ov.annotations,
-                ov.as_graph.edge_count(),
-            )),
+            &bytes_payload(&annotation_codes(&ov.annotations, ov.as_graph.edge_count())),
         );
     }
     w.finish()
@@ -173,7 +170,8 @@ fn decode_annotations(payload: &[u8], g: &Graph) -> Option<AsAnnotations> {
 /// any structural mismatch.
 pub fn decode_topology(bytes: &[u8], spec: &TopologySpec) -> Option<BuiltTopology> {
     let sections = codec::read_sections(bytes).ok()?;
-    let graph = codec::graph_from_payload(codec::find_section(&sections, codec::SEC_GRAPH)?).ok()?;
+    let graph =
+        codec::graph_from_payload(codec::find_section(&sections, codec::SEC_GRAPH)?).ok()?;
     let annotations = match codec::find_section(&sections, codec::SEC_ANNOTATIONS) {
         Some(p) => Some(decode_annotations(p, &graph)?),
         None => None,
@@ -280,7 +278,8 @@ pub fn encode_link_values(values: &[f64]) -> Vec<u8> {
 /// `expected_len` values (the work graph's edge count).
 pub fn decode_link_values(bytes: &[u8], expected_len: usize) -> Option<Vec<f64>> {
     let sections = codec::read_sections(bytes).ok()?;
-    let v = codec::f64_from_payload(codec::find_section(&sections, codec::SEC_LINK_VALUES)?).ok()?;
+    let v =
+        codec::f64_from_payload(codec::find_section(&sections, codec::SEC_LINK_VALUES)?).ok()?;
     (v.len() == expected_len).then_some(v)
 }
 
@@ -361,7 +360,10 @@ mod tests {
         let back = decode_topology(&encode_topology(&t), &t.spec).unwrap();
         assert_eq!(back.graph.edges(), t.graph.edges());
         assert_eq!(back.router_as, t.router_as);
-        let (a, b) = (back.as_overlay.as_ref().unwrap(), t.as_overlay.as_ref().unwrap());
+        let (a, b) = (
+            back.as_overlay.as_ref().unwrap(),
+            t.as_overlay.as_ref().unwrap(),
+        );
         assert_eq!(a.as_graph.edges(), b.as_graph.edges());
         assert_eq!(
             annotations_hash(&a.annotations, a.as_graph.edge_count()),

@@ -139,13 +139,31 @@ pub struct TimingPhase {
     pub seconds: f64,
 }
 
+/// One span name's aggregated trace rollup: how many spans closed under
+/// that name and their summed wall time. Serializable mirror of
+/// [`topogen_par::SpanRollup`], folded into [`TimingReport`] when the
+/// `repro` binary runs with `--trace`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanRollup {
+    /// Span name (`"unit"`, `"ball-plan"`, `"store-put"`, ...).
+    pub name: String,
+    /// Number of spans closed under this name.
+    pub count: u64,
+    /// Summed wall time in seconds (across all threads).
+    pub seconds: f64,
+}
+
 /// Per-run instrumentation from the parallel engines: traversal and
 /// ball-construction counts from the shared-ball metrics engine, the
 /// hierarchy stage's DAG/pair/arena volumes, and per-phase wall times.
 /// Serializable mirror of [`topogen_par::InstrumentReport`]; the
 /// `repro` binary prints it with `--timings` and archives it as
 /// `BENCH_*.json`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `spans` holds trace rollups and is only populated under `--trace`;
+/// serialization omits it when empty so untraced `BENCH_*.json` files
+/// stay byte-identical with historical ones (hence the manual impls).
+#[derive(Clone, Debug, Default)]
 pub struct TimingReport {
     /// Distance-field computations performed (one traversal each).
     pub bfs_runs: u64,
@@ -171,6 +189,70 @@ pub struct TimingReport {
     pub store_bytes_written: u64,
     /// Per-phase accumulated wall times.
     pub phases: Vec<TimingPhase>,
+    /// Trace span rollups (populated only under `--trace`).
+    pub spans: Vec<SpanRollup>,
+}
+
+impl Serialize for TimingReport {
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("bfs_runs".to_string(), self.bfs_runs.to_content()),
+            ("balls_built".to_string(), self.balls_built.to_content()),
+            (
+                "ball_cache_hits".to_string(),
+                self.ball_cache_hits.to_content(),
+            ),
+            (
+                "partitioner_restarts".to_string(),
+                self.partitioner_restarts.to_content(),
+            ),
+            ("dag_states".to_string(), self.dag_states.to_content()),
+            (
+                "pairs_accumulated".to_string(),
+                self.pairs_accumulated.to_content(),
+            ),
+            ("arena_bytes".to_string(), self.arena_bytes.to_content()),
+            ("store_hits".to_string(), self.store_hits.to_content()),
+            ("store_misses".to_string(), self.store_misses.to_content()),
+            (
+                "store_bytes_read".to_string(),
+                self.store_bytes_read.to_content(),
+            ),
+            (
+                "store_bytes_written".to_string(),
+                self.store_bytes_written.to_content(),
+            ),
+            ("phases".to_string(), self.phases.to_content()),
+        ];
+        if !self.spans.is_empty() {
+            fields.push(("spans".to_string(), self.spans.to_content()));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for TimingReport {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let field = |k: &str| c.get(k).ok_or_else(|| DeError(format!("missing {k}")));
+        Ok(TimingReport {
+            bfs_runs: u64::from_content(field("bfs_runs")?)?,
+            balls_built: u64::from_content(field("balls_built")?)?,
+            ball_cache_hits: u64::from_content(field("ball_cache_hits")?)?,
+            partitioner_restarts: u64::from_content(field("partitioner_restarts")?)?,
+            dag_states: u64::from_content(field("dag_states")?)?,
+            pairs_accumulated: u64::from_content(field("pairs_accumulated")?)?,
+            arena_bytes: u64::from_content(field("arena_bytes")?)?,
+            store_hits: u64::from_content(field("store_hits")?)?,
+            store_misses: u64::from_content(field("store_misses")?)?,
+            store_bytes_read: u64::from_content(field("store_bytes_read")?)?,
+            store_bytes_written: u64::from_content(field("store_bytes_written")?)?,
+            phases: Vec::from_content(field("phases")?)?,
+            spans: match c.get("spans") {
+                Some(s) => Vec::from_content(s)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl From<&topogen_par::InstrumentReport> for TimingReport {
@@ -195,6 +277,27 @@ impl From<&topogen_par::InstrumentReport> for TimingReport {
                     seconds: p.seconds,
                 })
                 .collect(),
+            spans: Vec::new(),
+        }
+    }
+}
+
+impl TimingReport {
+    /// Fold trace rollups (from [`topogen_par::TraceSink::rollup_since`])
+    /// into this report, converting nanoseconds to seconds.
+    pub fn add_span_rollups(&mut self, rollups: &[topogen_par::SpanRollup]) {
+        for r in rollups {
+            let seconds = r.nanos as f64 / 1e9;
+            if let Some(mine) = self.spans.iter_mut().find(|q| q.name == r.name) {
+                mine.count += r.count;
+                mine.seconds += seconds;
+            } else {
+                self.spans.push(SpanRollup {
+                    name: r.name.to_string(),
+                    count: r.count,
+                    seconds,
+                });
+            }
         }
     }
 }
@@ -221,6 +324,14 @@ impl TimingReport {
                 self.phases.push(p.clone());
             }
         }
+        for s in &other.spans {
+            if let Some(mine) = self.spans.iter_mut().find(|q| q.name == s.name) {
+                mine.count += s.count;
+                mine.seconds += s.seconds;
+            } else {
+                self.spans.push(s.clone());
+            }
+        }
     }
 
     /// Render as aligned text lines (what `repro --timings` prints).
@@ -244,6 +355,15 @@ impl TimingReport {
         }
         for p in &self.phases {
             out.push_str(&format!("  {:<14} {:>9.3}s\n", p.name, p.seconds));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("trace spans:\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "  {:<14} {:>7}x {:>9.3}s\n",
+                    s.name, s.count, s.seconds
+                ));
+            }
         }
         out
     }
@@ -463,6 +583,71 @@ mod tests {
         let back: TableData = serde_json::from_str(&j).unwrap();
         assert_eq!(back.failures, t.failures);
         assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn timing_report_omits_spans_when_empty() {
+        // Untraced BENCH_*.json files must stay byte-identical with
+        // archives written before the trace layer existed.
+        let mut r = TimingReport {
+            bfs_runs: 3,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(!j.contains("spans"));
+        let back: TimingReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.bfs_runs, 3);
+        assert!(back.spans.is_empty());
+
+        r.spans.push(SpanRollup {
+            name: "unit".into(),
+            count: 4,
+            seconds: 0.25,
+        });
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("spans"));
+        let back: TimingReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.spans, r.spans);
+        assert!(r.render().contains("trace spans"));
+    }
+
+    #[test]
+    fn timing_report_merges_spans_by_name() {
+        let mut a = TimingReport::default();
+        a.spans.push(SpanRollup {
+            name: "balls".into(),
+            count: 2,
+            seconds: 1.0,
+        });
+        let mut b = TimingReport::default();
+        b.spans.push(SpanRollup {
+            name: "balls".into(),
+            count: 3,
+            seconds: 0.5,
+        });
+        b.spans.push(SpanRollup {
+            name: "center".into(),
+            count: 1,
+            seconds: 0.1,
+        });
+        a.merge(&b);
+        assert_eq!(a.spans.len(), 2);
+        let balls = a.spans.iter().find(|s| s.name == "balls").unwrap();
+        assert_eq!(balls.count, 5);
+        assert!((balls.seconds - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_rollups_fold_from_trace_units() {
+        let mut r = TimingReport::default();
+        r.add_span_rollups(&[topogen_par::SpanRollup {
+            name: "store-put",
+            count: 7,
+            nanos: 2_500_000_000,
+        }]);
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].count, 7);
+        assert!((r.spans[0].seconds - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
             NLevelParams::three_level_1000().canonical_params(),
             FlatParams {
                 n: 300,
-                method: EdgeMethod::DoarLeslie { ke: 20.0, beta: 0.9 },
+                method: EdgeMethod::DoarLeslie {
+                    ke: 20.0,
+                    beta: 0.9,
+                },
             }
             .canonical_params(),
         ];

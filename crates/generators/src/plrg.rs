@@ -112,7 +112,10 @@ impl crate::generate::Generate for PlrgParams {
             None => "none".to_string(),
             Some(d) => d.to_string(),
         };
-        format!("n={},alpha={:?},max_degree={max_degree}", self.n, self.alpha)
+        format!(
+            "n={},alpha={:?},max_degree={max_degree}",
+            self.n, self.alpha
+        )
     }
 }
 

@@ -56,6 +56,7 @@ pub fn link_values_threads(
     let t = link_traversals_threads(g, mode, threads, ins);
     // Per-link covers are independent: spread them over cores.
     let start = std::time::Instant::now();
+    let _cover_span = topogen_par::trace::span("hier-cover");
     let links: Vec<&[PairWeight]> = t.iter_links().collect();
     let values = par_map_threads(&links, threads, |pairs| link_value(pairs) / n as f64);
     if let Some(ins) = ins {

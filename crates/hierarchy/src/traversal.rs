@@ -130,6 +130,7 @@ pub fn link_traversals_threads(
     // no-ops unless armed / a deadline is ambient.
     topogen_par::faults::inject("hier", "traversal");
     topogen_par::cancel::checkpoint();
+    let _span = topogen_par::trace::span("hier-traversal");
     let n = g.node_count();
     let m = g.edge_count();
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
@@ -144,6 +145,7 @@ pub fn link_traversals_threads(
     // Phase 2 (serial merge, ascending source order): counting pass,
     // offsets, then one placement sweep — per link, entries land in
     // ascending (u, v) order, independent of the thread count.
+    let _merge_span = topogen_par::trace::span("hier-merge");
     let mut counts = vec![0usize; m];
     for c in &contribs {
         for &(l, _, _) in &c.entries {

@@ -282,6 +282,7 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
             self.metrics.first().map_or("expansion", |m| m.name()),
         );
         topogen_par::cancel::checkpoint();
+        let _plan_span = topogen_par::trace::span("ball-plan");
         let instrument = Instrument::new();
         let jobs = self.merge_centers();
         let radii = self.max_radius as usize + 1;
@@ -289,11 +290,14 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
         // (per-metric (size, value) rows, expansion cumulative counts)
         type JobOut = (Option<Vec<(f64, Vec<f64>)>>, Option<Vec<usize>>);
         let outputs: Vec<JobOut> = par_map_threads(&jobs, self.threads, |&(c, is_ball, is_exp)| {
+            let _center_span = topogen_par::trace::span("center");
             let mut ball_rows = None;
             let mut cum = None;
             if is_ball {
                 let t0 = Instant::now();
+                let ball_span = topogen_par::trace::span("balls");
                 let balls = self.source.balls_up_to(c, self.max_radius);
+                drop(ball_span);
                 instrument.add_bfs_runs(1);
                 instrument.add_balls_built(balls.len() as u64);
                 instrument.add_phase("balls", t0.elapsed());
@@ -318,6 +322,7 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
                             .iter()
                             .map(|m| {
                                 let t1 = Instant::now();
+                                let _m_span = topogen_par::trace::span_labeled("measure", m.name());
                                 let v = m.measure(g, &ctx).unwrap_or(f64::NAN);
                                 instrument.add_phase(m.name(), t1.elapsed());
                                 v
@@ -335,6 +340,7 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
                 ball_rows = Some(rows);
             } else if is_exp {
                 let t0 = Instant::now();
+                let _dist_span = topogen_par::trace::span("distances");
                 let dist = self.source.distances(c);
                 instrument.add_bfs_runs(1);
                 let mut counts = vec![0usize; radii];

@@ -94,7 +94,8 @@ impl Instrument {
     pub fn add_store_traffic(&self, hits: u64, misses: u64, bytes_read: u64, bytes_written: u64) {
         self.store_hits.fetch_add(hits, Ordering::Relaxed);
         self.store_misses.fetch_add(misses, Ordering::Relaxed);
-        self.store_bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        self.store_bytes_read
+            .fetch_add(bytes_read, Ordering::Relaxed);
         self.store_bytes_written
             .fetch_add(bytes_written, Ordering::Relaxed);
     }

@@ -57,9 +57,11 @@ where
             })
             .collect();
     }
-    // Capture the caller's ambient deadline so workers observe the same
-    // cancellation state the caller does.
+    // Capture the caller's ambient deadline and current trace span so
+    // workers observe the same cancellation state the caller does and
+    // per-item spans parent on the caller's span across threads.
     let ambient = cancel::current_deadline();
+    let trace_parent = crate::trace::current_parent();
 
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
@@ -95,10 +97,10 @@ where
                             *slot = Some(f(&items[*start + k]));
                         }
                     };
-                    match &ambient {
+                    crate::trace::with_parent(trace_parent, || match &ambient {
                         Some(d) => cancel::with_deadline(d.clone(), work),
                         None => work(),
-                    }
+                    })
                 })
             })
             .collect();

@@ -86,7 +86,10 @@ impl std::fmt::Display for CodecError {
                 write!(f, "offset 4: unsupported codec version {v}")
             }
             CodecError::BadEndianTag(t) => {
-                write!(f, "offset 8: bad endian tag {t:#010x} (foreign byte order?)")
+                write!(
+                    f,
+                    "offset 8: bad endian tag {t:#010x} (foreign byte order?)"
+                )
             }
             CodecError::Truncated { offset } => write!(f, "offset {offset}: truncated"),
             CodecError::Checksum { expected, actual } => write!(
@@ -313,13 +316,7 @@ pub fn find_section<'a>(sections: &[([u8; 4], &'a [u8])], tag: [u8; 4]) -> Optio
 
 fn tag_str(tag: &[u8; 4]) -> String {
     tag.iter()
-        .map(|&b| {
-            if b.is_ascii_graphic() {
-                b as char
-            } else {
-                '?'
-            }
-        })
+        .map(|&b| if b.is_ascii_graphic() { b as char } else { '?' })
         .collect()
 }
 

@@ -141,15 +141,42 @@ pub struct Store {
 }
 
 impl Store {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`. Stale temp
+    /// files from interrupted writes (`<hash>.tmp`, possibly torn) are
+    /// removed: lookups only ever read `.tgr` paths, so a leftover tmp
+    /// can never shadow a valid entry — it is just dead bytes.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Store> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Store {
+        let store = Store {
             root,
             counters: StoreCounters::default(),
             ledger: Mutex::new(()),
-        })
+        };
+        store.clean_stale_tmp();
+        Ok(store)
+    }
+
+    /// Remove `*.tmp` leftovers from writes interrupted before rename.
+    fn clean_stale_tmp(&self) {
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for shard in shards.flatten() {
+            let sp = shard.path();
+            if !sp.is_dir() {
+                continue;
+            }
+            let Ok(entries) = fs::read_dir(&sp) else {
+                continue;
+            };
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().and_then(|s| s.to_str()) == Some("tmp") {
+                    let _ = fs::remove_file(&p);
+                }
+            }
+        }
     }
 
     /// The store root directory.
@@ -164,13 +191,16 @@ impl Store {
 
     fn entry_path(&self, hash: u64) -> PathBuf {
         let hex = format!("{hash:016x}");
-        self.root
-            .join(&hex[..2])
-            .join(format!("{hex}.{ENTRY_EXT}"))
+        self.root.join(&hex[..2]).join(format!("{hex}.{ENTRY_EXT}"))
     }
 
     fn append_ledger(&self, verb: &str, hash: u64, len: usize, key: &str) {
         let _guard = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        self.append_ledger_locked(verb, hash, len, key);
+    }
+
+    /// [`Self::append_ledger`] body; the caller must hold `self.ledger`.
+    fn append_ledger_locked(&self, verb: &str, hash: u64, len: usize, key: &str) {
         let line = format!("{verb}\t{hash:016x}\t{len}\t{key}\n");
         // Ledger writes are best-effort: a failure here must not fail
         // the computation the cache is accelerating.
@@ -185,6 +215,7 @@ impl Store {
     /// A checksum failure deletes the entry and reports a miss, so the
     /// caller recomputes and rewrites.
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let _span = topogen_par::trace::span("store-get");
         let hash = key_hash(key);
         let path = self.entry_path(hash);
         let bytes = match fs::read(&path) {
@@ -215,9 +246,15 @@ impl Store {
     }
 
     /// Write `bytes` (a finished `.tgr` container) under `key`,
-    /// atomically (temp file + rename). Errors are swallowed: the store
-    /// is an accelerator, and a failed write only costs a future miss.
+    /// atomically and durably: the temp file is fsynced before the
+    /// rename and the shard directory after it, so a crash right after
+    /// `put` returns cannot surface a torn entry at the final address
+    /// (without the syncs, the rename could be durable while the data
+    /// blocks were not — the checksum would catch it later, but only by
+    /// silently discarding the warm entry). Errors are swallowed: the
+    /// store is an accelerator, and a failed write only costs a miss.
     pub fn put(&self, key: &str, bytes: &[u8]) {
+        let _span = topogen_par::trace::span("store-put");
         debug_assert!(verify_container(bytes).is_ok(), "put of invalid container");
         let hash = key_hash(key);
         let path = self.entry_path(hash);
@@ -226,15 +263,32 @@ impl Store {
             return;
         }
         let tmp = dir.join(format!("{hash:016x}.tmp"));
-        let ok = fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, &path).is_ok();
-        if ok {
+        let write_synced = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            Ok(())
+        };
+        if write_synced().is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        // Publish (rename) and record (ledger line) under the ledger
+        // lock, so a concurrent `gc` can never observe the entry file
+        // without its ledger line — which would demote a fresh entry to
+        // the "never seen / oldest" eviction tier.
+        let guard = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        if fs::rename(&tmp, &path).is_ok() {
+            // Make the rename itself durable.
+            let _ = fs::File::open(dir).and_then(|d| d.sync_all());
             self.counters
                 .bytes_written
                 .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-            self.append_ledger("put", hash, bytes.len(), key);
+            self.append_ledger_locked("put", hash, bytes.len(), key);
         } else {
             let _ = fs::remove_file(&tmp);
         }
+        drop(guard);
     }
 
     fn walk_entries(&self) -> Vec<(String, PathBuf, u64)> {
@@ -326,7 +380,11 @@ impl Store {
     /// Evict least-recently-used entries (by ledger order; entries the
     /// ledger has never seen count as oldest, in hash order) until the
     /// total size is at most `max_bytes`. Rewrites the ledger compacted.
+    /// Holds the ledger lock across the whole walk-and-rewrite, which
+    /// together with [`Self::put`] publishing under the same lock means
+    /// no concurrent put's ledger line can be dropped by the compaction.
     pub fn gc(&self, max_bytes: u64) -> GcReport {
+        let _span = topogen_par::trace::span("store-gc");
         let _guard = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
         let index = self.ledger_index();
         let mut entries = self.walk_entries();
@@ -380,10 +438,8 @@ mod tests {
     use topogen_graph::Graph;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "topogen-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("topogen-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -483,6 +539,81 @@ mod tests {
         assert_eq!(ls.len(), 1);
         assert_eq!(ls[0].key.as_deref(), Some("kind=test|x=1"));
         assert!(ls[0].bytes > 0);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_cleaned_and_never_shadows_a_valid_entry() {
+        let dir = tmpdir("staletmp");
+        let bytes = sample_container(0);
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put("k", &bytes);
+        }
+        // Simulate a crash mid-write: a short (torn) tmp file next to
+        // the valid entry, exactly where `put` stages its writes.
+        let store = Store::open(&dir).unwrap();
+        let (hash, path, _) = store.walk_entries().pop().unwrap();
+        let tmp = path.with_file_name(format!("{hash}.tmp"));
+        fs::write(&tmp, &bytes[..3]).unwrap();
+        drop(store);
+
+        // Reopen: the stale tmp is swept; the valid entry still serves.
+        let store = Store::open(&dir).unwrap();
+        assert!(!tmp.exists(), "stale tmp cleaned on open");
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+        assert_eq!(store.verify().corrupt.len(), 0);
+        // And even while present, a tmp never shadows: lookups read only
+        // `.tgr` paths and the walk skips non-entry extensions.
+        fs::write(&tmp, &bytes[..3]).unwrap();
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+        assert_eq!(store.walk_entries().len(), 1);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_put_and_gc_never_drop_a_ledger_line() {
+        // Regression for the put/gc race: `put` used to publish the
+        // entry file and append its ledger line as two unlocked steps; a
+        // gc interleaving between them saw a file with no line, demoted
+        // it to the "never seen / oldest" tier, and (worse) its ledger
+        // compaction dropped the line appended mid-walk. With publish
+        // and record under the ledger lock, every completed put survives
+        // a generous-budget gc with its recency intact.
+        let store = std::sync::Arc::new(Store::open(tmpdir("putgc")).unwrap());
+        const KEYS: usize = 40;
+        let writer = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..KEYS {
+                    store.put(&format!("key-{i}"), &sample_container(i as u32));
+                }
+            })
+        };
+        // Budget far above the total: a correct gc evicts nothing. Any
+        // eviction here means a fresh entry was mistaken for unledgered.
+        for _ in 0..KEYS {
+            let report = store.gc(u64::MAX / 2);
+            assert!(
+                report.evicted.is_empty(),
+                "gc evicted {:?} under an unlimited budget",
+                report.evicted
+            );
+        }
+        writer.join().unwrap();
+        // After the dust settles every put is present, ledgered, and
+        // served; one more gc pass keeps all of them.
+        let index = store.ledger_index();
+        assert_eq!(store.walk_entries().len(), KEYS);
+        for i in 0..KEYS {
+            let key = format!("key-{i}");
+            let hash = format!("{:016x}", key_hash(&key));
+            assert!(index.contains_key(&hash), "ledger lost {key}");
+            assert!(store.get(&key).is_some(), "{key} unreadable");
+        }
+        let report = store.gc(u64::MAX / 2);
+        assert_eq!(report.kept, KEYS);
+        assert!(report.evicted.is_empty());
         fs::remove_dir_all(store.root()).unwrap();
     }
 

@@ -4,9 +4,9 @@
 //! silently wrong graph.
 
 use proptest::prelude::*;
-use topogen_store::codec;
 use topogen_graph::io::{parse_edge_list, to_edge_list};
 use topogen_graph::{Graph, NodeId};
+use topogen_store::codec;
 use topogen_store::{decode_graph, encode_graph};
 
 /// Arbitrary graph: up to 40 nodes, arbitrary edge pairs (self-loops

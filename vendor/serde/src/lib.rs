@@ -169,6 +169,20 @@ impl Serialize for str {
     }
 }
 
+// Identity impls so callers can parse/emit arbitrary JSON as a raw
+// `Content` tree (e.g. validating generated trace exports).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
