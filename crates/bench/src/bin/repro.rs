@@ -73,14 +73,25 @@
 //!   store verify         checksum-walk every entry, report corruption
 //!   store gc --max-bytes N  evict least-recently-used entries over N
 //!   trace export [PATH]  convert a trace JSONL log to Chrome trace JSON
-//!   all                  everything above (except load-measured/store/trace)
+//!   serve --addr HOST:PORT  run the topology-metrics daemon: POST
+//!                        /measure with a schema_version=1 JSON request
+//!                        (topology + seed + scale + metric set), bounded
+//!                        worker pool with 429 backpressure, per-request
+//!                        deadlines, store-backed repeat queries, NDJSON
+//!                        progress streaming, JSONL request ledger;
+//!                        --self-test boots one and probes it end to end
+//!   measure FILE|-       answer one measure request on stdout (the
+//!                        daemon's byte-identical batch twin)
+//!   all                  everything above (except load-measured/store/
+//!                        trace/serve/measure)
 //! ```
 
 use std::io::Write as _;
 use std::time::Duration;
 use topogen_bench::experiments as exp;
 use topogen_bench::runner::{self, RunnerOptions, Unit, UnitError};
-use topogen_bench::{tracefmt, ExpCtx};
+use topogen_bench::serve;
+use topogen_bench::{tracefmt, ExitCode, ExpCtx};
 use topogen_core::report::{render_figure, FigureData, TableData, TimingReport};
 use topogen_core::zoo::Scale;
 use topogen_metrics::tolerance::Removal;
@@ -215,8 +226,13 @@ fn usage() -> ! {
     );
     eprintln!("       repro store <ls|verify|gc> [--cache[=DIR]] [--max-bytes N]");
     eprintln!("       repro trace export [PATH] [--trace[=DIR]]");
+    eprintln!(
+        "       repro serve --addr HOST:PORT [--workers N] [--queue N] [--cache[=DIR]] \
+         [--deadline SECS] [--ledger PATH] [--self-test]"
+    );
+    eprintln!("       repro measure FILE|-");
     eprintln!("run `repro list` for the experiment index");
-    std::process::exit(2);
+    ExitCode::Usage.exit();
 }
 
 fn main() {
@@ -224,6 +240,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    // The daemon and one-shot measure modes have their own flag sets;
+    // dispatch before the batch parser can trip over them.
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve_cmd(&args[1..]).exit(),
+        Some("measure") => run_measure_cmd(&args[1..]).exit(),
+        _ => {}
     }
     let mut ctx = ExpCtx::default();
     let mut json_dir = None;
@@ -321,22 +344,24 @@ fn main() {
     }
 
     if cmd == "store" {
-        std::process::exit(run_store_cmd(
+        run_store_cmd(
             arg.as_deref(),
             cache_dir.as_deref().unwrap_or("out/store"),
             max_bytes,
-        ));
+        )
+        .exit();
     }
     if cmd == "trace" {
         if positional.len() > 3 {
             eprintln!("unexpected argument {:?}", positional[3]);
             usage();
         }
-        std::process::exit(run_trace_cmd(
+        run_trace_cmd(
             arg.as_deref(),
             positional.get(2).map(|s| s.as_str()),
             trace_dir.as_deref().unwrap_or("out/trace"),
-        ));
+        )
+        .exit();
     }
     if max_bytes.is_some() {
         eprintln!("--max-bytes only applies to `repro store gc`");
@@ -346,13 +371,18 @@ fn main() {
     // Install the ambient artifact store. Faulted runs never cache:
     // an injected panic mid-build must not leave a plausible-looking
     // entry behind for clean runs to consume.
+    let mut _ambient_store = None;
     if let Some(dir) = &cache_dir {
         if topogen_par::faults::active() {
             eprintln!("warning: TOPOGEN_FAULTS active; --cache disabled for this run");
         } else {
             match topogen_store::Store::open(dir) {
                 Ok(store) => {
-                    topogen_store::ambient::install(Some(std::sync::Arc::new(store)));
+                    // Held for the remainder of main: the batch CLI is
+                    // the process, so process-lifetime scoping is right.
+                    _ambient_store = Some(topogen_store::ambient::install(Some(
+                        std::sync::Arc::new(store),
+                    )));
                     opts.store = Some(runner::StoreInfo {
                         path: dir.clone(),
                         codec_version: topogen_store::codec::CODEC_VERSION as u64,
@@ -360,7 +390,7 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("cannot open store at {dir}: {e}");
-                    std::process::exit(2);
+                    ExitCode::Usage.exit();
                 }
             }
         }
@@ -402,7 +432,7 @@ fn main() {
         || ALL_UNITS.contains(&cmd.as_str());
     if !known {
         eprintln!("unknown experiment {cmd:?}; run `repro list`");
-        std::process::exit(2);
+        ExitCode::Usage.exit();
     }
 
     // Suppress the expected control-flow panic chatter (deadline
@@ -470,7 +500,7 @@ fn main() {
             opts.ledger_path.as_deref().unwrap_or("-"),
         );
     }
-    std::process::exit(report.exit_code);
+    report.exit_code.exit();
 }
 
 /// Append the sink's recorded events to `<dir>/<cmd>-seed<seed>.jsonl`.
@@ -494,15 +524,14 @@ fn flush_trace(
 
 /// `repro trace export [PATH]` — convert a trace JSONL log (default:
 /// the newest `.jsonl` under the trace dir) to Chrome trace-event JSON
-/// written next to it as `<stem>.trace.json`. Returns the process exit
-/// code (0 ok, 1 unreadable/malformed input, 2 usage error).
-fn run_trace_cmd(sub: Option<&str>, path: Option<&str>, dir: &str) -> i32 {
+/// written next to it as `<stem>.trace.json`.
+fn run_trace_cmd(sub: Option<&str>, path: Option<&str>, dir: &str) -> ExitCode {
     if sub != Some("export") {
         eprintln!(
             "trace needs the subcommand `export [PATH]`{}",
             sub.map(|s| format!(" (got {s:?})")).unwrap_or_default()
         );
-        return 2;
+        return ExitCode::Usage;
     }
     let src = match path {
         Some(p) => std::path::PathBuf::from(p),
@@ -510,7 +539,7 @@ fn run_trace_cmd(sub: Option<&str>, path: Option<&str>, dir: &str) -> i32 {
             Some(p) => p,
             None => {
                 eprintln!("no .jsonl trace logs under {dir}; run with --trace first");
-                return 1;
+                return ExitCode::Failures;
             }
         },
     };
@@ -518,21 +547,21 @@ fn run_trace_cmd(sub: Option<&str>, path: Option<&str>, dir: &str) -> i32 {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {}: {e}", src.display());
-            return 1;
+            return ExitCode::Failures;
         }
     };
     let events = match tracefmt::parse_jsonl(&text) {
         Ok(evs) => evs,
         Err(e) => {
             eprintln!("{}: {e}", src.display());
-            return 1;
+            return ExitCode::Failures;
         }
     };
     let json = tracefmt::chrome_trace(&events);
     let dst = src.with_extension("trace.json");
     if let Err(e) = std::fs::write(&dst, json) {
         eprintln!("cannot write {}: {e}", dst.display());
-        return 1;
+        return ExitCode::Failures;
     }
     println!(
         "exported {} event(s): {} -> {} (open in chrome://tracing or ui.perfetto.dev)",
@@ -540,7 +569,7 @@ fn run_trace_cmd(sub: Option<&str>, path: Option<&str>, dir: &str) -> i32 {
         src.display(),
         dst.display()
     );
-    0
+    ExitCode::Clean
 }
 
 /// The most recently modified `.jsonl` file directly under `dir`.
@@ -563,14 +592,13 @@ fn newest_jsonl(dir: &str) -> Option<std::path::PathBuf> {
 }
 
 /// `repro store <ls|verify|gc>` — inspect and maintain the artifact
-/// store without running any experiment. Returns the process exit code
-/// (0 ok, 1 corruption found, 2 usage error).
-fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> i32 {
+/// store without running any experiment.
+fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> ExitCode {
     let store = match topogen_store::Store::open(dir) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot open store at {dir}: {e}");
-            return 2;
+            return ExitCode::Usage;
         }
     };
     match sub {
@@ -586,7 +614,7 @@ fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> i32 {
                 );
             }
             println!("{} entr(ies), {total} bytes at {dir}", entries.len());
-            0
+            ExitCode::Clean
         }
         Some("verify") => {
             let report = store.verify();
@@ -600,15 +628,15 @@ fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> i32 {
                 report.corrupt.len()
             );
             if report.corrupt.is_empty() {
-                0
+                ExitCode::Clean
             } else {
-                1
+                ExitCode::Failures
             }
         }
         Some("gc") => {
             let Some(limit) = max_bytes else {
                 eprintln!("store gc needs --max-bytes N");
-                return 2;
+                return ExitCode::Usage;
             };
             let report = store.gc(limit);
             println!(
@@ -618,16 +646,143 @@ fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> i32 {
                 report.kept,
                 report.bytes_kept
             );
-            0
+            ExitCode::Clean
         }
         other => {
             eprintln!(
                 "store needs a subcommand ls|verify|gc{}",
                 other.map(|o| format!(" (got {o:?})")).unwrap_or_default()
             );
-            2
+            ExitCode::Usage
         }
     }
+}
+
+/// `repro serve`: run (or self-test) the topology-metrics daemon.
+fn run_serve_cmd(args: &[String]) -> ExitCode {
+    let mut config = serve::ServeConfig::new("127.0.0.1:7878");
+    let mut cache_dir: Option<String> = None;
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it.next().expect("--addr needs HOST:PORT").clone();
+            }
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("workers must be a positive integer");
+                if config.workers == 0 {
+                    eprintln!("--workers must be at least 1");
+                    return ExitCode::Usage;
+                }
+            }
+            "--queue" => {
+                config.queue = it
+                    .next()
+                    .expect("--queue needs a count")
+                    .parse()
+                    .expect("queue must be an integer");
+            }
+            "--ledger" => {
+                config.ledger_path = it.next().expect("--ledger needs a path").into();
+            }
+            "--deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .expect("--deadline needs seconds")
+                    .parse()
+                    .expect("deadline must be a number of seconds");
+                config.default_deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--cache" => cache_dir = Some("out/store".to_string()),
+            other if other.starts_with("--cache=") => {
+                let dir = &other["--cache=".len()..];
+                if dir.is_empty() {
+                    eprintln!("--cache= needs a directory");
+                    return ExitCode::Usage;
+                }
+                cache_dir = Some(dir.to_string());
+            }
+            "--self-test" => self_test = true,
+            other => {
+                eprintln!("unknown serve flag {other:?}");
+                return ExitCode::Usage;
+            }
+        }
+    }
+    if let Some(dir) = &cache_dir {
+        match topogen_store::Store::open(dir) {
+            Ok(store) => config.store = Some(std::sync::Arc::new(store)),
+            Err(e) => {
+                eprintln!("cannot open store at {dir}: {e}");
+                return ExitCode::Usage;
+            }
+        }
+    }
+    if self_test {
+        return serve::daemon::self_test(config);
+    }
+    let ledger = config.ledger_path.display().to_string();
+    match serve::serve(config) {
+        Ok(handle) => {
+            println!("serving on http://{} (ledger: {ledger})", handle.addr());
+            println!(
+                "POST /measure with a schema_version={} document; GET /healthz to probe",
+                serve::WIRE_VERSION
+            );
+            // Serve until the process is killed; the handle's Drop would
+            // otherwise tear the daemon down as main returns.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot serve: {e}");
+            ExitCode::Usage
+        }
+    }
+}
+
+/// `repro measure FILE|-`: execute one measure request inline and print
+/// the exact response body the daemon would serve for it.
+fn run_measure_cmd(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("measure needs exactly one argument: FILE or `-` for stdin");
+        return ExitCode::Usage;
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("cannot read stdin: {e}");
+                return ExitCode::LoadError;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::LoadError;
+            }
+        }
+    };
+    let req = match serve::MeasureRequest::from_json(&text) {
+        Ok(req) => req,
+        Err(e) => {
+            eprintln!("bad request: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    runner::quiet_expected_panics();
+    let body = serve::run_measure(&topogen_core::ctx::RunCtx::new(), &req).body();
+    print!("{body}");
+    ExitCode::Clean
 }
 
 fn run_cmd(cmd: &str, arg: Option<&str>, ctx: &ExpCtx, out: &Output) -> Result<(), UnitError> {

@@ -36,9 +36,54 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod serve;
 pub mod tracefmt;
 
 use topogen_core::zoo::Scale;
+
+/// The `repro` exit-code taxonomy, shared verbatim by the serve
+/// daemon's per-request status field: `0` clean, `1` failures (including
+/// timeouts), `2` usage error, `3` load error (corrupt/missing input).
+/// Promoted from scattered literals so every producer and consumer —
+/// batch CLI, runner, daemon ledger — agrees on one vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitCode {
+    /// Everything completed (0).
+    Clean,
+    /// At least one unit failed or timed out (1).
+    Failures,
+    /// Bad invocation or malformed request (2).
+    Usage,
+    /// Input could not be loaded (3).
+    LoadError,
+}
+
+impl ExitCode {
+    /// The process exit code / wire status code.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitCode::Clean => 0,
+            ExitCode::Failures => 1,
+            ExitCode::Usage => 2,
+            ExitCode::LoadError => 3,
+        }
+    }
+
+    /// Stable human-readable label (the daemon ledger's `status`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExitCode::Clean => "clean",
+            ExitCode::Failures => "failures",
+            ExitCode::Usage => "usage",
+            ExitCode::LoadError => "load-error",
+        }
+    }
+
+    /// Terminate the process with this code.
+    pub fn exit(self) -> ! {
+        std::process::exit(self.code())
+    }
+}
 
 /// Shared experiment context.
 #[derive(Clone, Copy, Debug)]

@@ -339,9 +339,11 @@ impl Default for RunnerOptions {
 pub struct RunReport {
     /// The final ledger (carried-over entries first-class).
     pub ledger: RunLedger,
-    /// Aggregate process exit code: 0 all completed, 3 any load error,
-    /// 1 any other failure or timeout.
-    pub exit_code: i32,
+    /// Aggregate process exit code: [`Clean`](crate::ExitCode::Clean)
+    /// when all completed, [`LoadError`](crate::ExitCode::LoadError) on
+    /// any load error, [`Failures`](crate::ExitCode::Failures) on any
+    /// other failure or timeout.
+    pub exit_code: crate::ExitCode,
     /// Ids actually executed this run (resume skips are absent).
     pub executed: Vec<String>,
 }
@@ -626,11 +628,11 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
     }
 
     let exit_code = if any_load {
-        3
+        crate::ExitCode::LoadError
     } else if any_failed {
-        1
+        crate::ExitCode::Failures
     } else {
-        0
+        crate::ExitCode::Clean
     };
     RunReport {
         ledger,
@@ -669,7 +671,7 @@ mod tests {
             ..Default::default()
         };
         let report = run_units(&units, &opts, 42, "small");
-        assert_eq!(report.exit_code, 1);
+        assert_eq!(report.exit_code, crate::ExitCode::Failures);
         assert_eq!(ran.load(Ordering::SeqCst), 2, "a and c both ran");
         let statuses: Vec<_> = report.ledger.units.iter().map(|u| u.status).collect();
         assert_eq!(
@@ -692,7 +694,7 @@ mod tests {
             ..Default::default()
         };
         let report = run_units(&units, &opts, 1, "small");
-        assert_eq!(report.exit_code, 1);
+        assert_eq!(report.exit_code, crate::ExitCode::Failures);
         assert_eq!(report.ledger.units.len(), 1);
         assert_eq!(ran.load(Ordering::SeqCst), 0, "b never ran");
     }
@@ -710,7 +712,7 @@ mod tests {
             ..Default::default()
         };
         let report = run_units(&[unit], &opts, 9, "small");
-        assert_eq!(report.exit_code, 0);
+        assert_eq!(report.exit_code, crate::ExitCode::Clean);
         let u = &report.ledger.units[0];
         assert_eq!(u.status, UnitStatus::Retried);
         assert_eq!(u.attempts, 2);
@@ -729,7 +731,7 @@ mod tests {
             ..Default::default()
         };
         let report = run_units(&[unit], &opts, 2, "small");
-        assert_eq!(report.exit_code, 3);
+        assert_eq!(report.exit_code, crate::ExitCode::LoadError);
         assert_eq!(tries.load(Ordering::SeqCst), 1, "load errors never retry");
         assert_eq!(
             report.ledger.units[0].error.as_deref(),
@@ -757,7 +759,7 @@ mod tests {
         let u = &report.ledger.units[0];
         assert_eq!(u.status, UnitStatus::TimedOut);
         assert_eq!(u.attempts, 1, "timeouts are not retried");
-        assert_eq!(report.exit_code, 1);
+        assert_eq!(report.exit_code, crate::ExitCode::Failures);
     }
 
     #[test]
@@ -781,7 +783,7 @@ mod tests {
             ..Default::default()
         };
         let r1 = run_units(&first, &opts, 7, "small");
-        assert_eq!(r1.exit_code, 1);
+        assert_eq!(r1.exit_code, crate::ExitCode::Failures);
         assert_eq!(r1.executed, vec!["good", "bad"]);
 
         // Second pass: "bad" is fixed; --resume must re-run only it.
@@ -795,7 +797,7 @@ mod tests {
             ..opts
         };
         let r2 = run_units(&second, &opts2, 7, "small");
-        assert_eq!(r2.exit_code, 0);
+        assert_eq!(r2.exit_code, crate::ExitCode::Clean);
         assert_eq!(r2.executed, vec!["bad"], "only the failed unit re-ran");
         assert_eq!(good_runs.load(Ordering::SeqCst), 0);
         assert_eq!(r2.ledger.unit("good").unwrap().status, UnitStatus::Ok);
@@ -892,7 +894,7 @@ mod tests {
             ..Default::default()
         };
         let r1 = run_units(&[Unit::new("good", |_| Ok(()))], &opts, 7, "small");
-        assert_eq!(r1.exit_code, 0);
+        assert_eq!(r1.exit_code, crate::ExitCode::Clean);
 
         // Second pass resumes with a store configured: the prior
         // (storeless) ledger must not be trusted, so "good" re-runs.

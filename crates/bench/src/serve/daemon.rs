@@ -1,0 +1,610 @@
+//! The daemon: accept loop, request routing, per-request contexts.
+//!
+//! Every measure request gets its own [`RunCtx`] — the shared store,
+//! a private deadline, and (for streaming requests) a private trace
+//! sink — so concurrent requests are fully disjoint: one request's
+//! timeout or panic never leaks into a neighbor, and results are
+//! byte-identical to a solo batch run regardless of interleaving.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use topogen_core::cache::{scale_tag, spec_canonical};
+use topogen_core::ctx::RunCtx;
+use topogen_par::cancel::{is_cancelled_payload, Deadline};
+use topogen_par::trace::{self, TraceSink};
+use topogen_store::Store;
+
+use super::http::{read_request, write_response, HttpRequest};
+use super::ledger::{Ledger, LedgerEntry};
+use super::measure::measure_body;
+use super::pool::{DispatchError, WorkerPool};
+use super::wire::{error_body, MeasureRequest};
+use crate::ExitCode;
+
+/// How often a streaming response flushes accumulated span events.
+const STREAM_POLL: Duration = Duration::from_millis(50);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Waiting requests beyond the busy workers before `429`.
+    pub queue: usize,
+    /// Shared artifact store (response cache + engine caches); `None`
+    /// disables caching.
+    pub store: Option<Arc<Store>>,
+    /// Request-ledger path.
+    pub ledger_path: PathBuf,
+    /// Deadline applied when a request doesn't carry one; `None` means
+    /// such requests run unbounded.
+    pub default_deadline: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 workers, a queue of 8, ledger at
+    /// `out/serve-ledger.jsonl`, no cache, no default deadline.
+    pub fn new(addr: impl Into<String>) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            workers: 4,
+            queue: 8,
+            store: None,
+            ledger_path: PathBuf::from("out/serve-ledger.jsonl"),
+            default_deadline: None,
+        }
+    }
+}
+
+struct DaemonState {
+    store: Option<Arc<Store>>,
+    ledger: Ledger,
+    default_deadline: Option<Duration>,
+    next_id: AtomicU64,
+}
+
+/// A running daemon; dropping it shuts the daemon down.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    ledger_path: PathBuf,
+}
+
+impl DaemonHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Where this daemon's request ledger lives.
+    pub fn ledger_path(&self) -> &std::path::Path {
+        &self.ledger_path
+    }
+
+    /// Stop accepting, finish in-flight requests, join all threads.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind and start serving; returns once the listener is live.
+pub fn serve(config: ServeConfig) -> std::io::Result<DaemonHandle> {
+    // Deadline expiries unwind with a Cancelled payload; don't let the
+    // default hook spam stderr for those expected panics.
+    crate::runner::quiet_expected_panics();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(DaemonState {
+        store: config.store.clone(),
+        ledger: Ledger::open(&config.ledger_path)?,
+        default_deadline: config.default_deadline,
+        next_id: AtomicU64::new(1),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let workers = config.workers;
+    let queue = config.queue;
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || {
+            let mut pool = WorkerPool::new(workers, queue);
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let state = Arc::clone(&accept_state);
+                let dispatched = pool.try_dispatch(Box::new({
+                    let state = Arc::clone(&state);
+                    let mut stream = stream.try_clone().expect("clone TCP stream");
+                    move || handle_connection(&state, &mut stream)
+                }));
+                match dispatched {
+                    Ok(()) => {}
+                    Err(DispatchError::Saturated) => {
+                        // Rejection must not block the accept loop on a
+                        // slow client; a throwaway thread is fine for
+                        // the (rare, cheap) overload path.
+                        std::thread::spawn(move || reject_saturated(&state, stream));
+                    }
+                    Err(DispatchError::Closed) => break,
+                }
+            }
+            pool.shutdown();
+        })?;
+    Ok(DaemonHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        ledger_path: config.ledger_path,
+    })
+}
+
+/// Answer `429` without touching the worker pool — the whole point of
+/// the bounded queue is that saturation is cheap to report.
+fn reject_saturated(state: &DaemonState, mut stream: TcpStream) {
+    // Drain the request before answering: closing a socket with unread
+    // request bytes raises a TCP reset that can destroy the response
+    // before the client reads it.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = read_request(&mut stream);
+    let exit = ExitCode::Failures;
+    let body = error_body("saturated: all workers busy and queue full", exit);
+    let _ = write_response(
+        &mut stream,
+        429,
+        "Too Many Requests",
+        &status_headers(exit, "-"),
+        "application/json",
+        body.as_bytes(),
+    );
+    record(
+        state,
+        LedgerEntry {
+            request_id: state.next_id.fetch_add(1, Ordering::SeqCst),
+            topology: "-".into(),
+            seed: 0,
+            scale: "-".into(),
+            status: exit,
+            http: 429,
+            cache: "-",
+            duration_secs: 0.0,
+            error: Some("saturated".into()),
+        },
+    );
+}
+
+fn status_headers(exit: ExitCode, cache: &str) -> Vec<(&'static str, String)> {
+    vec![
+        ("X-Topogen-Status", exit.as_str().to_string()),
+        ("X-Topogen-Code", exit.code().to_string()),
+        ("X-Topogen-Cache", cache.to_string()),
+    ]
+}
+
+fn record(state: &DaemonState, entry: LedgerEntry) {
+    if let Err(e) = state.ledger.append(&entry) {
+        eprintln!("serve: ledger append failed: {e}");
+    }
+}
+
+fn handle_connection(state: &DaemonState, stream: &mut TcpStream) {
+    let request_id = state.next_id.fetch_add(1, Ordering::SeqCst);
+    let started = Instant::now();
+    // A stalled peer must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let req = match read_request(stream) {
+        Ok(req) => req,
+        Err(e) => {
+            respond_error(
+                state,
+                stream,
+                request_id,
+                started,
+                400,
+                &format!("bad request: {e}"),
+            );
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let exit = ExitCode::Clean;
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                &status_headers(exit, "-"),
+                "text/plain",
+                b"ok\n",
+            );
+            record(
+                state,
+                LedgerEntry {
+                    request_id,
+                    topology: "-".into(),
+                    seed: 0,
+                    scale: "-".into(),
+                    status: exit,
+                    http: 200,
+                    cache: "-",
+                    duration_secs: started.elapsed().as_secs_f64(),
+                    error: None,
+                },
+            );
+        }
+        ("POST", "/measure") => handle_measure(state, stream, request_id, started, &req),
+        (method, path) => {
+            respond_error(
+                state,
+                stream,
+                request_id,
+                started,
+                404,
+                &format!("no route for {method} {path}"),
+            );
+        }
+    }
+}
+
+/// Usage-class failure: malformed HTTP, bad JSON, unknown route.
+fn respond_error(
+    state: &DaemonState,
+    stream: &mut TcpStream,
+    request_id: u64,
+    started: Instant,
+    http: u16,
+    error: &str,
+) {
+    let exit = ExitCode::Usage;
+    let reason = match http {
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let body = error_body(error, exit);
+    let _ = write_response(
+        stream,
+        http,
+        reason,
+        &status_headers(exit, "-"),
+        "application/json",
+        body.as_bytes(),
+    );
+    record(
+        state,
+        LedgerEntry {
+            request_id,
+            topology: "-".into(),
+            seed: 0,
+            scale: "-".into(),
+            status: exit,
+            http,
+            cache: "-",
+            duration_secs: started.elapsed().as_secs_f64(),
+            error: Some(error.to_string()),
+        },
+    );
+}
+
+fn handle_measure(
+    state: &DaemonState,
+    stream: &mut TcpStream,
+    request_id: u64,
+    started: Instant,
+    http_req: &HttpRequest,
+) {
+    let text = match std::str::from_utf8(&http_req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            respond_error(state, stream, request_id, started, 400, "body is not UTF-8");
+            return;
+        }
+    };
+    let req = match MeasureRequest::from_json(text) {
+        Ok(req) => req,
+        Err(e) => {
+            respond_error(state, stream, request_id, started, 400, &e.0);
+            return;
+        }
+    };
+    let deadline = req
+        .deadline_secs
+        .map(Duration::from_secs_f64)
+        .or(state.default_deadline)
+        .map(Deadline::after);
+    let mut ctx = RunCtx::new();
+    ctx.store = state.store.clone();
+    ctx.deadline = deadline;
+    let mut entry = LedgerEntry {
+        request_id,
+        topology: spec_canonical(&req.spec),
+        seed: req.seed,
+        scale: scale_tag(req.scale).to_string(),
+        status: ExitCode::Clean,
+        http: 200,
+        cache: "-",
+        duration_secs: 0.0,
+        error: None,
+    };
+    if req.stream {
+        stream_measure(stream, ctx, &req, &mut entry);
+    } else {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| measure_body(&ctx, &req)));
+        match outcome {
+            Ok((body, hit)) => {
+                entry.cache = if hit { "hit" } else { "miss" };
+                let _ = write_response(
+                    stream,
+                    200,
+                    "OK",
+                    &status_headers(ExitCode::Clean, entry.cache),
+                    "application/json",
+                    body.as_bytes(),
+                );
+            }
+            Err(payload) => {
+                let (http, reason, error) = if is_cancelled_payload(&*payload) {
+                    (504, "Gateway Timeout", "deadline exceeded".to_string())
+                } else {
+                    (500, "Internal Server Error", panic_message(&*payload))
+                };
+                entry.status = ExitCode::Failures;
+                entry.http = http;
+                entry.error = Some(error.clone());
+                let body = error_body(&error, ExitCode::Failures);
+                let _ = write_response(
+                    stream,
+                    http,
+                    reason,
+                    &status_headers(ExitCode::Failures, "-"),
+                    "application/json",
+                    body.as_bytes(),
+                );
+            }
+        }
+    }
+    entry.duration_secs = started.elapsed().as_secs_f64();
+    record(state, entry);
+}
+
+/// Streaming flavor: HTTP status is committed up front (`200`, NDJSON,
+/// close-delimited), progress spans flow as one JSON object per line,
+/// and the final line is the compact result — or an error document
+/// whose `status`/`code` carry the real outcome.
+fn stream_measure(
+    stream: &mut TcpStream,
+    ctx: RunCtx,
+    req: &MeasureRequest,
+    entry: &mut LedgerEntry,
+) {
+    let sink = Arc::new(TraceSink::new());
+    let mut ctx = ctx;
+    ctx.trace = Some(Arc::clone(&sink));
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        entry.status = ExitCode::Failures;
+        entry.error = Some("client went away before the stream started".into());
+        return;
+    }
+    let (done_tx, done_rx) = mpsc::channel();
+    let compute = {
+        let ctx = ctx.clone();
+        let req = req.clone();
+        std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| measure_body(&ctx, &req)));
+            let _ = done_tx.send(outcome);
+        })
+    };
+    let mut mark = sink.mark();
+    let outcome = loop {
+        match done_rx.recv_timeout(STREAM_POLL) {
+            Ok(outcome) => break outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let (events, next) = sink.drain_since(&mark);
+                mark = next;
+                for ev in &events {
+                    let mut line = trace::event_json(ev);
+                    line.push('\n');
+                    // A gone client can't cancel the engines; just stop
+                    // feeding it and let the computation finish.
+                    let _ = stream.write_all(line.as_bytes());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(Box::new("compute thread vanished".to_string())
+                    as Box<dyn std::any::Any + Send>)
+            }
+        }
+    };
+    let _ = compute.join();
+    let (events, _) = sink.drain_since(&mark);
+    for ev in &events {
+        let mut line = trace::event_json(ev);
+        line.push('\n');
+        let _ = stream.write_all(line.as_bytes());
+    }
+    let final_line = match outcome {
+        Ok((body, hit)) => {
+            entry.cache = if hit { "hit" } else { "miss" };
+            // The cached/pretty body is multi-line; the stream's result
+            // line is its compact re-rendering.
+            compact_json_line(&body)
+        }
+        Err(payload) => {
+            let error = if is_cancelled_payload(&*payload) {
+                "deadline exceeded".to_string()
+            } else {
+                panic_message(&*payload)
+            };
+            // The HTTP status was already committed as 200; the ledger
+            // records the logical outcome, the tail line carries it to
+            // the client.
+            entry.status = ExitCode::Failures;
+            entry.error = Some(error.clone());
+            let mut line = error_line(&error);
+            line.push('\n');
+            line
+        }
+    };
+    let _ = stream.write_all(final_line.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Re-render a pretty JSON body as one compact line.
+fn compact_json_line(pretty: &str) -> String {
+    match serde_json::from_str::<serde::Content>(pretty) {
+        Ok(c) => {
+            let mut s = serde_json::to_string(&c).unwrap_or_else(|_| pretty.trim().to_string());
+            s.push('\n');
+            s
+        }
+        Err(_) => {
+            let mut s = pretty.trim().to_string();
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// Compact single-line error document for stream tails.
+fn error_line(error: &str) -> String {
+    let exit = ExitCode::Failures;
+    let doc = serde::Content::Map(vec![
+        (
+            "schema_version".to_string(),
+            serde::Content::U64(super::wire::WIRE_VERSION),
+        ),
+        ("error".to_string(), serde::Content::Str(error.to_string())),
+        (
+            "status".to_string(),
+            serde::Content::Str(exit.as_str().to_string()),
+        ),
+        ("code".to_string(), serde::Content::U64(exit.code() as u64)),
+    ]);
+    serde_json::to_string(&doc).expect("error serializes")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .map(|m| format!("measurement panicked: {m}"))
+        .unwrap_or_else(|| "measurement panicked".to_string())
+}
+
+/// `repro serve --self-test`: boot a daemon on an ephemeral port,
+/// exercise the protocol end to end with the std-only client, and
+/// report. This is the CI smoke path — no fixtures, no network beyond
+/// loopback.
+pub fn self_test(mut config: ServeConfig) -> ExitCode {
+    config.addr = "127.0.0.1:0".into();
+    // The warm-request check needs a response cache; give the test its
+    // own throwaway store when the caller didn't bring one.
+    let scratch = if config.store.is_none() {
+        let dir =
+            std::env::temp_dir().join(format!("topogen-serve-selftest-{}", std::process::id()));
+        match Store::open(&dir) {
+            Ok(store) => {
+                config.store = Some(Arc::new(store));
+                Some(dir)
+            }
+            Err(e) => {
+                eprintln!("self-test: scratch store failed to open: {e}");
+                return ExitCode::Failures;
+            }
+        }
+    } else {
+        None
+    };
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("self-test: daemon failed to start: {e}");
+            return ExitCode::Failures;
+        }
+    };
+    let addr = handle.addr();
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        println!("self-test: {name}: {}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let status_of = |r: &std::io::Result<super::http::HttpResponse>| -> u16 {
+        r.as_ref().map(|r| r.status).unwrap_or(0)
+    };
+    let health = super::http::http_get(addr, "/healthz");
+    check("healthz", status_of(&health) == 200);
+
+    let req = MeasureRequest::new(
+        topogen_core::zoo::TopologySpec::Mesh { side: 12 },
+        7,
+        topogen_core::zoo::Scale::Small,
+    );
+    let cold = super::http::http_post(addr, "/measure", &req.to_json());
+    check("measure (cold)", status_of(&cold) == 200);
+    let warm = super::http::http_post(addr, "/measure", &req.to_json());
+    check("measure (warm)", status_of(&warm) == 200);
+    if let (Ok(cold), Ok(warm)) = (&cold, &warm) {
+        check("warm equals cold byte-for-byte", warm.body == cold.body);
+        check(
+            "warm served from cache",
+            warm.headers.get("x-topogen-cache").map(String::as_str) == Some("hit"),
+        );
+    }
+
+    let bad = super::http::http_post(
+        addr,
+        "/measure",
+        r#"{"schema_version":99,"topology":"Mesh","seed":1}"#,
+    );
+    check(
+        "unknown schema_version rejected with 400",
+        status_of(&bad) == 400,
+    );
+
+    let ledger_ok = std::fs::read_to_string(handle.ledger_path())
+        .map(|text| text.lines().count() >= 4)
+        .unwrap_or(false);
+    check("ledger recorded every request", ledger_ok);
+
+    drop(handle);
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    if failures == 0 {
+        println!("self-test: all checks passed");
+        ExitCode::Clean
+    } else {
+        eprintln!("self-test: {failures} check(s) failed");
+        ExitCode::Failures
+    }
+}

@@ -1,0 +1,155 @@
+//! The request ledger: one JSONL line per request the daemon saw.
+//!
+//! Every outcome is recorded — served, cache hit, rejected for
+//! backpressure, timed out, malformed — using the CLI's
+//! [`ExitCode`](crate::ExitCode) taxonomy as the `status`/`code`
+//! fields, so the daemon's accounting and the batch runner's exit
+//! codes read as one vocabulary. Lines are appended under a mutex and
+//! flushed per entry; a crashed daemon loses at most the line being
+//! written.
+
+use crate::ExitCode;
+use serde::{Content, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use super::wire::WIRE_VERSION;
+
+/// One ledger line.
+#[derive(Clone, Debug)]
+pub struct LedgerEntry {
+    /// Monotonic per-daemon request id (429 rejections included).
+    pub request_id: u64,
+    /// Canonical `generator(params)` spec, or `"-"` when the request
+    /// never parsed far enough to have one.
+    pub topology: String,
+    /// Request seed (0 when unparsed).
+    pub seed: u64,
+    /// `"small"` / `"paper"` / `"-"`.
+    pub scale: String,
+    /// Outcome in the shared exit-code taxonomy.
+    pub status: ExitCode,
+    /// HTTP status sent back.
+    pub http: u16,
+    /// `"hit"`, `"miss"`, or `"-"` (no cache consulted).
+    pub cache: &'static str,
+    /// Wall-clock seconds spent on the request.
+    pub duration_secs: f64,
+    /// Error detail for non-clean outcomes.
+    pub error: Option<String>,
+}
+
+impl Serialize for LedgerEntry {
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("schema_version".to_string(), WIRE_VERSION.to_content()),
+            ("request_id".to_string(), self.request_id.to_content()),
+            ("topology".to_string(), self.topology.to_content()),
+            ("seed".to_string(), self.seed.to_content()),
+            ("scale".to_string(), self.scale.to_content()),
+            (
+                "status".to_string(),
+                Content::Str(self.status.as_str().to_string()),
+            ),
+            ("code".to_string(), (self.status.code() as u64).to_content()),
+            ("http".to_string(), (self.http as u64).to_content()),
+            ("cache".to_string(), Content::Str(self.cache.to_string())),
+            ("duration_secs".to_string(), self.duration_secs.to_content()),
+        ];
+        if let Some(e) = &self.error {
+            fields.push(("error".to_string(), e.to_content()));
+        }
+        Content::Map(fields)
+    }
+}
+
+/// An append-only JSONL ledger file.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Ledger {
+    /// Open (creating parents) for appending.
+    pub fn open(path: &Path) -> io::Result<Ledger> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Ledger {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Where the ledger lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry; errors are returned, not swallowed, so the
+    /// daemon can log them (a full disk should be visible).
+    pub fn append(&self, entry: &LedgerEntry) -> io::Result<()> {
+        let mut line = serde_json::to_string(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_append_as_one_json_line_each() {
+        let dir = std::env::temp_dir().join(format!(
+            "topogen-ledger-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let ledger = Ledger::open(&path).unwrap();
+        ledger
+            .append(&LedgerEntry {
+                request_id: 1,
+                topology: "mesh(side=3)".into(),
+                seed: 7,
+                scale: "small".into(),
+                status: ExitCode::Clean,
+                http: 200,
+                cache: "miss",
+                duration_secs: 0.25,
+                error: None,
+            })
+            .unwrap();
+        ledger
+            .append(&LedgerEntry {
+                request_id: 2,
+                topology: "-".into(),
+                seed: 0,
+                scale: "-".into(),
+                status: ExitCode::Usage,
+                http: 400,
+                cache: "-",
+                duration_secs: 0.0,
+                error: Some("unsupported schema_version 99".into()),
+            })
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"status\":\"clean\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"code\":2"), "{}", lines[1]);
+        assert!(lines[1].contains("schema_version 99"), "{}", lines[1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! `topogen-serve` — the concurrent topology-metrics daemon behind
+//! `repro serve`.
+//!
+//! The batch CLI computes a figure and exits; the daemon keeps the
+//! engines warm and answers generate+measure requests over a minimal
+//! HTTP/1.1 surface (std `TcpListener`, newline-delimited JSON, zero
+//! external dependencies):
+//!
+//! * **Requests** carry generator params + seed + scale + metric set as
+//!   a versioned JSON document ([`wire`]).
+//! * **Scheduling** runs each request on a bounded worker pool
+//!   ([`pool`]); a full queue rejects with `429` rather than buffering
+//!   unboundedly.
+//! * **Deadlines** are per-request [`topogen_par::Deadline`]s installed
+//!   through the request's [`RunCtx`](topogen_core::ctx::RunCtx) — a
+//!   request that exceeds its budget unwinds cooperatively and answers
+//!   `504` while its neighbors keep running.
+//! * **Caching** answers repeat queries from the shared
+//!   content-addressed store: the full response body is stored under
+//!   the request's canonical parameters, so a warm answer is served
+//!   byte-for-byte ([`measure`]).
+//! * **Progress** streams as NDJSON span events from a per-request
+//!   trace sink when the request asks for `"stream": true` ([`daemon`]).
+//! * **Accounting** appends one line per request — including rejected
+//!   and timed-out ones — to a request ledger ([`ledger`]) using the
+//!   CLI's [`ExitCode`](crate::ExitCode) taxonomy as the status field.
+//!
+//! The daemon is the reason the engine core grew re-entrant contexts:
+//! every request gets its own `RunCtx { store, deadline, trace, … }`
+//! and no request touches process-global state.
+
+pub mod daemon;
+pub mod http;
+pub mod ledger;
+pub mod measure;
+pub mod pool;
+pub mod wire;
+
+pub use daemon::{serve, DaemonHandle, ServeConfig};
+pub use measure::run_measure;
+pub use wire::{MeasureRequest, MeasureResponse, WIRE_VERSION};

@@ -42,7 +42,7 @@ fn delay_fault_past_deadline_times_out() {
     assert_eq!(u.status, UnitStatus::TimedOut);
     assert_eq!(u.attempts, 1, "deadline expiry is not retried");
     assert_eq!(u.error.as_deref(), Some("deadline exceeded"));
-    assert_eq!(report.exit_code, 1);
+    assert_eq!(report.exit_code, topogen_bench::ExitCode::Failures);
 }
 
 #[test]
@@ -63,7 +63,7 @@ fn unit_scoped_panic_fails_exactly_one_unit() {
     };
     let report = run_units(&units, &opts, 42, "small");
     faults::clear();
-    assert_eq!(report.exit_code, 1);
+    assert_eq!(report.exit_code, topogen_bench::ExitCode::Failures);
     let failed: Vec<&str> = report
         .ledger
         .units
@@ -103,7 +103,7 @@ fn resume_reruns_only_the_faulted_unit() {
     };
     let r1 = run_units(&units, &opts, 42, "small");
     assert_eq!(r1.executed.len(), 3);
-    assert_eq!(r1.exit_code, 1);
+    assert_eq!(r1.exit_code, topogen_bench::ExitCode::Failures);
 
     // Faults off: --resume must re-run only unit-b and fully recover.
     faults::clear();
@@ -118,7 +118,7 @@ fn resume_reruns_only_the_faulted_unit() {
     };
     let r2 = run_units(&units2, &opts2, 42, "small");
     assert_eq!(r2.executed, vec!["unit-b"], "only the failed unit re-ran");
-    assert_eq!(r2.exit_code, 0);
+    assert_eq!(r2.exit_code, topogen_bench::ExitCode::Clean);
     let reloaded = RunLedger::load(&path).unwrap();
     assert!(reloaded.units.iter().all(|u| u.status.completed()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -148,7 +148,7 @@ fn retry_durations_attribute_only_the_terminal_attempt() {
     };
     let report = run_units(&[unit], &opts, 9, "small");
     faults::clear();
-    assert_eq!(report.exit_code, 0);
+    assert_eq!(report.exit_code, topogen_bench::ExitCode::Clean);
     let u = &report.ledger.units[0];
     assert_eq!(u.status, UnitStatus::Retried);
     assert_eq!(u.attempts, 2);

@@ -1,0 +1,268 @@
+//! End-to-end tests for the `topogen-serve` daemon: concurrent
+//! requests stay byte-identical to batch runs, repeats come from the
+//! store, deadlines cancel without collateral damage, and saturation
+//! rejects instead of buffering.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use topogen_bench::serve::http::{http_post, HttpResponse};
+use topogen_bench::serve::{self, MeasureRequest, ServeConfig};
+use topogen_core::ctx::RunCtx;
+use topogen_core::zoo::{Scale, TopologySpec};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("topogen-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(tag: &str, dir: &std::path::Path) -> ServeConfig {
+    let mut config = ServeConfig::new("127.0.0.1:0");
+    config.ledger_path = dir.join(format!("{tag}-ledger.jsonl"));
+    config
+}
+
+fn mesh_request(seed: u64) -> MeasureRequest {
+    MeasureRequest::new(TopologySpec::Mesh { side: 12 }, seed, Scale::Small)
+}
+
+#[test]
+fn concurrent_requests_match_batch_outputs_byte_for_byte() {
+    let dir = temp_dir("concurrent");
+    let mut config = config("concurrent", &dir);
+    config.store = Some(Arc::new(
+        topogen_store::Store::open(dir.join("store")).unwrap(),
+    ));
+    config.workers = 4;
+    let handle = serve::serve(config).unwrap();
+    let addr = handle.addr();
+
+    // Four different-seed requests in flight at once against one daemon.
+    let responses: Vec<(u64, HttpResponse)> = [1u64, 2, 3, 4]
+        .iter()
+        .map(|&seed| {
+            std::thread::spawn(move || {
+                let req = mesh_request(seed);
+                (seed, http_post(addr, "/measure", &req.to_json()).unwrap())
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+
+    for (seed, resp) in &responses {
+        assert_eq!(resp.status, 200, "seed {seed}: {}", resp.text());
+        // The daemon's answer must be byte-identical to a solo batch
+        // computation of the same params, whatever the interleaving.
+        let batch = serve::run_measure(&RunCtx::new(), &mesh_request(*seed)).body();
+        assert_eq!(resp.text(), batch, "seed {seed} diverged from batch");
+    }
+
+    // And byte-identical to the `repro measure` CLI for one of them.
+    let req_path = dir.join("req.json");
+    std::fs::write(&req_path, mesh_request(3).to_json()).unwrap();
+    let cli = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("measure")
+        .arg(&req_path)
+        .output()
+        .unwrap();
+    assert!(
+        cli.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let daemon_body = &responses.iter().find(|(s, _)| *s == 3).unwrap().1.body;
+    assert_eq!(
+        cli.stdout, *daemon_body,
+        "daemon body and `repro measure` stdout disagree"
+    );
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeat_request_is_served_from_the_store() {
+    let dir = temp_dir("repeat");
+    let mut config = config("repeat", &dir);
+    config.store = Some(Arc::new(
+        topogen_store::Store::open(dir.join("store")).unwrap(),
+    ));
+    let handle = serve::serve(config).unwrap();
+    let addr = handle.addr();
+
+    let req = mesh_request(42);
+    let cold = http_post(addr, "/measure", &req.to_json()).unwrap();
+    let warm = http_post(addr, "/measure", &req.to_json()).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        cold.headers.get("x-topogen-cache").map(String::as_str),
+        Some("miss")
+    );
+    assert_eq!(
+        warm.headers.get("x-topogen-cache").map(String::as_str),
+        Some("hit")
+    );
+    assert_eq!(cold.body, warm.body, "cache hit changed the bytes");
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_cancels_one_request_while_neighbors_complete() {
+    let dir = temp_dir("deadline");
+    let mut config = config("deadline", &dir);
+    config.workers = 2;
+    let handle = serve::serve(config).unwrap();
+    let addr = handle.addr();
+
+    // A heavy request with a deadline it cannot meet... (quick budgets:
+    // the engines checkpoint per center, and a thorough center on a
+    // 2500-node graph would make the *cancellation* itself slow in
+    // debug builds)
+    let heavy = std::thread::spawn(move || {
+        let mut req =
+            MeasureRequest::new(TopologySpec::Random { n: 2500, p: 0.003 }, 9, Scale::Small);
+        req.deadline_secs = Some(0.15);
+        http_post(addr, "/measure", &req.to_json()).unwrap()
+    });
+    // ...alongside a quick request that must be unaffected.
+    let quick = http_post(addr, "/measure", &mesh_request(5).to_json()).unwrap();
+    let heavy = heavy.join().unwrap();
+
+    assert_eq!(heavy.status, 504, "expected a timeout: {}", heavy.text());
+    assert_eq!(
+        heavy.headers.get("x-topogen-status").map(String::as_str),
+        Some("failures")
+    );
+    assert!(
+        heavy.text().contains("deadline exceeded"),
+        "{}",
+        heavy.text()
+    );
+    assert_eq!(quick.status, 200, "neighbor was harmed: {}", quick.text());
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturated_daemon_rejects_with_429_instead_of_buffering() {
+    let dir = temp_dir("saturate");
+    let mut config = config("saturate", &dir);
+    config.workers = 1;
+    config.queue = 1;
+    let handle = serve::serve(config).unwrap();
+    let addr = handle.addr();
+
+    // Occupy the only worker with a deadline-bounded heavy request,
+    // then pile on concurrently: with one queue slot, at least two of
+    // the four followers must be turned away with 429 immediately.
+    let mut blocker =
+        MeasureRequest::new(TopologySpec::Random { n: 2500, p: 0.003 }, 1, Scale::Small);
+    blocker.deadline_secs = Some(3.0);
+    let blocker_json = blocker.to_json();
+    let blocker_thread =
+        std::thread::spawn(move || http_post(addr, "/measure", &blocker_json).unwrap());
+    std::thread::sleep(Duration::from_millis(300));
+
+    let followers: Vec<HttpResponse> = (0..4u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                http_post(addr, "/measure", &mesh_request(100 + i).to_json()).unwrap()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+    let rejected = followers.iter().filter(|r| r.status == 429).count();
+    assert!(
+        rejected >= 1,
+        "expected at least one 429, got statuses {:?}",
+        followers.iter().map(|r| r.status).collect::<Vec<_>>()
+    );
+    for resp in followers.iter().filter(|r| r.status == 429) {
+        assert!(resp.text().contains("saturated"), "{}", resp.text());
+        assert_eq!(
+            resp.headers.get("x-topogen-status").map(String::as_str),
+            Some("failures")
+        );
+    }
+    let _ = blocker_thread.join().unwrap();
+
+    // Every request — served, timed out, or rejected — must be in the
+    // ledger.
+    let ledger = std::fs::read_to_string(handle.ledger_path()).unwrap();
+    assert!(
+        ledger.lines().count() >= 5,
+        "ledger is missing requests:\n{ledger}"
+    );
+    assert!(ledger.contains("\"http\":429"), "no 429 line:\n{ledger}");
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_schema_version_is_rejected_cleanly() {
+    let dir = temp_dir("version");
+    let handle = serve::serve(config("version", &dir)).unwrap();
+    let resp = http_post(
+        handle.addr(),
+        "/measure",
+        r#"{"schema_version":99,"topology":"Mesh","seed":1}"#,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.text().contains("unsupported schema_version 99"),
+        "{}",
+        resp.text()
+    );
+    assert_eq!(
+        resp.headers.get("x-topogen-code").map(String::as_str),
+        Some("2"),
+        "usage errors carry exit code 2"
+    );
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_request_emits_progress_then_result() {
+    let dir = temp_dir("stream");
+    let handle = serve::serve(config("stream", &dir)).unwrap();
+    let mut req = mesh_request(7);
+    req.stream = true;
+    let resp = http_post(handle.addr(), "/measure", &req.to_json()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.headers.get("content-type").map(String::as_str),
+        Some("application/x-ndjson")
+    );
+    let text = resp.text();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > 1,
+        "expected span events before the result, got {} line(s)",
+        lines.len()
+    );
+    // Every line is standalone JSON; the last one is the result.
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"topology\""), "bad tail line: {last}");
+    let batch = serve::run_measure(&RunCtx::new(), &mesh_request(7)).body();
+    let batch_compact: serde::Content = serde_json::from_str(&batch).unwrap();
+    assert_eq!(
+        *last,
+        serde_json::to_string(&batch_compact).unwrap(),
+        "stream tail differs from the batch result"
+    );
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

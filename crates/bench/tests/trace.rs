@@ -91,7 +91,11 @@ fn span_tree_is_well_formed_under_injected_panics() {
     };
     let (report, events) = with_sink(|| run_units(&units, &opts, 21, "small"));
     faults::clear();
-    assert_eq!(report.exit_code, 1, "both units fail under the fault");
+    assert_eq!(
+        report.exit_code,
+        topogen_bench::ExitCode::Failures,
+        "both units fail under the fault"
+    );
 
     tracefmt::check_well_formed(&events).unwrap();
     let enters = events.iter().filter(|e| e.ev == "enter").count();

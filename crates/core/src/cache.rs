@@ -409,6 +409,7 @@ mod tests {
     /// run — the acceptance invariant behind `repro --cache`.
     #[test]
     fn warm_run_matches_cold_run_exactly() {
+        let _gate = crate::ctx::ambient_gate_for_tests();
         use crate::suite::{run_suite, SuiteParams};
         let spec = TopologySpec::Mesh { side: 10 };
         let params = SuiteParams::quick();
@@ -419,13 +420,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("topogen-core-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = std::sync::Arc::new(topogen_store::Store::open(&dir).unwrap());
-        topogen_store::ambient::install(Some(store.clone()));
+        // The guard restores the previous ambient handle even if an
+        // assertion below unwinds — no set/unset ordering hazard under
+        // `cargo test` parallelism.
+        let ambient = topogen_store::ambient::install(Some(store.clone()));
         // First cached run computes and persists; second replays.
         let t1 = build(&spec, Scale::Small, 5);
         let warm1 = run_suite(&t1, &params);
         let t2 = build(&spec, Scale::Small, 5);
         let warm2 = run_suite(&t2, &params);
-        topogen_store::ambient::install(None);
+        drop(ambient);
 
         assert_eq!(t2.graph.edges(), cold_t.graph.edges());
         assert!(warm2.timings.store_hits >= 1, "second run must hit");

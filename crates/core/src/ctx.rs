@@ -1,0 +1,154 @@
+//! Explicit run contexts for the comparison framework.
+//!
+//! The build/measure pipeline historically consumed three pieces of
+//! process-ambient state: the artifact store
+//! ([`topogen_store::ambient`]), the per-thread deadline
+//! ([`topogen_par::cancel`]), and the global trace sink
+//! ([`topogen_par::trace`]). One batch CLI run per process made that
+//! shape workable; a daemon serving concurrent requests — each with its
+//! own deadline, its own progress stream, and a shared store — cannot
+//! express itself through process globals.
+//!
+//! [`RunCtx`] is the explicit alternative: every entry point of the
+//! pipeline has an `_in` variant taking `&RunCtx`
+//! ([`zoo::build_in`](crate::zoo::build_in),
+//! [`suite::run_suite_in`](crate::suite::run_suite_in),
+//! [`hier::hierarchy_report_timed_in`](crate::hier::hierarchy_report_timed_in)),
+//! and the original signatures remain as thin shims that snapshot the
+//! ambient state via [`RunCtx::ambient`] — so the batch CLI behaves
+//! exactly as before while concurrent callers construct disjoint
+//! contexts.
+
+use std::sync::Arc;
+
+use topogen_par::cancel::Deadline;
+use topogen_par::{EngineCtx, Instrument, TraceSink};
+use topogen_store::Store;
+
+/// Everything one build/measure run depends on that used to be process
+/// state. All fields optional; `RunCtx::default()` is a fully isolated
+/// run — no caching, no deadline, no tracing, private counters.
+#[derive(Clone, Debug, Default)]
+pub struct RunCtx {
+    /// Content-addressed artifact store consulted (and fed) by topology
+    /// builds, metric-curve runs, and link-value analyses. `None`
+    /// disables caching for the run.
+    pub store: Option<Arc<Store>>,
+    /// Cooperative deadline observed at engine checkpoints.
+    pub deadline: Option<Deadline>,
+    /// Span sink receiving the run's trace events. `None` means tracing
+    /// off for this run, even when a process-global sink is installed.
+    pub trace: Option<Arc<TraceSink>>,
+    /// Counter sink engines report into; a private one is created per
+    /// call when unset.
+    pub instrument: Option<Arc<Instrument>>,
+}
+
+impl RunCtx {
+    /// A fully isolated context: no store, no deadline, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the ambient compatibility state — the process-global
+    /// store, the calling thread's deadline, the active trace sink —
+    /// into an explicit context. The legacy entry points route through
+    /// this, which is what keeps the batch CLI byte-identical.
+    pub fn ambient() -> Self {
+        let engine = EngineCtx::ambient();
+        RunCtx {
+            store: topogen_store::ambient::active(),
+            deadline: engine.deadline,
+            trace: engine.trace,
+            instrument: None,
+        }
+    }
+
+    /// Attach an artifact store.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attach a deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a trace sink.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a shared instrument.
+    pub fn with_instrument(mut self, ins: Arc<Instrument>) -> Self {
+        self.instrument = Some(ins);
+        self
+    }
+
+    /// The engine-level slice of this context (deadline + trace) — what
+    /// gets installed around engine work so `checkpoint()` and `span()`
+    /// deep inside the parallel loops observe this run's state.
+    pub fn engine(&self) -> EngineCtx {
+        EngineCtx {
+            deadline: self.deadline.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Run `f` under this context's engine state (see
+    /// [`EngineCtx::scope`]). The store is *not* ambient — it is only
+    /// ever consumed explicitly by the `_in` entry points.
+    pub fn scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.engine().scope(f)
+    }
+}
+
+/// Serialize tests (across this crate's modules) that install an
+/// ambient store: the RAII guard makes set/unset nest correctly, but
+/// two tests overlapping in time would still observe each other's
+/// handle mid-run.
+#[cfg(test)]
+pub(crate) fn ambient_gate_for_tests() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_is_isolated() {
+        let ctx = RunCtx::new();
+        assert!(ctx.store.is_none());
+        assert!(ctx.deadline.is_none());
+        assert!(ctx.trace.is_none());
+        assert!(ctx.instrument.is_none());
+    }
+
+    #[test]
+    fn scope_installs_engine_state() {
+        let sink = Arc::new(TraceSink::new());
+        let ctx = RunCtx::new().with_trace(sink.clone());
+        ctx.scope(|| drop(topogen_par::trace::span("scoped")));
+        assert_eq!(sink.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn ambient_snapshot_sees_installed_store() {
+        let _gate = ambient_gate_for_tests();
+        let dir = std::env::temp_dir().join(format!("topogen-runctx-{}", std::process::id()));
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let guard = topogen_store::ambient::install(Some(store.clone()));
+        let ctx = RunCtx::ambient();
+        drop(guard);
+        assert!(
+            ctx.store.is_some_and(|s| Arc::ptr_eq(&s, &store)),
+            "snapshot captured the ambient store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -66,6 +66,21 @@ pub fn hierarchy_report_timed(
     t: &BuiltTopology,
     opts: &HierOptions,
 ) -> (HierarchyReport, TimingReport) {
+    hierarchy_report_timed_in(&crate::ctx::RunCtx::ambient(), t, opts)
+}
+
+/// [`hierarchy_report_timed`] against an explicit context: link values
+/// are served from and persisted to `ctx.store`, the traversal runs
+/// under the context's deadline and trace sink, and counters report
+/// into `ctx.instrument` when one is attached.
+///
+/// # Panics
+/// Panics if `opts.policy` is set but the topology has no annotations.
+pub fn hierarchy_report_timed_in(
+    ctx: &crate::ctx::RunCtx,
+    t: &BuiltTopology,
+    opts: &HierOptions,
+) -> (HierarchyReport, TimingReport) {
     // Core-prune very large graphs, as the paper did for RL. The pruned
     // graph loses the annotation alignment, so policy analysis skips the
     // pruning (the annotated AS graphs are small enough anyway).
@@ -84,8 +99,11 @@ pub fn hierarchy_report_timed(
     } else {
         PathMode::Shortest
     };
-    let ins = Instrument::new();
-    let mut values = cached_link_values(&work, &mode, t, &ins);
+    let ins = ctx
+        .instrument
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(Instrument::new()));
+    let mut values = cached_link_values(ctx, &work, &mode, t, &ins);
     let degree_correlation = link_value_degree_correlation(&work, &values);
     let class = topogen_hierarchy::classify_hierarchy(&values);
     let stats = link_value_stats(&values);
@@ -107,18 +125,20 @@ pub fn hierarchy_report_timed(
 }
 
 /// The raw link-value vector (edge order, pre-sort), served from the
-/// ambient artifact store when a matching entry exists. Everything the
-/// report derives from it (correlation, class, stats, sorted values) is
-/// a pure function of the vector + work graph, so warm results are
-/// bit-identical to cold ones.
+/// context's artifact store when a matching entry exists. Everything
+/// the report derives from it (correlation, class, stats, sorted
+/// values) is a pure function of the vector + work graph, so warm
+/// results are bit-identical to cold ones. The (potentially long)
+/// traversal runs under the context's engine state.
 fn cached_link_values(
+    ctx: &crate::ctx::RunCtx,
     work: &topogen_graph::Graph,
     mode: &PathMode<'_>,
     t: &BuiltTopology,
     ins: &Instrument,
 ) -> Vec<f64> {
-    let Some(store) = topogen_store::ambient::active() else {
-        return link_values_threads(work, mode, None, Some(ins));
+    let Some(store) = ctx.store.clone() else {
+        return ctx.scope(|| link_values_threads(work, mode, None, Some(ins)));
     };
     let mut key = topogen_store::key::KeyBuilder::new("link-values")
         .hash("graph", crate::cache::graph_hash(work));
@@ -136,7 +156,7 @@ fn cached_link_values(
             return values;
         }
     }
-    let values = link_values_threads(work, mode, None, Some(ins));
+    let values = ctx.scope(|| link_values_threads(work, mode, None, Some(ins)));
     let bytes = crate::cache::encode_link_values(&values);
     store.put(&key, &bytes);
     ins.add_store_traffic(0, 1, 0, bytes.len() as u64);

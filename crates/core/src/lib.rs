@@ -37,11 +37,13 @@
 
 pub mod cache;
 pub mod classify;
+pub mod ctx;
 pub mod hier;
 pub mod report;
 pub mod suite;
 pub mod zoo;
 
 pub use classify::{Level, Signature};
-pub use suite::{run_suite, SuiteParams, SuiteResult};
-pub use zoo::{build, BuiltTopology, Scale, TopologySpec};
+pub use ctx::RunCtx;
+pub use suite::{run_suite, run_suite_in, SuiteParams, SuiteResult};
+pub use zoo::{build, build_in, BuiltTopology, Scale, TopologySpec};

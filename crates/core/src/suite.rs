@@ -73,14 +73,27 @@ pub struct SuiteResult {
     pub timings: TimingReport,
 }
 
-/// Run the three metrics over plain shortest-path balls.
+/// Run the three metrics over plain shortest-path balls, under the
+/// ambient compatibility context. Equivalent to
+/// `run_suite_in(&RunCtx::ambient(), …)`.
 pub fn run_suite(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
+    run_suite_in(&crate::ctx::RunCtx::ambient(), t, params)
+}
+
+/// [`run_suite`] against an explicit context: curves are served from
+/// and persisted to `ctx.store`, and the engines run under the
+/// context's deadline and trace sink.
+pub fn run_suite_in(
+    ctx: &crate::ctx::RunCtx,
+    t: &BuiltTopology,
+    params: &SuiteParams,
+) -> SuiteResult {
     let key = curves_key("plain", params)
         .hash("graph", crate::cache::graph_hash(&t.graph))
         .finish();
-    with_curve_cache(key, || {
+    with_curve_cache(ctx, key, || {
         let src = PlainBalls { graph: &t.graph };
-        run_with_source(&src, t.graph.node_count(), params)
+        run_with_source(ctx, &src, t.graph.node_count(), params)
     })
 }
 
@@ -90,6 +103,18 @@ pub fn run_suite(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
 /// # Panics
 /// Panics if `t.annotations` is `None`.
 pub fn run_suite_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
+    run_suite_policy_in(&crate::ctx::RunCtx::ambient(), t, params)
+}
+
+/// [`run_suite_policy`] against an explicit context.
+///
+/// # Panics
+/// Panics if `t.annotations` is `None`.
+pub fn run_suite_policy_in(
+    ctx: &crate::ctx::RunCtx,
+    t: &BuiltTopology,
+    params: &SuiteParams,
+) -> SuiteResult {
     let ann = t
         .annotations
         .as_ref()
@@ -101,12 +126,12 @@ pub fn run_suite_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult 
             crate::cache::annotations_hash(ann, t.graph.edge_count()),
         )
         .finish();
-    with_curve_cache(key, || {
+    with_curve_cache(ctx, key, || {
         let src = PolicyBalls {
             graph: &t.graph,
             annotations: ann,
         };
-        run_with_source(&src, t.graph.node_count(), params)
+        run_with_source(ctx, &src, t.graph.node_count(), params)
     })
 }
 
@@ -117,6 +142,18 @@ pub fn run_suite_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult 
 /// # Panics
 /// Panics if `t.router_as` or `t.as_overlay` is `None`.
 pub fn run_suite_rl_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResult {
+    run_suite_rl_policy_in(&crate::ctx::RunCtx::ambient(), t, params)
+}
+
+/// [`run_suite_rl_policy`] against an explicit context.
+///
+/// # Panics
+/// Panics if `t.router_as` or `t.as_overlay` is `None`.
+pub fn run_suite_rl_policy_in(
+    ctx: &crate::ctx::RunCtx,
+    t: &BuiltTopology,
+    params: &SuiteParams,
+) -> SuiteResult {
     let router_as = t.router_as.as_ref().expect("RL policy needs router_as");
     let ov = t
         .as_overlay
@@ -131,7 +168,7 @@ pub fn run_suite_rl_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResu
             crate::cache::annotations_hash(&ov.annotations, ov.as_graph.edge_count()),
         )
         .finish();
-    with_curve_cache(key, || {
+    with_curve_cache(ctx, key, || {
         let overlay = topogen_policy::overlay::RouterOverlay::new(
             &t.graph,
             router_as,
@@ -139,7 +176,7 @@ pub fn run_suite_rl_policy(t: &BuiltTopology, params: &SuiteParams) -> SuiteResu
             &ov.annotations,
         );
         let src = topogen_metrics::balls::OverlayBalls { overlay };
-        run_with_source(&src, t.graph.node_count(), params)
+        run_with_source(ctx, &src, t.graph.node_count(), params)
     })
 }
 
@@ -156,14 +193,18 @@ fn curves_key(mode: &str, params: &SuiteParams) -> topogen_store::key::KeyBuilde
         .u64("seed", params.seed)
 }
 
-/// Serve a suite run from the ambient artifact store when possible.
+/// Serve a suite run from the context's artifact store when possible.
 ///
 /// The cached payload is the three curves, exact to the bit; the
 /// signature is reclassified from them (a pure function, so hit and
 /// cold results are identical). On a hit the timing report carries only
 /// the store counters — the engine never ran.
-fn with_curve_cache(key: String, compute: impl FnOnce() -> SuiteResult) -> SuiteResult {
-    let Some(store) = topogen_store::ambient::active() else {
+fn with_curve_cache(
+    ctx: &crate::ctx::RunCtx,
+    key: String,
+    compute: impl FnOnce() -> SuiteResult,
+) -> SuiteResult {
+    let Some(store) = ctx.store.clone() else {
         return compute();
     };
     if let Some(bytes) = store.get(&key) {
@@ -174,9 +215,11 @@ fn with_curve_cache(key: String, compute: impl FnOnce() -> SuiteResult) -> Suite
                 resilience: classify_resilience(&resilience, &th),
                 distortion: classify_distortion(&distortion, &th),
             };
-            let mut timings = TimingReport::default();
-            timings.store_hits = 1;
-            timings.store_bytes_read = bytes.len() as u64;
+            let timings = TimingReport {
+                store_hits: 1,
+                store_bytes_read: bytes.len() as u64,
+                ..Default::default()
+            };
             return SuiteResult {
                 expansion,
                 resilience,
@@ -194,7 +237,12 @@ fn with_curve_cache(key: String, compute: impl FnOnce() -> SuiteResult) -> Suite
     r
 }
 
-fn run_with_source<S: BallSource>(src: &S, n: usize, params: &SuiteParams) -> SuiteResult {
+fn run_with_source<S: BallSource>(
+    ctx: &crate::ctx::RunCtx,
+    src: &S,
+    n: usize,
+    params: &SuiteParams,
+) -> SuiteResult {
     // Sampling order (expansion sources, then ball centers) is part of
     // the seeded contract: reordering would shift every curve.
     let mut rng = StdRng::seed_from_u64(params.seed);
@@ -218,6 +266,7 @@ fn run_with_source<S: BallSource>(src: &S, n: usize, params: &SuiteParams) -> Su
         .expansion_centers(exp_sources)
         .metric(&res_metric)
         .metric(&dis_metric)
+        .context(ctx.engine())
         .run();
     let expansion = out.expansion;
     let resilience = out.curves[0].clone();

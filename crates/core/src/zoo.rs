@@ -215,17 +215,33 @@ pub struct BuiltTopology {
     pub spec: TopologySpec,
 }
 
-/// Build a topology deterministically from `seed`.
-///
-/// When an ambient artifact store is installed (`repro --cache`), the
-/// build is served from disk when a matching entry exists and persisted
-/// after computing otherwise — the codec round-trip is exact, so cached
-/// and computed results are indistinguishable downstream. The CLI never
-/// installs a store while `TOPOGEN_FAULTS` is armed, so fault-perturbed
-/// builds are never cached.
+/// Build a topology deterministically from `seed`, under the ambient
+/// compatibility context (process-global store, thread deadline, active
+/// trace sink) — the batch CLI's entry point. Equivalent to
+/// `build_in(&RunCtx::ambient(), …)`; concurrent callers construct a
+/// [`RunCtx`](crate::ctx::RunCtx) instead.
 pub fn build(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
-    let Some(store) = topogen_store::ambient::active() else {
-        return build_uncached(spec, scale, seed);
+    build_in(&crate::ctx::RunCtx::ambient(), spec, scale, seed)
+}
+
+/// [`build`] against an explicit context.
+///
+/// When `ctx.store` is set (`repro --cache`, or the serve daemon's
+/// shared store), the build is served from disk when a matching entry
+/// exists and persisted after computing otherwise — the codec
+/// round-trip is exact, so cached and computed results are
+/// indistinguishable downstream. The CLI never supplies a store while
+/// `TOPOGEN_FAULTS` is armed, so fault-perturbed builds are never
+/// cached. The context's deadline and trace sink are installed around
+/// the compute path.
+pub fn build_in(
+    ctx: &crate::ctx::RunCtx,
+    spec: &TopologySpec,
+    scale: Scale,
+    seed: u64,
+) -> BuiltTopology {
+    let Some(store) = ctx.store.clone() else {
+        return ctx.scope(|| build_uncached(ctx, spec, scale, seed));
     };
     let key = crate::cache::topology_key(spec, scale, seed);
     if let Some(bytes) = store.get(&key) {
@@ -233,12 +249,17 @@ pub fn build(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
             return t;
         }
     }
-    let t = build_uncached(spec, scale, seed);
+    let t = ctx.scope(|| build_uncached(ctx, spec, scale, seed));
     store.put(&key, &crate::cache::encode_topology(&t));
     t
 }
 
-fn build_uncached(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology {
+fn build_uncached(
+    ctx: &crate::ctx::RunCtx,
+    spec: &TopologySpec,
+    scale: Scale,
+    seed: u64,
+) -> BuiltTopology {
     let mut rng = StdRng::seed_from_u64(seed);
     let name = spec.name();
     // Fault site for robustness tests; a no-op unless TOPOGEN_FAULTS
@@ -268,7 +289,9 @@ fn build_uncached(spec: &TopologySpec, scale: Scale, seed: u64) -> BuiltTopology
         TopologySpec::Inet(p) => (p.generate(&mut rng), None, None),
         TopologySpec::NLevel(p) => (p.generate(&mut rng), None, None),
         TopologySpec::PlrgRewired(inner) => {
-            let base = build(inner, scale, seed);
+            // Recurse with the same context so the base build caches
+            // against the explicit store, not whatever is ambient.
+            let base = build_in(ctx, inner, scale, seed);
             let rewired = rewire_as_plrg(&base.graph, &mut rng);
             (largest_component(&rewired).0, None, None)
         }

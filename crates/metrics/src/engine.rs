@@ -228,6 +228,7 @@ pub struct BallPlan<'a, S: BallSource> {
     ball_centers: Vec<NodeId>,
     expansion_centers: Vec<NodeId>,
     metrics: Vec<&'a dyn BallMetric>,
+    ctx: Option<topogen_par::EngineCtx>,
 }
 
 impl<'a, S: BallSource> BallPlan<'a, S> {
@@ -242,6 +243,7 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
             ball_centers: Vec::new(),
             expansion_centers: Vec::new(),
             metrics: Vec::new(),
+            ctx: None,
         }
     }
 
@@ -271,9 +273,25 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
         self
     }
 
+    /// Run under an explicit engine context instead of whatever
+    /// deadline/sink is ambient on the calling thread — the re-entrant
+    /// path concurrent callers (one context per request) use. Without
+    /// this, [`run`](Self::run) observes the ambient state, as before.
+    pub fn context(mut self, ctx: topogen_par::EngineCtx) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
     /// Run the plan: one `balls_up_to` per ball center (shared by all
     /// metrics), one `distances` per expansion-only center.
     pub fn run(&self) -> PlanResult {
+        match &self.ctx {
+            Some(ctx) => ctx.scope(|| self.run_inner()),
+            None => self.run_inner(),
+        }
+    }
+
+    fn run_inner(&self) -> PlanResult {
         let t_total = Instant::now();
         // Fault site + deadline checkpoint at the phase boundary; both
         // are no-ops unless armed / a deadline is ambient.

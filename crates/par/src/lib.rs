@@ -16,12 +16,14 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod ctx;
 pub mod faults;
 pub mod instrument;
 pub mod par;
 pub mod trace;
 
 pub use cancel::{CancelToken, Cancelled, Deadline};
+pub use ctx::EngineCtx;
 pub use instrument::{Instrument, InstrumentReport, PhaseTiming};
 pub use par::{panic_message, par_map, par_map_catch, par_map_threads};
 pub use trace::{SpanGuard, SpanRollup, TraceEvent, TraceSink};

@@ -57,11 +57,14 @@ where
             })
             .collect();
     }
-    // Capture the caller's ambient deadline and current trace span so
-    // workers observe the same cancellation state the caller does and
-    // per-item spans parent on the caller's span across threads.
+    // Capture the caller's ambient deadline, current trace span, and
+    // any scoped sink override so workers observe the same cancellation
+    // state the caller does, per-item spans parent on the caller's span
+    // across threads, and a re-entrant context's private sink keeps
+    // receiving its own workers' events.
     let ambient = cancel::current_deadline();
     let trace_parent = crate::trace::current_parent();
+    let sink_override = crate::trace::current_override();
 
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
@@ -97,10 +100,16 @@ where
                             *slot = Some(f(&items[*start + k]));
                         }
                     };
-                    crate::trace::with_parent(trace_parent, || match &ambient {
-                        Some(d) => cancel::with_deadline(d.clone(), work),
-                        None => work(),
-                    })
+                    let scoped = || {
+                        crate::trace::with_parent(trace_parent, || match &ambient {
+                            Some(d) => cancel::with_deadline(d.clone(), work),
+                            None => work(),
+                        })
+                    };
+                    match &sink_override {
+                        Some(sink) => crate::trace::with_sink(sink.clone(), scoped),
+                        None => scoped(),
+                    }
                 })
             })
             .collect();

@@ -30,7 +30,7 @@
 //! so per-item spans created deep inside an engine parent correctly
 //! across threads.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
@@ -149,6 +149,22 @@ impl TraceSink {
         )
     }
 
+    /// Copy out the events recorded since `mark` and return the new
+    /// position — the incremental read behind progress streaming
+    /// (`topogen-serve` polls a per-request sink and forwards fresh
+    /// events as NDJSON lines while the engines run).
+    pub fn drain_since(&self, mark: &Mark) -> (Vec<TraceEvent>, Mark) {
+        let mut out = Vec::new();
+        let mut next = Vec::with_capacity(SHARDS);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let events = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let from = mark.0.get(i).copied().unwrap_or(0).min(events.len());
+            out.extend_from_slice(&events[from..]);
+            next.push(events.len());
+        }
+        (out, Mark(next))
+    }
+
     /// Aggregate the spans completed since `mark` by name, sorted by
     /// name (deterministic regardless of thread interleaving).
     pub fn rollup_since(&self, mark: &Mark) -> Vec<SpanRollup> {
@@ -187,7 +203,7 @@ impl TraceSink {
 }
 
 /// One event as a single-line JSON object.
-fn event_json(ev: &TraceEvent) -> String {
+pub fn event_json(ev: &TraceEvent) -> String {
     match ev {
         TraceEvent::Enter {
             id,
@@ -255,9 +271,59 @@ pub fn install(sink: Option<Arc<TraceSink>>) {
     *slot().write().unwrap_or_else(|e| e.into_inner()) = sink;
 }
 
-/// The ambient sink, if tracing is on. The disabled path is a single
-/// relaxed atomic load.
+thread_local! {
+    /// Fast flag mirroring whether [`SINK_OVERRIDE`] holds a value, so
+    /// the common no-override path costs one `Cell` read.
+    static OVERRIDDEN: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread sink override: `Some(Some(sink))` routes this thread's
+    /// spans to a private sink, `Some(None)` disables tracing for this
+    /// thread even when a process-global sink is installed. `None`
+    /// falls through to the global slot. This is what lets two
+    /// concurrent `topogen-serve` requests stream disjoint progress
+    /// traces from one process.
+    static SINK_OVERRIDE: RefCell<Option<Option<Arc<TraceSink>>>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's sink override, if one is installed (the outer
+/// `Option` distinguishes "no override" from "overridden to off").
+/// `par_map` captures this on entry and re-installs it inside each
+/// worker, like the ambient deadline and trace parent.
+pub fn current_override() -> Option<Option<Arc<TraceSink>>> {
+    if !OVERRIDDEN.with(Cell::get) {
+        return None;
+    }
+    SINK_OVERRIDE.with(|s| s.borrow().clone())
+}
+
+/// Run `f` with `sink` as this thread's trace sink — `None` explicitly
+/// disables tracing for the scope — restoring the previous state
+/// afterwards (unwind-safe via a drop guard). Unlike [`install`], this
+/// never touches the process-global slot, so concurrent scopes on
+/// different threads are independent: the re-entrant alternative the
+/// engine contexts use.
+pub fn with_sink<R>(sink: Option<Arc<TraceSink>>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Option<Arc<TraceSink>>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            OVERRIDDEN.with(|c| c.set(prev.is_some()));
+            SINK_OVERRIDE.with(|s| *s.borrow_mut() = prev);
+        }
+    }
+    let prev = SINK_OVERRIDE.with(|s| s.borrow_mut().replace(sink));
+    OVERRIDDEN.with(|c| c.set(true));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The ambient sink, if tracing is on: the thread's scoped override
+/// when one is installed (see [`with_sink`]), else the process-global
+/// slot. The fully-disabled path is one `Cell` read plus one relaxed
+/// atomic load.
 pub fn active() -> Option<Arc<TraceSink>> {
+    if OVERRIDDEN.with(Cell::get) {
+        return SINK_OVERRIDE.with(|s| s.borrow().clone()).flatten();
+    }
     if !ENABLED.load(Ordering::Relaxed) {
         return None;
     }

@@ -8,6 +8,17 @@
 //! while a `TOPOGEN_FAULTS` harness is active, which is how "never
 //! cache results produced under fault injection" is enforced in one
 //! place.
+//!
+//! [`install`] is *scoped*: it returns an [`AmbientGuard`] that restores
+//! the previously installed handle when dropped. The earlier fire-and-
+//! forget set/unset pattern (`install(Some(s)); …; install(None);`) was
+//! an ordering hazard under `cargo test` parallelism — two tests
+//! interleaving their set/unset pairs would clobber each other — and is
+//! deprecated in favor of holding the guard for the scope that needs
+//! the store. Calling `install(None)` still works (the slot is cleared
+//! while the guard lives) but new code should prefer either a held
+//! guard or, better, an explicit `RunCtx` that carries the store handle
+//! instead of touching process state at all.
 
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -18,9 +29,34 @@ fn slot() -> &'static RwLock<Option<Arc<Store>>> {
     SLOT.get_or_init(|| RwLock::new(None))
 }
 
-/// Install (or with `None`, remove) the process-global store.
-pub fn install(store: Option<Arc<Store>>) {
-    *slot().write().unwrap_or_else(|e| e.into_inner()) = store;
+/// Scoped handle returned by [`install`]; restores the previously
+/// installed ambient store when dropped (including during unwinds), so
+/// nested installs behave like a stack regardless of who set what
+/// first. Dropping the guard immediately undoes the install — bind it
+/// (`let _ambient = install(…)`) for as long as the handle should stay
+/// active.
+#[must_use = "dropping the guard immediately restores the previous ambient store"]
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<Arc<Store>>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        *slot().write().unwrap_or_else(|e| e.into_inner()) = self.prev.take();
+    }
+}
+
+/// Install (or with `None`, clear) the process-global store for the
+/// lifetime of the returned guard; the previous handle comes back when
+/// the guard drops. Passing `None` to clear is deprecated in favor of
+/// scoping the guard (see the module docs).
+pub fn install(store: Option<Arc<Store>>) -> AmbientGuard {
+    let prev = std::mem::replace(
+        &mut *slot().write().unwrap_or_else(|e| e.into_inner()),
+        store,
+    );
+    AmbientGuard { prev }
 }
 
 /// The ambient store, if one is installed.
@@ -37,18 +73,47 @@ pub fn counters() -> Option<CounterSnapshot> {
 mod tests {
     use super::*;
 
+    /// Both tests touch the process-global slot; serialize them.
+    fn gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
-    fn install_and_clear() {
-        // Serialized against nothing else: this is the only test in the
-        // crate touching the ambient slot.
+    fn guard_restores_previous_handle() {
+        let _gate = gate();
         assert!(active().is_none());
         let dir = std::env::temp_dir().join(format!("topogen-ambient-{}", std::process::id()));
-        let store = Arc::new(Store::open(&dir).unwrap());
-        install(Some(store));
+        let outer = Arc::new(Store::open(&dir).unwrap());
+        let guard = install(Some(outer.clone()));
         assert!(active().is_some());
         assert!(counters().unwrap().is_zero());
-        install(None);
+        {
+            // A nested clear works while its guard lives…
+            let inner = install(None);
+            assert!(active().is_none());
+            drop(inner);
+        }
+        // …and the outer handle comes back when it drops.
+        assert!(
+            Arc::ptr_eq(&active().expect("outer handle restored"), &outer),
+            "inner guard must restore the outer handle"
+        );
+        drop(guard);
         assert!(active().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwind_restores_previous_handle() {
+        let _gate = gate();
+        let dir = std::env::temp_dir().join(format!("topogen-ambient-uw-{}", std::process::id()));
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = install(Some(store.clone()));
+            panic!("boom");
+        }));
+        assert!(active().is_none(), "guard restored the slot on unwind");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

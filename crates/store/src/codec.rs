@@ -278,10 +278,13 @@ pub fn verify_container(bytes: &[u8]) -> Result<(), CodecError> {
     Ok(())
 }
 
+/// A container's `(tag, payload)` sections, borrowed from its bytes.
+pub type Sections<'a> = Vec<([u8; 4], &'a [u8])>;
+
 /// Parse a verified-or-not container into its `(tag, payload)` sections.
 /// Runs [`verify_container`] first, so corrupted bytes are rejected by
 /// checksum before any section is interpreted.
-pub fn read_sections(bytes: &[u8]) -> Result<Vec<([u8; 4], &[u8])>, CodecError> {
+pub fn read_sections(bytes: &[u8]) -> Result<Sections<'_>, CodecError> {
     verify_container(bytes)?;
     let body = &bytes[..bytes.len() - 8];
     let mut r = Reader::new(body);

@@ -401,13 +401,11 @@ impl Store {
         let mut excess = total.saturating_sub(max_bytes);
         let mut kept = Vec::new();
         for (hash, path, len) in entries {
-            if excess > 0 {
-                if fs::remove_file(&path).is_ok() {
-                    excess = excess.saturating_sub(len);
-                    report.bytes_freed += len;
-                    report.evicted.push(hash);
-                    continue;
-                }
+            if excess > 0 && fs::remove_file(&path).is_ok() {
+                excess = excess.saturating_sub(len);
+                report.bytes_freed += len;
+                report.evicted.push(hash);
+                continue;
             }
             report.kept += 1;
             report.bytes_kept += len;
