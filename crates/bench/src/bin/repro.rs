@@ -1,9 +1,20 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] [--timings]
-//!                    [--keep-going] [--resume] [--deadline SECS] [--retries N]
-//!                    [--strict-checks] [--cache[=DIR]] [--trace[=DIR]]
+//! repro <experiment> [--scale small|paper|large|xl] [--seed N] [--thorough] [--json DIR]
+//!                    [--timings] [--kernel auto|scalar|bitset] [--keep-going] [--resume]
+//!                    [--deadline SECS] [--retries N] [--strict-checks] [--cache[=DIR]]
+//!                    [--trace[=DIR]]
+//!
+//! --scale large (~170k-node structural/degree-based graphs) and xl
+//! (~1M nodes where the generators allow) run the sampled-center
+//! tiers: metric curves are estimated over a seeded center subsample
+//! and the tables record population + sample sizes per row.
+//!
+//! --kernel forces the BFS kernel for metric plans: `scalar` is the
+//! per-center queue BFS, `bitset` the batched word-parallel kernels,
+//! `auto` (default) picks per plan from graph size and job count.
+//! Outputs are bit-identical across kernels; only the counters differ.
 //!
 //! --timings prints the parallel engines' instrumentation — shared-ball
 //! counters (traversals, cache hits) for the metric suite, hierarchy
@@ -73,6 +84,11 @@
 //!   store verify         checksum-walk every entry, report corruption
 //!   store gc --max-bytes N  evict least-recently-used entries over N
 //!   trace export [PATH]  convert a trace JSONL log to Chrome trace JSON
+//!   perf-gate [--baseline DIR] [--current DIR] [--tolerance PCT]
+//!                        compare the current run's BENCH_*.json op
+//!                        counters against committed baselines
+//!                        (ci/perf-baselines); fail on >PCT% regression
+//!                        (default 5%), wall-clock advisory-only
 //!   serve --addr HOST:PORT  run the topology-metrics daemon: POST
 //!                        /measure with a schema_version=1 JSON request
 //!                        (topology + seed + scale + metric set), bounded
@@ -220,12 +236,13 @@ impl Output {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--scale small|paper] [--seed N] [--thorough] [--json DIR] \
-         [--timings] [--keep-going] [--resume] [--deadline SECS] [--retries N] [--strict-checks] \
-         [--cache[=DIR]] [--trace[=DIR]]"
+        "usage: repro <experiment> [--scale small|paper|large|xl] [--seed N] [--thorough] \
+         [--json DIR] [--timings] [--kernel auto|scalar|bitset] [--keep-going] [--resume] \
+         [--deadline SECS] [--retries N] [--strict-checks] [--cache[=DIR]] [--trace[=DIR]]"
     );
     eprintln!("       repro store <ls|verify|gc> [--cache[=DIR]] [--max-bytes N]");
     eprintln!("       repro trace export [PATH] [--trace[=DIR]]");
+    eprintln!("       repro perf-gate [--baseline DIR] [--current DIR] [--tolerance PCT]");
     eprintln!(
         "       repro serve --addr HOST:PORT [--workers N] [--queue N] [--cache[=DIR]] \
          [--deadline SECS] [--ledger PATH] [--self-test]"
@@ -246,6 +263,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => run_serve_cmd(&args[1..]).exit(),
         Some("measure") => run_measure_cmd(&args[1..]).exit(),
+        Some("perf-gate") => topogen_bench::perfgate::run_cli(&args[1..]).exit(),
         _ => {}
     }
     let mut ctx = ExpCtx::default();
@@ -310,8 +328,22 @@ fn main() {
                 ctx.scale = match v.as_str() {
                     "small" => Scale::Small,
                     "paper" => Scale::Paper,
+                    "large" => Scale::Large,
+                    "xl" => Scale::Xl,
                     other => panic!("unknown scale {other:?}"),
                 };
+            }
+            "--kernel" => {
+                let v = it.next().expect("--kernel needs auto|scalar|bitset");
+                match topogen_graph::bfs_bitset::KernelPolicy::parse(&v) {
+                    // Set process-wide so every RunCtx (batch units,
+                    // ambient snapshots) observes the same choice.
+                    Some(p) => topogen_graph::bfs_bitset::set_default_policy(p),
+                    None => {
+                        eprintln!("unknown kernel {v:?} (want auto|scalar|bitset)");
+                        usage();
+                    }
+                }
             }
             "--seed" => {
                 ctx.seed = it
@@ -415,7 +447,7 @@ fn main() {
         println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
         println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
         println!("ablation-ts ablation-extremes ablation-distortion");
-        println!("load-measured store trace all");
+        println!("load-measured store trace perf-gate all");
         return;
     }
     if cmd == "load-measured" && arg.is_none() {
@@ -442,6 +474,8 @@ fn main() {
     let scale_label = match ctx.scale {
         Scale::Small => "small",
         Scale::Paper => "paper",
+        Scale::Large => "large",
+        Scale::Xl => "xl",
     };
     let unit_for = |id: &str| -> Unit {
         let id_owned = id.to_string();

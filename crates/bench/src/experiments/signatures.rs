@@ -8,7 +8,7 @@ use crate::ExpCtx;
 use topogen_core::hier::{hierarchy_report_timed, HierOptions};
 use topogen_core::report::{TableData, TimingReport};
 use topogen_core::suite::{run_suite, run_suite_policy, run_suite_rl_policy};
-use topogen_core::zoo::{build, TopologySpec};
+use topogen_core::zoo::{build, Scale, TopologySpec};
 
 /// The paper's expected signature per topology (§4.4's table).
 pub fn paper_signature(name: &str) -> Option<&'static str> {
@@ -38,6 +38,11 @@ pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
 /// prints and archives as `BENCH_tab-signature.json`).
 pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
     let params = ctx.suite_params();
+    // At the sampled-center tiers the curves are estimates over a
+    // center subsample, so the table records the population and sample
+    // sizes next to each signature; Small/Paper keep the historical
+    // four-column shape byte-identical.
+    let sampled = matches!(ctx.scale, Scale::Large | Scale::Xl);
     let mut timings = TimingReport::default();
     let mut specs = TopologySpec::figure1_zoo(ctx.scale);
     specs.push(TopologySpec::Complete { n: 150 });
@@ -65,6 +70,8 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             }
         };
         timings.merge(&r.timings);
+        let n = t.graph.node_count();
+        let centers = params.centers.min(n);
         let sig = r.signature.to_string();
         let expect = paper_signature(&t.name).unwrap_or("-");
         let ok = if expect == "-" || sig == expect {
@@ -72,12 +79,17 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
         } else {
             "NO"
         };
-        rows.push(vec![
+        let mut row = vec![
             t.name.clone(),
             sig.clone(),
             expect.to_string(),
             ok.to_string(),
-        ]);
+        ];
+        if sampled {
+            row.push(n.to_string());
+            row.push(centers.to_string());
+        }
+        rows.push(row);
         if t.annotations.is_some() {
             let rp = run_suite_policy(&t, &params);
             timings.merge(&rp.timings);
@@ -89,7 +101,12 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             } else {
                 "NO"
             };
-            rows.push(vec![pname, psig, pexpect.to_string(), pok.to_string()]);
+            let mut row = vec![pname, psig, pexpect.to_string(), pok.to_string()];
+            if sampled {
+                row.push(n.to_string());
+                row.push(centers.to_string());
+            }
+            rows.push(row);
         }
         if t.as_overlay.is_some() {
             let rp = run_suite_rl_policy(&t, &params);
@@ -102,19 +119,25 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             } else {
                 "NO"
             };
-            rows.push(vec![pname, psig, pexpect.to_string(), pok.to_string()]);
+            let mut row = vec![pname, psig, pexpect.to_string(), pok.to_string()];
+            if sampled {
+                row.push(n.to_string());
+                row.push(centers.to_string());
+            }
+            rows.push(row);
         }
     }
-    let mut table = TableData::new(
-        "tab-signature",
-        vec![
-            "Topology".into(),
-            "Signature".into(),
-            "Paper".into(),
-            "Match".into(),
-        ],
-        rows,
-    );
+    let mut header = vec![
+        "Topology".to_string(),
+        "Signature".to_string(),
+        "Paper".to_string(),
+        "Match".to_string(),
+    ];
+    if sampled {
+        header.push("Nodes".to_string());
+        header.push("Centers".to_string());
+    }
+    let mut table = TableData::new("tab-signature", header, rows);
     for (name, reason) in failures {
         table.push_failed_row(name, reason);
     }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perfgate;
 pub mod runner;
 pub mod serve;
 pub mod tracefmt;
@@ -108,12 +109,35 @@ impl Default for ExpCtx {
 
 impl ExpCtx {
     /// Suite parameters matching this context.
+    ///
+    /// `Small`/`Paper` keep the historical quick/thorough budgets so
+    /// archived outputs stay byte-identical. The `large`/`xl` tiers
+    /// sample centers (the paper's "sufficiently large number of
+    /// randomly chosen nodes") with budgets sized so one signature
+    /// table stays CI-feasible: fewer, shallower balls as the graphs
+    /// grow, leaning on the batched bitset BFS kernels for the
+    /// expansion sweeps.
     pub fn suite_params(&self) -> topogen_core::suite::SuiteParams {
         let mut p = if self.quick {
             topogen_core::suite::SuiteParams::quick()
         } else {
             topogen_core::suite::SuiteParams::thorough()
         };
+        match self.scale {
+            Scale::Small | Scale::Paper => {}
+            Scale::Large => {
+                p.centers = 16;
+                p.expansion_sources = 128;
+                p.max_radius = 40;
+                p.max_ball_nodes = 900;
+            }
+            Scale::Xl => {
+                p.centers = 8;
+                p.expansion_sources = 64;
+                p.max_radius = 32;
+                p.max_ball_nodes = 900;
+            }
+        }
         p.seed = self.seed ^ 0x5EED;
         p
     }

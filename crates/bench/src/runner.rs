@@ -164,6 +164,11 @@ pub struct LedgerUnit {
     /// Store traffic attributed to this unit; absent when no cache was
     /// active or the unit never touched it.
     pub cache: Option<CacheBlock>,
+    /// High-water mark (bytes) of the hierarchy stage's traversal-set
+    /// arenas during the terminal attempt — the unit's peak arena
+    /// footprint, vs the cumulative `arena_bytes` counter in
+    /// `--timings`. Absent when the unit never built a DAG arena.
+    pub arena_bytes_peak: Option<u64>,
 }
 
 // Manual serde: `cache` / `duration_total_secs` are omitted (not null)
@@ -184,6 +189,9 @@ impl Serialize for LedgerUnit {
         if let Some(cache) = &self.cache {
             fields.push(("cache".to_string(), cache.to_content()));
         }
+        if let Some(peak) = self.arena_bytes_peak {
+            fields.push(("arena_bytes_peak".to_string(), peak.to_content()));
+        }
         Content::Map(fields)
     }
 }
@@ -203,6 +211,10 @@ impl Deserialize for LedgerUnit {
             error: Option::from_content(field("error")?)?,
             cache: match c.get("cache") {
                 Some(v) => Some(CacheBlock::from_content(v)?),
+                None => None,
+            },
+            arena_bytes_peak: match c.get("arena_bytes_peak") {
+                Some(v) => Some(u64::from_content(v)?),
                 None => None,
             },
         })
@@ -503,6 +515,10 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
             // earlier failed/retried attempts are kept apart in
             // `duration_total_secs` instead of blended in.
             let attempt_started = Instant::now();
+            // Drain the arena high-water global so the recorded peak
+            // covers exactly this attempt (stale contributions from
+            // earlier attempts or abandoned unit threads are dropped).
+            let _ = topogen_par::take_arena_highwater();
             match run_attempt(&unit.work, attempt, opts.deadline) {
                 Attempt::Success => {
                     entry = Some(LedgerUnit {
@@ -517,6 +533,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         attempts,
                         error: None,
                         cache: None,
+                        arena_bytes_peak: None,
                     });
                     break;
                 }
@@ -530,6 +547,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         attempts,
                         error: Some("deadline exceeded".to_string()),
                         cache: None,
+                        arena_bytes_peak: None,
                     });
                     break;
                 }
@@ -544,6 +562,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         attempts,
                         error: Some(msg),
                         cache: None,
+                        arena_bytes_peak: None,
                     });
                     break;
                 }
@@ -557,6 +576,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                             attempts,
                             error: Some(err.message().to_string()),
                             cache: None,
+                            arena_bytes_peak: None,
                         });
                     } else {
                         eprintln!(
@@ -577,6 +597,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                             attempts,
                             error: Some(msg),
                             cache: None,
+                            arena_bytes_peak: None,
                         });
                     } else {
                         eprintln!(
@@ -593,6 +614,10 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
         let mut entry = entry.expect("every unit records an outcome");
         if attempts > 1 {
             entry.duration_total_secs = Some(started.elapsed().as_secs_f64());
+        }
+        match topogen_par::take_arena_highwater() {
+            0 => {}
+            peak => entry.arena_bytes_peak = Some(peak),
         }
         if let (Some(before), Some(after)) = (store_before, topogen_store::ambient::counters()) {
             let d = before.delta_to(&after);
@@ -831,6 +856,7 @@ mod tests {
             attempts: 1,
             error: Some("deadline exceeded".into()),
             cache: None,
+            arena_bytes_peak: None,
         });
         l.units.push(LedgerUnit {
             id: "tab2".into(),
@@ -845,6 +871,7 @@ mod tests {
                 bytes_read: 4096,
                 bytes_written: 1024,
             }),
+            arena_bytes_peak: Some(2048),
         });
         let j = serde_json::to_string_pretty(&l).unwrap();
         assert!(j.contains("timed-out"));
@@ -853,6 +880,8 @@ mod tests {
         assert_eq!(back.units[0].error.as_deref(), Some("deadline exceeded"));
         assert_eq!(back.units[0].cache, None);
         assert_eq!(back.units[0].duration_total_secs, None);
+        assert_eq!(back.units[0].arena_bytes_peak, None);
+        assert_eq!(back.units[1].arena_bytes_peak, Some(2048));
         assert_eq!(back.units[1].duration_total_secs, Some(0.9));
         assert_eq!(back.units[1].cache.unwrap().hits, 3);
         assert_eq!(back.store, l.store);

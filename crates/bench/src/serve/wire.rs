@@ -197,8 +197,10 @@ fn parse_scale(s: &str) -> Result<Scale, WireError> {
     match s {
         "small" => Ok(Scale::Small),
         "paper" => Ok(Scale::Paper),
+        "large" => Ok(Scale::Large),
+        "xl" => Ok(Scale::Xl),
         other => Err(WireError(format!(
-            "unknown scale {other:?} (expected \"small\" or \"paper\")"
+            "unknown scale {other:?} (expected \"small\", \"paper\", \"large\", or \"xl\")"
         ))),
     }
 }
@@ -334,7 +336,7 @@ pub struct MeasureResponse {
     pub topology: String,
     /// The request's master seed.
     pub seed: u64,
-    /// `"small"` or `"paper"`.
+    /// `"small"`, `"paper"`, `"large"`, or `"xl"`.
     pub scale: String,
     /// Whether thorough budgets were used.
     pub thorough: bool,

@@ -90,6 +90,8 @@ pub fn scale_tag(scale: Scale) -> &'static str {
     match scale {
         Scale::Small => "small",
         Scale::Paper => "paper",
+        Scale::Large => "large",
+        Scale::Xl => "xl",
     }
 }
 

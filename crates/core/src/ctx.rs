@@ -21,14 +21,16 @@
 
 use std::sync::Arc;
 
+use topogen_metrics::engine::KernelPolicy;
 use topogen_par::cancel::Deadline;
 use topogen_par::{EngineCtx, Instrument, TraceSink};
 use topogen_store::Store;
 
 /// Everything one build/measure run depends on that used to be process
-/// state. All fields optional; `RunCtx::default()` is a fully isolated
-/// run — no caching, no deadline, no tracing, private counters.
-#[derive(Clone, Debug, Default)]
+/// state. All handles optional; `RunCtx::default()` is a fully isolated
+/// run — no caching, no deadline, no tracing, private counters, and the
+/// process-default BFS kernel policy.
+#[derive(Clone, Debug)]
 pub struct RunCtx {
     /// Content-addressed artifact store consulted (and fed) by topology
     /// builds, metric-curve runs, and link-value analyses. `None`
@@ -42,6 +44,23 @@ pub struct RunCtx {
     /// Counter sink engines report into; a private one is created per
     /// call when unset.
     pub instrument: Option<Arc<Instrument>>,
+    /// BFS kernel policy for metric plans run under this context
+    /// (scalar per-center BFS vs batched bitset kernels; `Auto` decides
+    /// per plan). Initialized from the process default, which `repro
+    /// --kernel` sets, so serve and batch paths share one choice.
+    pub kernel: KernelPolicy,
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx {
+            store: None,
+            deadline: None,
+            trace: None,
+            instrument: None,
+            kernel: topogen_graph::bfs_bitset::default_policy(),
+        }
+    }
 }
 
 impl RunCtx {
@@ -61,6 +80,7 @@ impl RunCtx {
             deadline: engine.deadline,
             trace: engine.trace,
             instrument: None,
+            kernel: topogen_graph::bfs_bitset::default_policy(),
         }
     }
 
@@ -85,6 +105,12 @@ impl RunCtx {
     /// Attach a shared instrument.
     pub fn with_instrument(mut self, ins: Arc<Instrument>) -> Self {
         self.instrument = Some(ins);
+        self
+    }
+
+    /// Override the BFS kernel policy for this run.
+    pub fn with_kernel(mut self, policy: KernelPolicy) -> Self {
+        self.kernel = policy;
         self
     }
 

@@ -179,6 +179,12 @@ pub struct TimingReport {
     pub pairs_accumulated: u64,
     /// Bytes held by traversal-set arenas.
     pub arena_bytes: u64,
+    /// u64 bitset words read or written by the batched BFS kernels
+    /// (zero on the scalar path).
+    pub words_scanned: u64,
+    /// Frontier-expansion passes performed by the batched BFS kernels
+    /// (zero on the scalar path).
+    pub frontier_passes: u64,
     /// Artifact-store lookups served from disk (`repro --cache`).
     pub store_hits: u64,
     /// Artifact-store lookups that fell through to computation.
@@ -212,6 +218,20 @@ impl Serialize for TimingReport {
                 self.pairs_accumulated.to_content(),
             ),
             ("arena_bytes".to_string(), self.arena_bytes.to_content()),
+        ];
+        // Bitset-kernel counters appeared after the first BENCH archives
+        // were committed; emit them only when nonzero so scalar-path
+        // output (and the archived baselines) stays byte-identical.
+        if self.words_scanned > 0 {
+            fields.push(("words_scanned".to_string(), self.words_scanned.to_content()));
+        }
+        if self.frontier_passes > 0 {
+            fields.push((
+                "frontier_passes".to_string(),
+                self.frontier_passes.to_content(),
+            ));
+        }
+        fields.extend([
             ("store_hits".to_string(), self.store_hits.to_content()),
             ("store_misses".to_string(), self.store_misses.to_content()),
             (
@@ -223,7 +243,7 @@ impl Serialize for TimingReport {
                 self.store_bytes_written.to_content(),
             ),
             ("phases".to_string(), self.phases.to_content()),
-        ];
+        ]);
         if !self.spans.is_empty() {
             fields.push(("spans".to_string(), self.spans.to_content()));
         }
@@ -242,6 +262,16 @@ impl Deserialize for TimingReport {
             dag_states: u64::from_content(field("dag_states")?)?,
             pairs_accumulated: u64::from_content(field("pairs_accumulated")?)?,
             arena_bytes: u64::from_content(field("arena_bytes")?)?,
+            // Absent in archives predating the bitset kernels (and in
+            // all scalar-path output): default to zero.
+            words_scanned: match c.get("words_scanned") {
+                Some(v) => u64::from_content(v)?,
+                None => 0,
+            },
+            frontier_passes: match c.get("frontier_passes") {
+                Some(v) => u64::from_content(v)?,
+                None => 0,
+            },
             store_hits: u64::from_content(field("store_hits")?)?,
             store_misses: u64::from_content(field("store_misses")?)?,
             store_bytes_read: u64::from_content(field("store_bytes_read")?)?,
@@ -265,6 +295,8 @@ impl From<&topogen_par::InstrumentReport> for TimingReport {
             dag_states: r.dag_states,
             pairs_accumulated: r.pairs_accumulated,
             arena_bytes: r.arena_bytes,
+            words_scanned: r.words_scanned,
+            frontier_passes: r.frontier_passes,
             store_hits: r.store_hits,
             store_misses: r.store_misses,
             store_bytes_read: r.store_bytes_read,
@@ -313,6 +345,8 @@ impl TimingReport {
         self.dag_states += other.dag_states;
         self.pairs_accumulated += other.pairs_accumulated;
         self.arena_bytes += other.arena_bytes;
+        self.words_scanned += other.words_scanned;
+        self.frontier_passes += other.frontier_passes;
         self.store_hits += other.store_hits;
         self.store_misses += other.store_misses;
         self.store_bytes_read += other.store_bytes_read;
@@ -345,6 +379,12 @@ impl TimingReport {
             out.push_str(&format!(
                 "dag-states {}  pairs {}  arena-bytes {}\n",
                 self.dag_states, self.pairs_accumulated, self.arena_bytes
+            ));
+        }
+        if self.words_scanned + self.frontier_passes > 0 {
+            out.push_str(&format!(
+                "bitset words-scanned {}  frontier-passes {}\n",
+                self.words_scanned, self.frontier_passes
             ));
         }
         if self.store_hits + self.store_misses > 0 {
@@ -609,6 +649,39 @@ mod tests {
         let back: TimingReport = serde_json::from_str(&j).unwrap();
         assert_eq!(back.spans, r.spans);
         assert!(r.render().contains("trace spans"));
+    }
+
+    #[test]
+    fn timing_report_omits_bitset_counters_when_zero() {
+        // Scalar-path reports (and archives predating the bitset
+        // kernels) carry no words_scanned/frontier_passes keys.
+        let r = TimingReport {
+            bfs_runs: 2,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(!j.contains("words_scanned"));
+        assert!(!j.contains("frontier_passes"));
+        let back: TimingReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.words_scanned, 0);
+        assert_eq!(back.frontier_passes, 0);
+        assert!(!r.render().contains("bitset"));
+
+        let b = TimingReport {
+            words_scanned: 17,
+            frontier_passes: 5,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&b).unwrap();
+        assert!(j.contains("words_scanned"));
+        let back: TimingReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.words_scanned, 17);
+        assert_eq!(back.frontier_passes, 5);
+        let mut merged = r.clone();
+        merged.merge(&b);
+        assert_eq!(merged.words_scanned, 17);
+        assert_eq!(merged.frontier_passes, 5);
+        assert!(b.render().contains("bitset words-scanned 17"));
     }
 
     #[test]

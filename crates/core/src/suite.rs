@@ -261,11 +261,17 @@ fn run_with_source<S: BallSource>(
         use_bartal: true,
         polish: false,
     };
+    // Kernel policy rides in on the context (shared by serve + batch);
+    // the cap mirrors `max_ball_nodes`, above which both suite metrics
+    // decline a ball — so the bitset path can skip constructing
+    // oversized balls without changing any output bit.
     let out = BallPlan::new(src, params.max_radius, params.seed)
         .ball_centers(centers)
         .expansion_centers(exp_sources)
         .metric(&res_metric)
         .metric(&dis_metric)
+        .kernel(ctx.kernel)
+        .ball_size_cap(Some(params.max_ball_nodes))
         .context(ctx.engine())
         .run();
     let expansion = out.expansion;

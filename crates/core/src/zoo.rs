@@ -25,7 +25,8 @@ use topogen_measured::as_graph::{internet_as, InternetAsParams};
 use topogen_measured::rl_graph::{expand_to_routers, RouterExpansionParams};
 use topogen_policy::rel::AsAnnotations;
 
-/// Run scale: CI-sized graphs versus the paper's Figure 1 sizes.
+/// Run scale: CI-sized graphs versus the paper's Figure 1 sizes, plus
+/// the large sampled-center tiers the bitset kernels unlock.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Hundreds-to-a-few-thousand nodes; minutes-of-CPU experiments.
@@ -33,6 +34,14 @@ pub enum Scale {
     /// The paper's sizes (PLRG ≈ 9000, Tiers 5000, AS ≈ 11000, RL huge);
     /// expect long runtimes on the heavier metrics.
     Paper,
+    /// Paper-RL-sized (~170k nodes where the generator permits): the
+    /// paper's router-level population, tractable via sampled centers +
+    /// the batched bitset BFS kernels. Waxman stays at 20k (its pair
+    /// loop is O(n²)); TS/Tiers keep their paper structural sizes.
+    Large,
+    /// Million-node stretch tier for the canonical/degree-sequence
+    /// generators; measured graphs stay at paper scale.
+    Xl,
 }
 
 /// A buildable topology from the paper.
@@ -163,6 +172,59 @@ impl TopologySpec {
                 TopologySpec::MeasuredAs,
                 TopologySpec::MeasuredRl,
             ],
+            // Paper-RL-sized canonical/degree-sequence graphs (~170k,
+            // matching the measured router-level population at
+            // `InternetAsParams::paper_scale`). Waxman's O(n²) pair
+            // loop caps it at 20k; TS/Tiers keep the paper's own
+            // structural sizes (their hierarchies don't scale by a
+            // single knob).
+            Scale::Large => vec![
+                TopologySpec::Tree { k: 3, depth: 11 },
+                TopologySpec::Mesh { side: 414 },
+                TopologySpec::Random {
+                    n: 170_000,
+                    p: 2.5e-5,
+                },
+                TopologySpec::Waxman(WaxmanParams {
+                    n: 20_000,
+                    alpha: 0.001_25,
+                    beta: 0.3,
+                }),
+                TopologySpec::TransitStub(TransitStubParams::paper_default()),
+                TopologySpec::Tiers(TiersParams::paper_default()),
+                TopologySpec::Plrg(PlrgParams {
+                    n: 170_000,
+                    alpha: 2.246,
+                    max_degree: None,
+                }),
+                TopologySpec::MeasuredAs,
+                TopologySpec::MeasuredRl,
+            ],
+            // Million-node stretch tier where the generator is
+            // near-linear; Waxman/TS/Tiers/measured stay at their Large
+            // sizes.
+            Scale::Xl => vec![
+                TopologySpec::Tree { k: 3, depth: 12 },
+                TopologySpec::Mesh { side: 1000 },
+                TopologySpec::Random {
+                    n: 1_000_000,
+                    p: 4.2e-6,
+                },
+                TopologySpec::Waxman(WaxmanParams {
+                    n: 20_000,
+                    alpha: 0.001_25,
+                    beta: 0.3,
+                }),
+                TopologySpec::TransitStub(TransitStubParams::paper_default()),
+                TopologySpec::Tiers(TiersParams::paper_default()),
+                TopologySpec::Plrg(PlrgParams {
+                    n: 1_000_000,
+                    alpha: 2.246,
+                    max_degree: None,
+                }),
+                TopologySpec::MeasuredAs,
+                TopologySpec::MeasuredRl,
+            ],
         }
     }
 
@@ -171,6 +233,12 @@ impl TopologySpec {
         let n = match scale {
             Scale::Small => 1300,
             Scale::Paper => 9000,
+            // Conservative at the big tiers: some degree-based
+            // generators (AB's attachment scan, Inet's fitting loops)
+            // are quadratic-ish, so the panel grows less aggressively
+            // than the canonical zoo.
+            Scale::Large => 50_000,
+            Scale::Xl => 170_000,
         };
         vec![
             TopologySpec::Ba(BaParams { n, m: 2 }),
@@ -298,7 +366,9 @@ fn build_uncached(
         TopologySpec::MeasuredAs => {
             let params = match scale {
                 Scale::Small => InternetAsParams::default_scaled(),
-                Scale::Paper => InternetAsParams::paper_scale(),
+                // The measured population has one "full" size — the
+                // paper's — which Large/Xl share (RL ≈ 170k routers).
+                Scale::Paper | Scale::Large | Scale::Xl => InternetAsParams::paper_scale(),
             };
             let m = internet_as(&params, &mut rng);
             // The generator guarantees connectivity, so annotations stay
@@ -308,7 +378,7 @@ fn build_uncached(
         TopologySpec::MeasuredRl => {
             let params = match scale {
                 Scale::Small => InternetAsParams::default_scaled(),
-                Scale::Paper => InternetAsParams::paper_scale(),
+                Scale::Paper | Scale::Large | Scale::Xl => InternetAsParams::paper_scale(),
             };
             let m = internet_as(&params, &mut rng);
             let rl = expand_to_routers(&m, &RouterExpansionParams::default(), &mut rng);

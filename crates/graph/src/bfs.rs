@@ -7,6 +7,7 @@
 //! equal-cost traversal weights over links (footnote 27).
 
 use crate::{Graph, NodeId, UNREACHED};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// Hop distances from `src` to every node (`UNREACHED` where unreachable).
@@ -36,31 +37,127 @@ pub fn distances_bounded(g: &Graph, src: NodeId, max_h: u32) -> Vec<u32> {
     dist
 }
 
+/// Reusable per-worker BFS scratch: an epoch-stamped distance field plus
+/// the list of nodes it touched.
+///
+/// `distances_bounded` allocates (and later scans) a full `n`-sized
+/// vector per call, which churns the allocator when large-scale sampled
+/// runs grow thousands of radius-bounded balls that each touch only a
+/// tiny fraction of the graph. The scratch keeps one distance field per
+/// worker alive across calls — same pattern as the hierarchy arena — and
+/// invalidates it in O(1) by bumping an epoch, so a bounded BFS costs
+/// O(ball) work and zero steady-state allocation.
+#[derive(Debug, Default)]
+pub struct DistScratch {
+    /// `dist[v]` is valid iff `stamp[v] == epoch`.
+    stamp: Vec<u32>,
+    epoch: u32,
+    dist: Vec<u32>,
+    touched: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+impl DistScratch {
+    /// A fresh scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run a bounded BFS from `src`, replacing any previous contents.
+    /// Nodes farther than `max_h` hops are left untouched.
+    pub fn run_bounded(&mut self, g: &Graph, src: NodeId, max_h: u32) {
+        let n = g.node_count();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps could alias the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+        self.queue.clear();
+        self.stamp[src as usize] = self.epoch;
+        self.dist[src as usize] = 0;
+        self.touched.push(src);
+        self.queue.push_back(src);
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u as usize];
+            if du >= max_h {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if self.stamp[v as usize] != self.epoch {
+                    self.stamp[v as usize] = self.epoch;
+                    self.dist[v as usize] = du + 1;
+                    self.touched.push(v);
+                    self.queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    /// Distance of `v` in the most recent run (`UNREACHED` if untouched).
+    pub fn dist(&self, v: NodeId) -> u32 {
+        if self.stamp.get(v as usize) == Some(&self.epoch) {
+            self.dist[v as usize]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Nodes reached by the most recent run, in visitation order
+    /// (non-decreasing distance; order within a level is unspecified).
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Nodes reached by the most recent run, sorted by `(distance, id)`
+    /// — the deterministic ball order of [`ball_nodes`].
+    pub fn ball_nodes_sorted(&self) -> Vec<NodeId> {
+        let mut out = self.touched.clone();
+        out.sort_by_key(|&v| (self.dist[v as usize], v));
+        out
+    }
+
+    /// Counts of nodes at *exactly* each hop distance `0..=max_h` for
+    /// the most recent run (which must have been bounded by `max_h`).
+    pub fn ring_sizes(&self, max_h: u32) -> Vec<usize> {
+        let mut rings = vec![0usize; max_h as usize + 1];
+        for &v in &self.touched {
+            rings[self.dist[v as usize] as usize] += 1;
+        }
+        rings
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<DistScratch> = RefCell::new(DistScratch::new());
+}
+
+/// Run `f` against this worker thread's shared [`DistScratch`].
+pub fn with_scratch<R>(f: impl FnOnce(&mut DistScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// Nodes within `h` hops of `src` (including `src`), in BFS order.
 pub fn ball_nodes(g: &Graph, src: NodeId, h: u32) -> Vec<NodeId> {
-    let dist = distances_bounded(g, src, h);
-    let mut out: Vec<NodeId> = dist
-        .iter()
-        .enumerate()
-        .filter(|(_, &d)| d != UNREACHED)
-        .map(|(i, _)| i as NodeId)
-        .collect();
-    // BFS order by distance, ties by id — deterministic.
-    out.sort_by_key(|&v| (dist[v as usize], v));
-    out
+    with_scratch(|s| {
+        s.run_bounded(g, src, h);
+        // BFS order by distance, ties by id — deterministic.
+        s.ball_nodes_sorted()
+    })
 }
 
 /// For one source, the number of nodes at *exactly* each hop distance
 /// `0..=max_h` (index 0 counts the source itself).
 pub fn ring_sizes(g: &Graph, src: NodeId, max_h: u32) -> Vec<usize> {
-    let dist = distances_bounded(g, src, max_h);
-    let mut rings = vec![0usize; max_h as usize + 1];
-    for &d in &dist {
-        if d != UNREACHED {
-            rings[d as usize] += 1;
-        }
-    }
-    rings
+    with_scratch(|s| {
+        s.run_bounded(g, src, max_h);
+        s.ring_sizes(max_h)
+    })
 }
 
 /// Eccentricity of `src`: the maximum finite hop distance to any reachable
@@ -195,6 +292,52 @@ mod tests {
         let g = Graph::from_edges(5, (1..5).map(|i| (0, i)));
         assert_eq!(ring_sizes(&g, 0, 2), vec![1, 4, 0]);
         assert_eq!(ring_sizes(&g, 1, 2), vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn scratch_matches_fresh_allocation_across_reuse() {
+        let g = path5();
+        let star = Graph::from_edges(5, (1..5).map(|i| (0, i)));
+        let mut s = DistScratch::new();
+        // Interleave graphs and bounds to exercise epoch invalidation.
+        for round in 0..3 {
+            for src in 0..5u32 {
+                for max_h in [0, 1, 2, u32::MAX] {
+                    for g in [&g, &star] {
+                        s.run_bounded(g, src, max_h);
+                        let oracle = distances_bounded(g, src, max_h);
+                        for v in 0..5u32 {
+                            assert_eq!(
+                                s.dist(v),
+                                oracle[v as usize],
+                                "round {round} src {src} max_h {max_h} v {v}"
+                            );
+                        }
+                        let mut reached: Vec<NodeId> = oracle
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &d)| d != UNREACHED)
+                            .map(|(i, _)| i as NodeId)
+                            .collect();
+                        reached.sort_by_key(|&v| (oracle[v as usize], v));
+                        assert_eq!(s.ball_nodes_sorted(), reached);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_epoch_wrap_resets_stamps() {
+        let g = path5();
+        let mut s = DistScratch::new();
+        s.run_bounded(&g, 0, u32::MAX);
+        // Force the wrap path: the next bump lands on 0 and must clear.
+        s.epoch = u32::MAX;
+        s.run_bounded(&g, 4, 1);
+        assert_eq!(s.dist(4), 0);
+        assert_eq!(s.dist(3), 1);
+        assert_eq!(s.dist(0), UNREACHED);
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Batched bitset BFS kernels for large sampled-center runs.
+//!
+//! The paper's ball-growing methodology samples centers on large graphs
+//! (§3.2.1: "a sufficiently large number of randomly chosen nodes"), and
+//! at router-level scale (~170k nodes) the per-center adjacency-list BFS
+//! in [`crate::bfs`] becomes the hot path. This module provides two
+//! denser kernels over the same CSR adjacency:
+//!
+//! * A **single-source** bounded BFS ([`BitsetScratch::run_bounded`])
+//!   whose visited set is a `u64`-word bitset and which switches between
+//!   classic top-down frontier expansion and Beamer-style bottom-up
+//!   pulls (scan unvisited nodes, probe their neighbors against a
+//!   frontier bitset) when the frontier grows past `2m/α` edges — the
+//!   dense small-diameter regime where top-down rescans most of the
+//!   edge set per level.
+//! * A **multi-source** kernel ([`multi_source_ring_counts`]) advancing
+//!   up to 64 sources per pass: each node carries a `u64` lane mask (bit
+//!   `k` = "source `k` has reached this node"), and one frontier
+//!   expansion ORs whole lane words across edges (`next[u] |= front[v]`,
+//!   `new = next & !visited`), so 64 expansion-source traversals cost
+//!   one sweep. The multi-source kernel is deliberately top-down only:
+//!   bottom-up's payoff is the early exit on the first frontier
+//!   neighbor, and with 64 independent lanes a node almost never
+//!   completes all lanes on its first probe, while the lane-parallel
+//!   top-down sweep already caps per-level work at one word-op per
+//!   frontier edge.
+//!
+//! Both kernels produce exactly the distances of the scalar oracle
+//! (hop-count BFS levels are unique), so every downstream aggregate —
+//! ring sizes, ball memberships sorted by `(distance, id)`, and the
+//! L/H-signature curves — is bit-identical to the scalar path. Only
+//! visitation *order* within a level is unspecified.
+//!
+//! [`KernelPolicy`] + [`select_kernel`] hold the engine-facing heuristic
+//! for choosing between the scalar and bitset paths, so the batch CLI
+//! and the serve daemon share one instrumented decision point.
+
+use crate::{Graph, NodeId, UNREACHED};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which BFS kernel the metrics engine should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Decide per plan from graph size, density, and centers requested
+    /// (see [`select_kernel`]).
+    #[default]
+    Auto,
+    /// Always the per-center scalar BFS (the PR-1 engine path).
+    Scalar,
+    /// Always the batched bitset kernels.
+    Bitset,
+}
+
+impl KernelPolicy {
+    /// Parse a CLI tag (`auto` / `scalar` / `bitset`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(KernelPolicy::Auto),
+            "scalar" => Some(KernelPolicy::Scalar),
+            "bitset" => Some(KernelPolicy::Bitset),
+            _ => None,
+        }
+    }
+
+    /// The CLI/trace tag for this policy.
+    pub fn tag(self) -> &'static str {
+        match self {
+            KernelPolicy::Auto => "auto",
+            KernelPolicy::Scalar => "scalar",
+            KernelPolicy::Bitset => "bitset",
+        }
+    }
+}
+
+/// Process-default kernel policy (what `RunCtx::ambient()` picks up);
+/// set once by the CLI from `--kernel`, defaults to [`KernelPolicy::Auto`].
+static DEFAULT_POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-default kernel policy.
+pub fn set_default_policy(p: KernelPolicy) {
+    let v = match p {
+        KernelPolicy::Auto => 0,
+        KernelPolicy::Scalar => 1,
+        KernelPolicy::Bitset => 2,
+    };
+    DEFAULT_POLICY.store(v, Ordering::Relaxed);
+}
+
+/// Read the process-default kernel policy.
+pub fn default_policy() -> KernelPolicy {
+    match DEFAULT_POLICY.load(Ordering::Relaxed) {
+        1 => KernelPolicy::Scalar,
+        2 => KernelPolicy::Bitset,
+        _ => KernelPolicy::Auto,
+    }
+}
+
+/// The kernel actually selected for one plan run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Per-center scalar BFS.
+    Scalar,
+    /// Batched bitset kernels.
+    Bitset,
+}
+
+impl KernelChoice {
+    /// The trace/report tag for this choice.
+    pub fn tag(self) -> &'static str {
+        match self {
+            KernelChoice::Scalar => "scalar",
+            KernelChoice::Bitset => "bitset",
+        }
+    }
+}
+
+/// `Auto` switches to the bitset kernels at this node count.
+pub const AUTO_MIN_NODES: usize = 8192;
+/// …or at this node count when the graph is dense (avg degree ≥ 32),
+/// where per-level edge rescans make the direction switch pay earlier.
+pub const AUTO_MIN_NODES_DENSE: usize = 2048;
+
+/// Pick the kernel for a plan over a graph with `n` nodes and `m`
+/// (undirected) edges, serving `centers` total sampled centers.
+///
+/// The `Auto` heuristic is deliberately coarse and fully deterministic:
+/// the bitset path pays off once bitmap sweeps amortize over enough
+/// nodes (`n ≥ 8192`, or `n ≥ 2048` on dense graphs where `m/n ≥ 16`)
+/// and at least two centers share the batched setup. Everything at the
+/// calibration scales (`Scale::Small`, ≤ ~1.5k nodes) therefore keeps
+/// the scalar path — and its archived byte-identical outputs — while
+/// paper-RL-sized runs (~170k) get the kernels.
+pub fn select_kernel(policy: KernelPolicy, n: usize, m: usize, centers: usize) -> KernelChoice {
+    match policy {
+        KernelPolicy::Scalar => KernelChoice::Scalar,
+        KernelPolicy::Bitset => KernelChoice::Bitset,
+        KernelPolicy::Auto => {
+            let min_n = if m >= n.saturating_mul(16) {
+                AUTO_MIN_NODES_DENSE
+            } else {
+                AUTO_MIN_NODES
+            };
+            if n >= min_n && centers >= 2 {
+                KernelChoice::Bitset
+            } else {
+                KernelChoice::Scalar
+            }
+        }
+    }
+}
+
+/// Deterministic work counters for the bitset kernels: `u64` words
+/// touched by bitmap sweeps/probes and frontier passes executed. Counts
+/// depend only on the graph and the sources, never on thread count or
+/// timing, so they can feed the ratcheting perf gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BfsStats {
+    /// Bitset words read or written.
+    pub words_scanned: u64,
+    /// Level-synchronous frontier passes executed.
+    pub frontier_passes: u64,
+}
+
+impl BfsStats {
+    /// Sum another kernel invocation's counters into this one.
+    pub fn merge(&mut self, other: &BfsStats) {
+        self.words_scanned += other.words_scanned;
+        self.frontier_passes += other.frontier_passes;
+    }
+}
+
+/// Frontier edges must exceed `2m/ALPHA` before a level runs bottom-up
+/// (Beamer's α; the conventional value for direction-optimizing BFS).
+const ALPHA: u64 = 14;
+
+/// Reusable single-source bitset BFS state: one visited bitmap, one
+/// frontier bitmap (materialized only for bottom-up levels), a distance
+/// field valid where the visited bit is set, and the touched-node list.
+///
+/// Like [`crate::bfs::DistScratch`] this lives per worker thread and is
+/// reused across centers, so steady-state cost is O(ball + n/64) per
+/// BFS with zero allocation.
+#[derive(Debug, Default)]
+pub struct BitsetScratch {
+    /// Visited bitmap; `dist[v]` is valid iff bit `v` is set.
+    visited: Vec<u64>,
+    /// Frontier bitmap, nonzero only inside a bottom-up level.
+    front_bits: Vec<u64>,
+    dist: Vec<u32>,
+    front: Vec<NodeId>,
+    next: Vec<NodeId>,
+    touched: Vec<NodeId>,
+}
+
+impl BitsetScratch {
+    /// A fresh scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run a bounded direction-optimizing BFS from `src`, replacing any
+    /// previous contents. Nodes farther than `max_h` hops are left
+    /// unvisited. Work counters accumulate into `stats`.
+    pub fn run_bounded(&mut self, g: &Graph, src: NodeId, max_h: u32, stats: &mut BfsStats) {
+        let n = g.node_count();
+        let words = n.div_ceil(64);
+        if self.visited.len() < words {
+            self.visited.resize(words, 0);
+            self.front_bits.resize(words, 0);
+        }
+        self.visited[..words].fill(0);
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+        }
+        self.touched.clear();
+        self.front.clear();
+        self.next.clear();
+
+        self.visited[src as usize / 64] |= 1u64 << (src % 64);
+        self.dist[src as usize] = 0;
+        self.touched.push(src);
+        self.front.push(src);
+        stats.words_scanned += 1;
+
+        let m2 = 2 * g.edge_count() as u64; // directed edge endpoints
+        let mut level = 1u32;
+        while !self.front.is_empty() && level <= max_h {
+            let frontier_edges: u64 = self
+                .front
+                .iter()
+                .map(|&u| g.neighbors(u).len() as u64)
+                .sum();
+            self.next.clear();
+            if frontier_edges * ALPHA > m2 {
+                // Bottom-up: scan unvisited nodes, probe their
+                // neighbors against the frontier bitmap, stop at the
+                // first hit.
+                for &u in &self.front {
+                    self.front_bits[u as usize / 64] |= 1u64 << (u % 64);
+                }
+                let mut probes = 0u64;
+                for w in 0..words {
+                    let mut unvis = !self.visited[w];
+                    if w == words - 1 && !n.is_multiple_of(64) {
+                        unvis &= (1u64 << (n % 64)) - 1;
+                    }
+                    while unvis != 0 {
+                        let b = unvis.trailing_zeros();
+                        unvis &= unvis - 1;
+                        let v = (w * 64 + b as usize) as NodeId;
+                        for &nb in g.neighbors(v) {
+                            probes += 1;
+                            if self.front_bits[nb as usize / 64] & (1u64 << (nb % 64)) != 0 {
+                                self.visited[w] |= 1u64 << b;
+                                self.dist[v as usize] = level;
+                                self.touched.push(v);
+                                self.next.push(v);
+                                break;
+                            }
+                        }
+                    }
+                }
+                for &u in &self.front {
+                    self.front_bits[u as usize / 64] = 0;
+                }
+                stats.words_scanned += words as u64 + probes + 2 * self.front.len() as u64;
+            } else {
+                // Top-down: expand the frontier list, one visited-word
+                // probe per edge.
+                for &u in &self.front {
+                    for &v in g.neighbors(u) {
+                        let w = v as usize / 64;
+                        let bit = 1u64 << (v % 64);
+                        if self.visited[w] & bit == 0 {
+                            self.visited[w] |= bit;
+                            self.dist[v as usize] = level;
+                            self.touched.push(v);
+                            self.next.push(v);
+                        }
+                    }
+                }
+                stats.words_scanned += frontier_edges;
+            }
+            stats.frontier_passes += 1;
+            std::mem::swap(&mut self.front, &mut self.next);
+            level += 1;
+        }
+    }
+
+    /// Distance of `v` in the most recent run (`UNREACHED` if unvisited).
+    pub fn dist(&self, v: NodeId) -> u32 {
+        let w = v as usize / 64;
+        if self
+            .visited
+            .get(w)
+            .is_some_and(|word| word & (1u64 << (v % 64)) != 0)
+        {
+            self.dist[v as usize]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Nodes reached by the most recent run, in visitation order
+    /// (non-decreasing distance; order within a level is unspecified).
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Nodes reached by the most recent run, sorted by `(distance, id)`
+    /// — the deterministic ball order of [`crate::bfs::ball_nodes`].
+    pub fn ball_nodes_sorted(&self) -> Vec<NodeId> {
+        let mut out = self.touched.clone();
+        out.sort_by_key(|&v| (self.dist[v as usize], v));
+        out
+    }
+
+    /// Counts of nodes at *exactly* each hop distance `0..=max_h` for
+    /// the most recent run (which must have been bounded by `max_h`).
+    pub fn ring_sizes(&self, max_h: u32) -> Vec<usize> {
+        let mut rings = vec![0usize; max_h as usize + 1];
+        for &v in &self.touched {
+            rings[self.dist[v as usize] as usize] += 1;
+        }
+        rings
+    }
+}
+
+/// Bounded single-source distances via the bitset kernel, as a full
+/// distance field (`UNREACHED` where unvisited) — the drop-in
+/// equivalent of [`crate::bfs::distances_bounded`] for differential
+/// tests and one-off callers.
+pub fn distances_bounded(g: &Graph, src: NodeId, max_h: u32, stats: &mut BfsStats) -> Vec<u32> {
+    let mut s = BitsetScratch::new();
+    s.run_bounded(g, src, max_h, stats);
+    let mut out = vec![UNREACHED; g.node_count()];
+    for &v in s.touched() {
+        out[v as usize] = s.dist[v as usize];
+    }
+    out
+}
+
+/// Maximum sources per multi-source pass (one bit-lane each).
+pub const MAX_LANES: usize = 64;
+
+/// Ring sizes (node counts at *exactly* each hop distance `0..=max_h`)
+/// for up to [`MAX_LANES`] sources in one batched traversal.
+///
+/// Returns one `max_h + 1`-length counts vector per source, in source
+/// order — exactly what [`crate::bfs::ring_sizes`] returns per source,
+/// at one lane-parallel frontier sweep per level instead of one BFS per
+/// source. Prefix-summing a row yields the expansion metric's
+/// cumulative reachable-set sizes.
+///
+/// # Panics
+/// Panics if `sources.len() > 64`.
+pub fn multi_source_ring_counts(
+    g: &Graph,
+    sources: &[NodeId],
+    max_h: u32,
+    stats: &mut BfsStats,
+) -> Vec<Vec<usize>> {
+    assert!(
+        sources.len() <= MAX_LANES,
+        "at most {MAX_LANES} sources per pass, got {}",
+        sources.len()
+    );
+    let n = g.node_count();
+    let lanes = sources.len();
+    let mut rings = vec![vec![0usize; max_h as usize + 1]; lanes];
+    if lanes == 0 {
+        return rings;
+    }
+
+    // Per-node lane masks: bit k set in visited[v] = source k reached v.
+    let mut visited = vec![0u64; n];
+    let mut front = vec![0u64; n];
+    let mut next = vec![0u64; n];
+    let mut front_nodes: Vec<NodeId> = Vec::new();
+    let mut next_nodes: Vec<NodeId> = Vec::new();
+
+    for (k, &s) in sources.iter().enumerate() {
+        if front[s as usize] == 0 {
+            front_nodes.push(s);
+        }
+        visited[s as usize] |= 1u64 << k;
+        front[s as usize] |= 1u64 << k;
+        rings[k][0] += 1;
+    }
+    stats.words_scanned += lanes as u64;
+
+    let mut level = 1u32;
+    while !front_nodes.is_empty() && level <= max_h {
+        next_nodes.clear();
+        let mut edge_words = 0u64;
+        for &v in &front_nodes {
+            let f = front[v as usize];
+            for &u in g.neighbors(v) {
+                if next[u as usize] == 0 {
+                    next_nodes.push(u);
+                }
+                next[u as usize] |= f;
+            }
+            edge_words += g.neighbors(v).len() as u64;
+        }
+        for &v in &front_nodes {
+            front[v as usize] = 0;
+        }
+        front_nodes.clear();
+        for &u in &next_nodes {
+            let new = next[u as usize] & !visited[u as usize];
+            next[u as usize] = 0;
+            if new != 0 {
+                visited[u as usize] |= new;
+                front[u as usize] = new;
+                front_nodes.push(u);
+                let mut bits = new;
+                while bits != 0 {
+                    let k = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    rings[k][level as usize] += 1;
+                }
+            }
+        }
+        // `front_nodes` was cleared above and now holds the new
+        // frontier; `next_nodes` is free scratch for the next level.
+        stats.words_scanned += edge_words + 3 * next_nodes.len() as u64;
+        stats.frontier_passes += 1;
+        level += 1;
+    }
+    rings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, (0..4).map(|i| (i, i + 1)))
+    }
+
+    /// A small graph mixing a dense clique (to trip bottom-up) with a
+    /// pendant path and an isolated node.
+    fn mixed() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                edges.push((a, b));
+            }
+        }
+        edges.extend([(7, 8), (8, 9), (9, 10)]);
+        Graph::from_edges(12, edges)
+    }
+
+    #[test]
+    fn single_source_matches_scalar_oracle() {
+        for g in [path5(), mixed()] {
+            let mut stats = BfsStats::default();
+            for src in 0..g.node_count() as NodeId {
+                for max_h in [0, 1, 2, 3, u32::MAX] {
+                    let got = distances_bounded(&g, src, max_h, &mut stats);
+                    let want = bfs::distances_bounded(&g, src, max_h);
+                    assert_eq!(got, want, "src {src} max_h {max_h}");
+                }
+            }
+            assert!(stats.words_scanned > 0);
+            assert!(stats.frontier_passes > 0);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_and_ball_order_match_oracle() {
+        let g = mixed();
+        let mut s = BitsetScratch::new();
+        let mut stats = BfsStats::default();
+        for src in [0u32, 7, 8, 11] {
+            for max_h in [1, 2, u32::MAX] {
+                s.run_bounded(&g, src, max_h, &mut stats);
+                assert_eq!(s.ball_nodes_sorted(), bfs::ball_nodes(&g, src, max_h));
+                if max_h != u32::MAX {
+                    assert_eq!(s.ring_sizes(max_h), bfs::ring_sizes(&g, src, max_h));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_rings_match_per_source_scalar() {
+        let g = mixed();
+        let sources: Vec<NodeId> = vec![0, 5, 8, 11, 0]; // duplicate lane is fine
+        let mut stats = BfsStats::default();
+        let rings = multi_source_ring_counts(&g, &sources, 4, &mut stats);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(rings[k], bfs::ring_sizes(&g, s, 4), "lane {k} source {s}");
+        }
+        assert!(stats.frontier_passes > 0);
+    }
+
+    #[test]
+    fn multi_source_full_64_lanes() {
+        let g = mixed();
+        let sources: Vec<NodeId> = (0..64).map(|i| (i % g.node_count()) as NodeId).collect();
+        let mut stats = BfsStats::default();
+        let rings = multi_source_ring_counts(&g, &sources, 3, &mut stats);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(rings[k], bfs::ring_sizes(&g, s, 3), "lane {k}");
+        }
+    }
+
+    #[test]
+    fn multi_source_empty_and_zero_radius() {
+        let g = path5();
+        let mut stats = BfsStats::default();
+        assert!(multi_source_ring_counts(&g, &[], 3, &mut stats).is_empty());
+        let rings = multi_source_ring_counts(&g, &[2], 0, &mut stats);
+        assert_eq!(rings, vec![vec![1]]);
+    }
+
+    #[test]
+    fn auto_heuristic_thresholds() {
+        use KernelPolicy::{Auto, Bitset, Scalar};
+        let pick = |p, n, m, c| select_kernel(p, n, m, c) == KernelChoice::Bitset;
+        // Forced policies ignore the shape.
+        assert!(!pick(Scalar, 1 << 20, 1 << 22, 64));
+        assert!(pick(Bitset, 10, 9, 1));
+        // Auto: small stays scalar, large goes bitset.
+        assert!(!pick(Auto, 1500, 3000, 42));
+        assert!(pick(Auto, 8192, 16000, 42));
+        // Dense graphs flip earlier…
+        assert!(pick(Auto, 4096, 4096 * 16, 42));
+        assert!(!pick(Auto, 4096, 4096 * 4, 42));
+        // …and a single center never pays for batch setup.
+        assert!(!pick(Auto, 1 << 20, 1 << 22, 1));
+    }
+
+    #[test]
+    fn default_policy_roundtrip() {
+        assert_eq!(KernelPolicy::parse("auto"), Some(KernelPolicy::Auto));
+        assert_eq!(KernelPolicy::parse("scalar"), Some(KernelPolicy::Scalar));
+        assert_eq!(KernelPolicy::parse("bitset"), Some(KernelPolicy::Bitset));
+        assert_eq!(KernelPolicy::parse("simd"), None);
+        assert_eq!(KernelPolicy::Bitset.tag(), "bitset");
+        // Global default: exercise set/get and restore Auto for other
+        // tests in this binary.
+        set_default_policy(KernelPolicy::Scalar);
+        assert_eq!(default_policy(), KernelPolicy::Scalar);
+        set_default_policy(KernelPolicy::Auto);
+        assert_eq!(default_policy(), KernelPolicy::Auto);
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = BfsStats {
+            words_scanned: 3,
+            frontier_passes: 1,
+        };
+        a.merge(&BfsStats {
+            words_scanned: 4,
+            frontier_passes: 2,
+        });
+        assert_eq!(a.words_scanned, 7);
+        assert_eq!(a.frontier_passes, 3);
+    }
+}

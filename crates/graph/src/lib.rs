@@ -15,6 +15,9 @@
 //!   and drops self-loops.
 //! * [`bfs`] — breadth-first distance fields, hop-bounded balls, shortest
 //!   path counting (σ) and shortest-path DAGs for traversal-set analysis.
+//! * [`bfs_bitset`] — batched bitset BFS kernels (direction-optimizing
+//!   single-source + 64-lane multi-source) for large sampled-center runs,
+//!   bit-identical to the [`bfs`] oracle.
 //! * [`components`] — connected components and largest-component
 //!   extraction (the paper analyzes the largest connected component of
 //!   every generated graph).
@@ -41,6 +44,7 @@
 
 pub mod apsp;
 pub mod bfs;
+pub mod bfs_bitset;
 pub mod bicon;
 pub mod components;
 pub mod flow;

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use topogen_graph::apsp::all_pairs_distances;
-use topogen_graph::bfs::{distances, shortest_path_dag};
+use topogen_graph::bfs::{distances, distances_bounded, shortest_path_dag, DistScratch};
+use topogen_graph::bfs_bitset::{self, BfsStats, BitsetScratch};
 use topogen_graph::bicon::biconnected_components;
 use topogen_graph::components::{components, largest_component};
 use topogen_graph::flow::max_flow_unit;
@@ -179,6 +180,57 @@ proptest! {
         let d = distances(&g, 0);
         for v in g.nodes() {
             prop_assert_eq!(t.depth[v as usize], d[v as usize]);
+        }
+    }
+
+    #[test]
+    fn bitset_single_source_matches_scalar_oracle(
+        g in arb_connected(),
+        src_pick in any::<u32>(),
+        raw_h in 0u32..9,
+    ) {
+        let max_h = if raw_h == 8 { u32::MAX } else { raw_h };
+        let src = (src_pick as usize % g.node_count()) as NodeId;
+        let mut stats = BfsStats::default();
+        let got = bfs_bitset::distances_bounded(&g, src, max_h, &mut stats);
+        let want = distances_bounded(&g, src, max_h);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bitset_scratch_reuse_matches_scalar_oracle(g in arb_connected(), seeds in proptest::collection::vec(any::<u32>(), 1..6)) {
+        // One reused scratch across several (src, max_h) runs: reuse must
+        // never leak state between centers.
+        let n = g.node_count();
+        let mut bit = BitsetScratch::new();
+        let mut sca = DistScratch::new();
+        let mut stats = BfsStats::default();
+        for s in seeds {
+            let src = (s as usize % n) as NodeId;
+            let max_h = (s / 7) % 9;
+            bit.run_bounded(&g, src, max_h, &mut stats);
+            sca.run_bounded(&g, src, max_h);
+            for v in 0..n as NodeId {
+                prop_assert_eq!(bit.dist(v), sca.dist(v), "src {} h {} v {}", src, max_h, v);
+            }
+            prop_assert_eq!(bit.ball_nodes_sorted(), sca.ball_nodes_sorted());
+            prop_assert_eq!(bit.ring_sizes(max_h), sca.ring_sizes(max_h));
+        }
+    }
+
+    #[test]
+    fn multi_source_rings_match_scalar_oracle(
+        g in arb_connected(),
+        picks in proptest::collection::vec(any::<u32>(), 1..64),
+        max_h in 0u32..8,
+    ) {
+        let n = g.node_count();
+        let sources: Vec<NodeId> = picks.iter().map(|&p| (p as usize % n) as NodeId).collect();
+        let mut stats = BfsStats::default();
+        let rings = bfs_bitset::multi_source_ring_counts(&g, &sources, max_h, &mut stats);
+        for (k, &s) in sources.iter().enumerate() {
+            let want = topogen_graph::bfs::ring_sizes(&g, s, max_h);
+            prop_assert_eq!(&rings[k], &want, "lane {} source {}", k, s);
         }
     }
 

@@ -178,6 +178,10 @@ pub fn link_traversals_threads(
         ins.add_dag_states(contribs.iter().map(|c| c.states_visited).sum());
         ins.add_pairs_accumulated(contribs.iter().map(|c| c.pairs).sum());
         ins.add_arena_bytes(t.arena_bytes() as u64);
+        // Also feed the process-wide high-water mark: the run ledger
+        // records the largest single arena a unit held, complementing
+        // the cumulative byte counter above.
+        topogen_par::record_arena_highwater(t.arena_bytes() as u64);
         ins.add_phase("hier-traversal", start.elapsed());
     }
     t

@@ -27,6 +27,14 @@ pub trait BallSource: Sync {
 
     /// Distance field from `center` under this source's path notion.
     fn distances(&self, center: NodeId) -> Vec<u32>;
+
+    /// The underlying plain graph, when this source's balls are plain
+    /// shortest-path balls over it — the precondition for the batched
+    /// bitset kernels. Policy/overlay sources return `None` (their path
+    /// notion is not plain BFS) and always take the scalar path.
+    fn plain_graph(&self) -> Option<&Graph> {
+        None
+    }
 }
 
 /// Plain shortest-path balls over a graph.
@@ -46,6 +54,10 @@ impl<'a> BallSource for PlainBalls<'a> {
 
     fn distances(&self, center: NodeId) -> Vec<u32> {
         bfs::distances(self.graph, center)
+    }
+
+    fn plain_graph(&self) -> Option<&Graph> {
+        Some(self.graph)
     }
 }
 

@@ -15,14 +15,32 @@
 //! [`topogen_par::par_map_threads`] which preserves input order, and
 //! aggregation walks centers in their fixed sampled order — so results
 //! are bit-identical for any thread count, including one.
+//!
+//! Kernel selection: when the source exposes a plain graph
+//! ([`BallSource::plain_graph`]), the plan picks between the per-center
+//! scalar BFS and the batched bitset kernels of
+//! [`topogen_graph::bfs_bitset`] via [`select_kernel`] — an explicit
+//! heuristic over (n, density, centers requested), overridable with
+//! [`BallPlan::kernel`]. The decision is instrumented (a
+//! `kernel-select` trace span plus nonzero `words_scanned` /
+//! `frontier_passes` counters on the bitset path), and both paths
+//! produce bit-identical distances, ring sizes, ball memberships, and
+//! downstream curve aggregates.
 
 use crate::balls::BallSource;
 use crate::instrument::{Instrument, InstrumentReport};
 use crate::partition::min_balanced_cut;
 use crate::CurvePoint;
+use std::cell::RefCell;
 use std::time::Instant;
+use topogen_graph::bfs_bitset::{
+    multi_source_ring_counts, select_kernel, BfsStats, BitsetScratch, KernelChoice, MAX_LANES,
+};
+use topogen_graph::subgraph::induced_subgraph;
 use topogen_graph::{Graph, NodeId, UNREACHED};
 use topogen_par::par_map_threads;
+
+pub use topogen_graph::bfs_bitset::KernelPolicy;
 
 /// Per-ball context handed to a [`BallMetric`]: which ball this is, a
 /// deterministic seed unique to (plan seed, center, radius), and the
@@ -51,6 +69,10 @@ pub trait BallMetric: Sync {
     /// Metric value on one ball, or `None` to skip it.
     fn measure(&self, ball: &Graph, ctx: &MeasureCtx<'_>) -> Option<f64>;
 }
+
+/// Per-job output: per-metric `(size, value)` rows for ball centers,
+/// expansion cumulative counts for expansion centers.
+type JobOut = (Option<Vec<(f64, Vec<f64>)>>, Option<Vec<usize>>);
 
 /// SplitMix64 finalizer: decorrelates per-center/per-radius seeds.
 fn mix_seed(seed: u64, salt: u64) -> u64 {
@@ -229,6 +251,8 @@ pub struct BallPlan<'a, S: BallSource> {
     expansion_centers: Vec<NodeId>,
     metrics: Vec<&'a dyn BallMetric>,
     ctx: Option<topogen_par::EngineCtx>,
+    kernel: KernelPolicy,
+    ball_size_cap: Option<usize>,
 }
 
 impl<'a, S: BallSource> BallPlan<'a, S> {
@@ -244,7 +268,31 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
             expansion_centers: Vec::new(),
             metrics: Vec::new(),
             ctx: None,
+            kernel: topogen_graph::bfs_bitset::default_policy(),
+            ball_size_cap: None,
         }
+    }
+
+    /// Kernel policy for this plan (defaults to the process default,
+    /// i.e. `--kernel` or `Auto`). [`KernelPolicy::Auto`] consults
+    /// [`select_kernel`]; forcing `Scalar`/`Bitset` pins the path.
+    pub fn kernel(mut self, policy: KernelPolicy) -> Self {
+        self.kernel = policy;
+        self
+    }
+
+    /// Skip *constructing* ball subgraphs larger than `cap` nodes on the
+    /// bitset path, synthesizing the skipped-ball rows (size + NaN per
+    /// metric) the scalar path would produce after every metric declines
+    /// the oversized ball.
+    ///
+    /// Only set this when **every** registered metric returns `None` for
+    /// balls larger than `cap` (the suite metrics all skip above their
+    /// shared `max_ball_nodes`); otherwise the two paths would diverge.
+    /// The scalar path ignores the cap entirely.
+    pub fn ball_size_cap(mut self, cap: Option<usize>) -> Self {
+        self.ball_size_cap = cap;
+        self
     }
 
     /// Centers whose balls feed the registered metrics.
@@ -305,76 +353,24 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
         let jobs = self.merge_centers();
         let radii = self.max_radius as usize + 1;
 
-        // (per-metric (size, value) rows, expansion cumulative counts)
-        type JobOut = (Option<Vec<(f64, Vec<f64>)>>, Option<Vec<usize>>);
-        let outputs: Vec<JobOut> = par_map_threads(&jobs, self.threads, |&(c, is_ball, is_exp)| {
-            let _center_span = topogen_par::trace::span("center");
-            let mut ball_rows = None;
-            let mut cum = None;
-            if is_ball {
-                let t0 = Instant::now();
-                let ball_span = topogen_par::trace::span("balls");
-                let balls = self.source.balls_up_to(c, self.max_radius);
-                drop(ball_span);
-                instrument.add_bfs_runs(1);
-                instrument.add_balls_built(balls.len() as u64);
-                instrument.add_phase("balls", t0.elapsed());
-                if self.metrics.len() > 1 {
-                    // Every consumer after the first reuses each ball.
-                    instrument
-                        .add_ball_cache_hits(balls.len() as u64 * (self.metrics.len() as u64 - 1));
-                }
-                let center_seed = mix_seed(self.seed, c as u64);
-                let rows = balls
-                    .iter()
-                    .enumerate()
-                    .map(|(h, (g, _))| {
-                        let ctx = MeasureCtx {
-                            center: c,
-                            radius: h as u32,
-                            seed: mix_seed(center_seed, h as u64),
-                            instrument: &instrument,
-                        };
-                        let vals = self
-                            .metrics
-                            .iter()
-                            .map(|m| {
-                                let t1 = Instant::now();
-                                let _m_span = topogen_par::trace::span_labeled("measure", m.name());
-                                let v = m.measure(g, &ctx).unwrap_or(f64::NAN);
-                                instrument.add_phase(m.name(), t1.elapsed());
-                                v
-                            })
-                            .collect();
-                        (g.node_count() as f64, vals)
-                    })
-                    .collect();
-                if is_exp {
-                    // The ball of radius h contains exactly the nodes
-                    // within h hops: expansion comes free from sizes.
-                    instrument.add_ball_cache_hits(1);
-                    cum = Some(balls.iter().map(|(g, _)| g.node_count()).collect());
-                }
-                ball_rows = Some(rows);
-            } else if is_exp {
-                let t0 = Instant::now();
-                let _dist_span = topogen_par::trace::span("distances");
-                let dist = self.source.distances(c);
-                instrument.add_bfs_runs(1);
-                let mut counts = vec![0usize; radii];
-                for &d in &dist {
-                    if d != UNREACHED && d <= self.max_radius {
-                        counts[d as usize] += 1;
-                    }
-                }
-                for h in 1..radii {
-                    counts[h] += counts[h - 1];
-                }
-                instrument.add_phase("distances", t0.elapsed());
-                cum = Some(counts);
-            }
-            (ball_rows, cum)
-        });
+        // Kernel selection: the batched bitset path needs plain
+        // shortest-path balls over an exposed graph; everything else
+        // (policy/overlay sources) is scalar by construction.
+        let choice = match self.source.plain_graph() {
+            Some(g) => select_kernel(self.kernel, g.node_count(), g.edge_count(), jobs.len()),
+            None => KernelChoice::Scalar,
+        };
+        drop(topogen_par::trace::span_labeled(
+            "kernel-select",
+            choice.tag(),
+        ));
+
+        let outputs: Vec<JobOut> = match (choice, self.source.plain_graph()) {
+            (KernelChoice::Bitset, Some(g)) => self.run_jobs_bitset(g, &jobs, &instrument, radii),
+            _ => par_map_threads(&jobs, self.threads, |&job| {
+                self.run_job_scalar(job, &instrument, radii)
+            }),
+        };
 
         // Phase boundary between measurement and aggregation.
         topogen_par::cancel::checkpoint();
@@ -446,6 +442,234 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
             expansion,
             report: instrument.report(),
         }
+    }
+
+    /// One scalar job: the PR-1 per-center path, verbatim — one
+    /// `balls_up_to` per ball center, one `distances` per
+    /// expansion-only center.
+    fn run_job_scalar(
+        &self,
+        (c, is_ball, is_exp): (NodeId, bool, bool),
+        instrument: &Instrument,
+        radii: usize,
+    ) -> JobOut {
+        let _center_span = topogen_par::trace::span("center");
+        let mut ball_rows = None;
+        let mut cum = None;
+        if is_ball {
+            let t0 = Instant::now();
+            let ball_span = topogen_par::trace::span("balls");
+            let balls = self.source.balls_up_to(c, self.max_radius);
+            drop(ball_span);
+            instrument.add_bfs_runs(1);
+            instrument.add_balls_built(balls.len() as u64);
+            instrument.add_phase("balls", t0.elapsed());
+            if self.metrics.len() > 1 {
+                // Every consumer after the first reuses each ball.
+                instrument
+                    .add_ball_cache_hits(balls.len() as u64 * (self.metrics.len() as u64 - 1));
+            }
+            let center_seed = mix_seed(self.seed, c as u64);
+            let rows = balls
+                .iter()
+                .enumerate()
+                .map(|(h, (g, _))| {
+                    let ctx = MeasureCtx {
+                        center: c,
+                        radius: h as u32,
+                        seed: mix_seed(center_seed, h as u64),
+                        instrument,
+                    };
+                    let vals = self
+                        .metrics
+                        .iter()
+                        .map(|m| {
+                            let t1 = Instant::now();
+                            let _m_span = topogen_par::trace::span_labeled("measure", m.name());
+                            let v = m.measure(g, &ctx).unwrap_or(f64::NAN);
+                            instrument.add_phase(m.name(), t1.elapsed());
+                            v
+                        })
+                        .collect();
+                    (g.node_count() as f64, vals)
+                })
+                .collect();
+            if is_exp {
+                // The ball of radius h contains exactly the nodes
+                // within h hops: expansion comes free from sizes.
+                instrument.add_ball_cache_hits(1);
+                cum = Some(balls.iter().map(|(g, _)| g.node_count()).collect());
+            }
+            ball_rows = Some(rows);
+        } else if is_exp {
+            let t0 = Instant::now();
+            let _dist_span = topogen_par::trace::span("distances");
+            let dist = self.source.distances(c);
+            instrument.add_bfs_runs(1);
+            let mut counts = vec![0usize; radii];
+            for &d in &dist {
+                if d != UNREACHED && d <= self.max_radius {
+                    counts[d as usize] += 1;
+                }
+            }
+            for h in 1..radii {
+                counts[h] += counts[h - 1];
+            }
+            instrument.add_phase("distances", t0.elapsed());
+            cum = Some(counts);
+        }
+        (ball_rows, cum)
+    }
+
+    /// The batched bitset path over a plain graph: ball centers run one
+    /// direction-optimizing bounded BFS each (per-worker reused
+    /// scratch), expansion-only centers advance in 64-lane multi-source
+    /// passes. Outputs land at each job's original index, so the shared
+    /// aggregation below is oblivious to the kernel.
+    fn run_jobs_bitset(
+        &self,
+        g: &Graph,
+        jobs: &[(NodeId, bool, bool)],
+        instrument: &Instrument,
+        radii: usize,
+    ) -> Vec<JobOut> {
+        let mut outputs: Vec<JobOut> = vec![(None, None); jobs.len()];
+
+        let ball_jobs: Vec<(usize, NodeId, bool)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, is_ball, _))| is_ball)
+            .map(|(i, &(c, _, is_exp))| (i, c, is_exp))
+            .collect();
+        let exp_jobs: Vec<(usize, NodeId)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, is_ball, is_exp))| !is_ball && is_exp)
+            .map(|(i, &(c, _, _))| (i, c))
+            .collect();
+
+        let ball_outs = par_map_threads(&ball_jobs, self.threads, |&(_, c, is_exp)| {
+            self.run_ball_bitset(g, c, is_exp, instrument, radii)
+        });
+        for (&(i, _, _), out) in ball_jobs.iter().zip(ball_outs) {
+            outputs[i] = out;
+        }
+
+        // Chunk expansion-only centers into 64-lane batches; each chunk
+        // is one multi-source traversal.
+        let chunks: Vec<&[(usize, NodeId)]> = exp_jobs.chunks(MAX_LANES).collect();
+        let chunk_outs = par_map_threads(&chunks, self.threads, |chunk| {
+            let t0 = Instant::now();
+            let _dist_span = topogen_par::trace::span("distances");
+            let sources: Vec<NodeId> = chunk.iter().map(|&(_, c)| c).collect();
+            let mut stats = BfsStats::default();
+            let rings = multi_source_ring_counts(g, &sources, self.max_radius, &mut stats);
+            instrument.add_bfs_runs(sources.len() as u64);
+            instrument.add_words_scanned(stats.words_scanned);
+            instrument.add_frontier_passes(stats.frontier_passes);
+            instrument.add_phase("distances", t0.elapsed());
+            rings
+                .into_iter()
+                .map(|mut counts| {
+                    for h in 1..radii {
+                        counts[h] += counts[h - 1];
+                    }
+                    counts
+                })
+                .collect::<Vec<_>>()
+        });
+        for (chunk, cums) in chunks.iter().zip(chunk_outs) {
+            for (&(i, _), cum) in chunk.iter().zip(cums) {
+                outputs[i] = (None, Some(cum));
+            }
+        }
+        outputs
+    }
+
+    /// One ball center on the bitset path: a single bounded BFS yields
+    /// the distance field; each radius's ball is the `(distance, id)`-
+    /// sorted prefix of the reached set — exactly the scalar
+    /// [`topogen_graph::subgraph::ball`] membership and order, without
+    /// one BFS per radius. Balls larger than [`Self::ball_size_cap`]
+    /// skip construction (every metric would decline them).
+    fn run_ball_bitset(
+        &self,
+        g: &Graph,
+        c: NodeId,
+        is_exp: bool,
+        instrument: &Instrument,
+        radii: usize,
+    ) -> JobOut {
+        thread_local! {
+            static SCRATCH: RefCell<BitsetScratch> = RefCell::new(BitsetScratch::new());
+        }
+        let _center_span = topogen_par::trace::span("center");
+        let t0 = Instant::now();
+        let ball_span = topogen_par::trace::span("balls");
+        let (sorted, mut cum) = SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            let mut stats = BfsStats::default();
+            s.run_bounded(g, c, self.max_radius, &mut stats);
+            instrument.add_words_scanned(stats.words_scanned);
+            instrument.add_frontier_passes(stats.frontier_passes);
+            // Cumulative ball sizes per radius = prefix sums of rings.
+            let mut cum = s.ring_sizes(self.max_radius);
+            for h in 1..radii {
+                cum[h] += cum[h - 1];
+            }
+            (s.ball_nodes_sorted(), cum)
+        });
+        instrument.add_bfs_runs(1);
+        instrument.add_phase("balls", t0.elapsed());
+        drop(ball_span);
+
+        let center_seed = mix_seed(self.seed, c as u64);
+        let cap = self.ball_size_cap.unwrap_or(usize::MAX);
+        let mut built = 0u64;
+        let rows: Vec<(f64, Vec<f64>)> = cum
+            .iter()
+            .enumerate()
+            .map(|(h, &size)| {
+                if size > cap {
+                    // Sizes are monotone in h: every metric skips this
+                    // and all larger balls, so the scalar path would
+                    // produce exactly (size, NaN…) here.
+                    return (size as f64, vec![f64::NAN; self.metrics.len()]);
+                }
+                let t_build = Instant::now();
+                let (ball, _) = induced_subgraph(g, &sorted[..size]);
+                instrument.add_phase("balls", t_build.elapsed());
+                built += 1;
+                let ctx = MeasureCtx {
+                    center: c,
+                    radius: h as u32,
+                    seed: mix_seed(center_seed, h as u64),
+                    instrument,
+                };
+                let vals = self
+                    .metrics
+                    .iter()
+                    .map(|m| {
+                        let t1 = Instant::now();
+                        let _m_span = topogen_par::trace::span_labeled("measure", m.name());
+                        let v = m.measure(&ball, &ctx).unwrap_or(f64::NAN);
+                        instrument.add_phase(m.name(), t1.elapsed());
+                        v
+                    })
+                    .collect();
+                (ball.node_count() as f64, vals)
+            })
+            .collect();
+        instrument.add_balls_built(built);
+        if self.metrics.len() > 1 {
+            instrument.add_ball_cache_hits(built * (self.metrics.len() as u64 - 1));
+        }
+        if !is_exp {
+            cum.clear();
+        } else {
+            instrument.add_ball_cache_hits(1);
+        }
+        (Some(rows), if cum.is_empty() { None } else { Some(cum) })
     }
 
     /// Merge the two sorted center lists into one deduplicated job list
@@ -630,6 +854,102 @@ mod tests {
         for t in [2, 4, 7] {
             assert_eq!(run(t), one, "threads={t}");
         }
+    }
+
+    fn fingerprint(out: &PlanResult) -> (Vec<u64>, Vec<Vec<(u64, u64)>>) {
+        (
+            out.expansion.iter().map(|v| v.to_bits()).collect(),
+            out.curves
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|p| (p.avg_size.to_bits(), p.value.to_bits()))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bitset_kernel_bit_identical_to_scalar_any_thread_count() {
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = (0..64).step_by(5).collect();
+        let exp: Vec<NodeId> = (0..64).collect();
+        let run = |policy, threads| {
+            let res = ResilienceMetric {
+                restarts: 2,
+                max_ball_nodes: 40,
+            };
+            let dis = DistortionMetric {
+                max_ball_nodes: 40,
+                use_bartal: true,
+                polish: false,
+            };
+            let out = BallPlan::new(&src, 8, 0x51DE)
+                .ball_centers(centers.clone())
+                .expansion_centers(exp.clone())
+                .threads(Some(threads))
+                .kernel(policy)
+                .ball_size_cap(Some(40))
+                .metric(&res)
+                .metric(&dis)
+                .run();
+            (fingerprint(&out), out.report)
+        };
+        let (scalar, scalar_report) = run(KernelPolicy::Scalar, 1);
+        assert_eq!(
+            scalar_report.words_scanned, 0,
+            "scalar path touches no bitset words"
+        );
+        for threads in [1, 2, 8] {
+            let (bitset, report) = run(KernelPolicy::Bitset, threads);
+            assert_eq!(bitset, scalar, "bitset threads={threads}");
+            assert!(report.words_scanned > 0);
+            assert!(report.frontier_passes > 0);
+            // One traversal per center on both paths.
+            assert_eq!(report.bfs_runs, scalar_report.bfs_runs);
+        }
+    }
+
+    #[test]
+    fn bitset_cap_matches_uncapped_when_metrics_skip() {
+        // The cap only skips constructing balls every metric declines:
+        // capped and uncapped bitset runs must agree bit-for-bit.
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let run = |cap| {
+            let res = ResilienceMetric {
+                restarts: 1,
+                max_ball_nodes: 20,
+            };
+            let out = BallPlan::new(&src, 10, 3)
+                .ball_centers(vec![0, 27, 63])
+                .expansion_centers(vec![0, 9, 33])
+                .kernel(KernelPolicy::Bitset)
+                .ball_size_cap(cap)
+                .metric(&res)
+                .run();
+            fingerprint(&out)
+        };
+        assert_eq!(run(Some(20)), run(None));
+    }
+
+    #[test]
+    fn auto_policy_keeps_scalar_on_small_graphs() {
+        // mesh8 is far below the Auto threshold: the plan must not
+        // touch the bitset kernels (words_scanned stays zero).
+        let g = mesh8();
+        let src = PlainBalls { graph: &g };
+        let em = EdgeCount;
+        let out = BallPlan::new(&src, 4, 1)
+            .ball_centers(vec![0, 9])
+            .expansion_centers(vec![0, 5, 22])
+            .kernel(KernelPolicy::Auto)
+            .metric(&em)
+            .run();
+        assert_eq!(out.report.words_scanned, 0);
+        assert_eq!(out.report.frontier_passes, 0);
     }
 
     #[test]

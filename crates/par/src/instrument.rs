@@ -36,6 +36,12 @@ pub struct Instrument {
     /// Bytes held by the traversal-set arena (offsets + flat pair
     /// buffer), summed over link-value runs.
     arena_bytes: AtomicU64,
+    /// `u64` bitset words touched by the batched BFS kernels (frontier
+    /// OR/AND-NOT sweeps plus bottom-up pulls).
+    words_scanned: AtomicU64,
+    /// Frontier-expansion passes executed by the batched BFS kernels
+    /// (one per level per direction-optimized sweep).
+    frontier_passes: AtomicU64,
     /// Artifact-store lookups served from disk (`repro --cache`).
     store_hits: AtomicU64,
     /// Artifact-store lookups that fell through to computation.
@@ -89,6 +95,16 @@ impl Instrument {
         self.arena_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` bitset words scanned by a batched BFS kernel.
+    pub fn add_words_scanned(&self, n: u64) {
+        self.words_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` frontier-expansion passes by a batched BFS kernel.
+    pub fn add_frontier_passes(&self, n: u64) {
+        self.frontier_passes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record artifact-store traffic: `hits`/`misses` lookups plus the
     /// bytes read from and written to the store.
     pub fn add_store_traffic(&self, hits: u64, misses: u64, bytes_read: u64, bytes_written: u64) {
@@ -132,6 +148,8 @@ impl Instrument {
             dag_states: self.dag_states.load(Ordering::Relaxed),
             pairs_accumulated: self.pairs_accumulated.load(Ordering::Relaxed),
             arena_bytes: self.arena_bytes.load(Ordering::Relaxed),
+            words_scanned: self.words_scanned.load(Ordering::Relaxed),
+            frontier_passes: self.frontier_passes.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_bytes_read: self.store_bytes_read.load(Ordering::Relaxed),
@@ -139,6 +157,29 @@ impl Instrument {
             phases,
         }
     }
+}
+
+/// Process-wide high-water mark of arena residency, in bytes.
+///
+/// Individual [`Instrument`] sinks *sum* `arena_bytes` across runs,
+/// which answers "how much arena traffic" but not "how big did a single
+/// resident arena get". The runner wants the latter per unit, so the
+/// traversal stage also publishes each arena's size here via
+/// [`record_arena_highwater`]; the runner drains the maximum with
+/// [`take_arena_highwater`] around each unit attempt.
+static ARENA_HIGHWATER: AtomicU64 = AtomicU64::new(0);
+
+/// Raise the process-wide arena high-water mark to at least `bytes`.
+pub fn record_arena_highwater(bytes: u64) {
+    ARENA_HIGHWATER.fetch_max(bytes, Ordering::Relaxed);
+}
+
+/// Read and reset the process-wide arena high-water mark.
+///
+/// Returns the largest single arena observed since the previous call
+/// (0 when no arena was built in the window).
+pub fn take_arena_highwater() -> u64 {
+    ARENA_HIGHWATER.swap(0, Ordering::Relaxed)
 }
 
 /// Wall time attributed to one named engine phase.
@@ -167,6 +208,10 @@ pub struct InstrumentReport {
     pub pairs_accumulated: u64,
     /// Bytes held by traversal-set arenas.
     pub arena_bytes: u64,
+    /// Bitset words touched by the batched BFS kernels.
+    pub words_scanned: u64,
+    /// Frontier-expansion passes executed by the batched BFS kernels.
+    pub frontier_passes: u64,
     /// Artifact-store lookups served from disk.
     pub store_hits: u64,
     /// Artifact-store lookups that fell through to computation.
@@ -190,6 +235,8 @@ impl InstrumentReport {
         self.dag_states += other.dag_states;
         self.pairs_accumulated += other.pairs_accumulated;
         self.arena_bytes += other.arena_bytes;
+        self.words_scanned += other.words_scanned;
+        self.frontier_passes += other.frontier_passes;
         self.store_hits += other.store_hits;
         self.store_misses += other.store_misses;
         self.store_bytes_read += other.store_bytes_read;
@@ -219,6 +266,8 @@ mod tests {
         ins.add_dag_states(100);
         ins.add_pairs_accumulated(50);
         ins.add_arena_bytes(1024);
+        ins.add_words_scanned(77);
+        ins.add_frontier_passes(6);
         ins.add_store_traffic(2, 3, 100, 200);
         ins.add_store_traffic(1, 0, 50, 0);
         let r = ins.report();
@@ -229,6 +278,8 @@ mod tests {
         assert_eq!(r.dag_states, 100);
         assert_eq!(r.pairs_accumulated, 50);
         assert_eq!(r.arena_bytes, 1024);
+        assert_eq!(r.words_scanned, 77);
+        assert_eq!(r.frontier_passes, 6);
         assert_eq!(r.store_hits, 3);
         assert_eq!(r.store_misses, 3);
         assert_eq!(r.store_bytes_read, 150);
@@ -248,6 +299,18 @@ mod tests {
     }
 
     #[test]
+    fn arena_highwater_tracks_max_and_resets() {
+        // Single test touching the process-wide mark, so no cross-test
+        // races inside this binary.
+        take_arena_highwater();
+        record_arena_highwater(100);
+        record_arena_highwater(700);
+        record_arena_highwater(300);
+        assert_eq!(take_arena_highwater(), 700);
+        assert_eq!(take_arena_highwater(), 0);
+    }
+
+    #[test]
     fn merge_sums_reports() {
         let a = Instrument::new();
         a.add_bfs_runs(1);
@@ -257,6 +320,8 @@ mod tests {
         b.add_bfs_runs(2);
         b.add_dag_states(5);
         b.add_arena_bytes(64);
+        b.add_words_scanned(8);
+        b.add_frontier_passes(2);
         b.add_store_traffic(1, 2, 3, 4);
         b.add_phase("x", Duration::from_secs(2));
         b.add_phase("y", Duration::from_secs(3));
@@ -265,6 +330,8 @@ mod tests {
         assert_eq!(ra.bfs_runs, 3);
         assert_eq!(ra.dag_states, 15);
         assert_eq!(ra.arena_bytes, 64);
+        assert_eq!(ra.words_scanned, 8);
+        assert_eq!(ra.frontier_passes, 2);
         assert_eq!(ra.store_hits, 1);
         assert_eq!(ra.store_misses, 2);
         assert_eq!(ra.store_bytes_read, 3);

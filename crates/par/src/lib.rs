@@ -24,6 +24,8 @@ pub mod trace;
 
 pub use cancel::{CancelToken, Cancelled, Deadline};
 pub use ctx::EngineCtx;
-pub use instrument::{Instrument, InstrumentReport, PhaseTiming};
+pub use instrument::{
+    record_arena_highwater, take_arena_highwater, Instrument, InstrumentReport, PhaseTiming,
+};
 pub use par::{panic_message, par_map, par_map_catch, par_map_threads};
 pub use trace::{SpanGuard, SpanRollup, TraceEvent, TraceSink};
