@@ -95,7 +95,12 @@
 //!                        worker pool with 429 backpressure, per-request
 //!                        deadlines, store-backed repeat queries, NDJSON
 //!                        progress streaming, JSONL request ledger;
-//!                        --self-test boots one and probes it end to end
+//!                        SIGTERM/SIGINT drain gracefully under
+//!                        --drain-deadline SECS and print a summary;
+//!                        --self-test boots one and probes it end to end;
+//!                        --chaos-soak [--requests N] hammers one under
+//!                        an armed I/O fault matrix and asserts no
+//!                        deadlock, no worker loss, no corruption
 //!   measure FILE|-       answer one measure request on stdout (the
 //!                        daemon's byte-identical batch twin)
 //!   all                  everything above (except load-measured/store/
@@ -245,7 +250,8 @@ fn usage() -> ! {
     eprintln!("       repro perf-gate [--baseline DIR] [--current DIR] [--tolerance PCT]");
     eprintln!(
         "       repro serve --addr HOST:PORT [--workers N] [--queue N] [--cache[=DIR]] \
-         [--deadline SECS] [--ledger PATH] [--self-test]"
+         [--deadline SECS] [--drain-deadline SECS] [--ledger PATH] [--timings] \
+         [--self-test] [--chaos-soak [--requests N]]"
     );
     eprintln!("       repro measure FILE|-");
     eprintln!("run `repro list` for the experiment index");
@@ -693,10 +699,56 @@ fn run_store_cmd(sub: Option<&str>, dir: &str, max_bytes: Option<u64>) -> ExitCo
 }
 
 /// `repro serve`: run (or self-test) the topology-metrics daemon.
+/// Process-level shutdown signals for the foreground daemon. `std` has
+/// no signal API, so this registers handlers through libc's `signal`
+/// (always linked on unix) — the handler only flips an atomic, which is
+/// async-signal-safe; the foreground loop does the actual drain.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
 fn run_serve_cmd(args: &[String]) -> ExitCode {
     let mut config = serve::ServeConfig::new("127.0.0.1:7878");
     let mut cache_dir: Option<String> = None;
     let mut self_test = false;
+    let mut chaos_soak = false;
+    let mut soak_requests = 96usize;
+    let mut drain_deadline = Duration::from_secs(30);
+    let mut timings = false;
+    let mut ledger_given = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -723,6 +775,7 @@ fn run_serve_cmd(args: &[String]) -> ExitCode {
             }
             "--ledger" => {
                 config.ledger_path = it.next().expect("--ledger needs a path").into();
+                ledger_given = true;
             }
             "--deadline" => {
                 let secs: f64 = it
@@ -732,6 +785,27 @@ fn run_serve_cmd(args: &[String]) -> ExitCode {
                     .expect("deadline must be a number of seconds");
                 config.default_deadline = Some(Duration::from_secs_f64(secs));
             }
+            "--drain-deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .expect("--drain-deadline needs seconds")
+                    .parse()
+                    .expect("drain deadline must be a number of seconds");
+                if secs <= 0.0 || secs.is_nan() {
+                    eprintln!("--drain-deadline must be positive");
+                    return ExitCode::Usage;
+                }
+                drain_deadline = Duration::from_secs_f64(secs);
+            }
+            "--requests" => {
+                soak_requests = it
+                    .next()
+                    .expect("--requests needs a count")
+                    .parse()
+                    .expect("requests must be an integer");
+            }
+            "--timings" => timings = true,
+            "--chaos-soak" => chaos_soak = true,
             "--cache" => cache_dir = Some("out/store".to_string()),
             other if other.starts_with("--cache=") => {
                 let dir = &other["--cache=".len()..];
@@ -748,6 +822,14 @@ fn run_serve_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
+    if chaos_soak {
+        // The soak brings its own scratch store and daemon; only the
+        // ledger location is honored (so CI can keep it as an artifact).
+        return serve::chaos_soak(
+            soak_requests,
+            ledger_given.then(|| config.ledger_path.clone()),
+        );
+    }
     if let Some(dir) = &cache_dir {
         match topogen_store::Store::open(dir) {
             Ok(store) => config.store = Some(std::sync::Arc::new(store)),
@@ -762,17 +844,32 @@ fn run_serve_cmd(args: &[String]) -> ExitCode {
     }
     let ledger = config.ledger_path.display().to_string();
     match serve::serve(config) {
-        Ok(handle) => {
+        Ok(mut handle) => {
             println!("serving on http://{} (ledger: {ledger})", handle.addr());
             println!(
                 "POST /measure with a schema_version={} document; GET /healthz to probe",
                 serve::WIRE_VERSION
             );
-            // Serve until the process is killed; the handle's Drop would
-            // otherwise tear the daemon down as main returns.
-            loop {
-                std::thread::park();
+            if timings {
+                println!(
+                    "timings: ledger recovered_lines={} (damaged lines skipped at open)",
+                    handle.recovered_lines()
+                );
             }
+            // Serve until SIGTERM/SIGINT, then drain: stop accepting,
+            // finish in-flight work within the drain deadline, cancel
+            // stragglers, flush the ledger, and report.
+            sig::install();
+            while !sig::requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!(
+                "serve: shutdown signal received; draining (deadline {:.0}s)",
+                drain_deadline.as_secs_f64()
+            );
+            let summary = handle.drain(drain_deadline);
+            println!("{summary}");
+            ExitCode::Clean
         }
         Err(e) => {
             eprintln!("cannot serve: {e}");

@@ -5,31 +5,51 @@
 //! sink — so concurrent requests are fully disjoint: one request's
 //! timeout or panic never leaks into a neighbor, and results are
 //! byte-identical to a solo batch run regardless of interleaving.
+//!
+//! Failure posture: a panicking request is caught and answered `500`
+//! (the durable ledger records it with the payload redacted), a request
+//! key that panics [`QUARANTINE_AFTER`] times in a row is quarantined
+//! with `503` for the daemon's lifetime (a success before the threshold
+//! resets the count; a restart clears the list), and shutdown can
+//! [`drain`](DaemonHandle::drain) — stop accepting, finish in-flight
+//! work under a budget, cancel stragglers, flush the ledger.
 
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use topogen_core::cache::{scale_tag, spec_canonical};
 use topogen_core::ctx::RunCtx;
-use topogen_par::cancel::{is_cancelled_payload, Deadline};
+use topogen_par::cancel::{is_cancelled_payload, CancelToken, Deadline};
 use topogen_par::trace::{self, TraceSink};
 use topogen_store::Store;
 
-use super::http::{read_request, write_response, HttpRequest};
+use super::http::{read_request, status_for_parse_error, write_response, HttpRequest};
 use super::ledger::{Ledger, LedgerEntry};
-use super::measure::measure_body;
-use super::pool::{DispatchError, WorkerPool};
+use super::measure::{measure_body, response_key};
+use super::pool::{DispatchError, PoolStats, WorkerPool};
 use super::wire::{error_body, MeasureRequest};
 use crate::ExitCode;
 
 /// How often a streaming response flushes accumulated span events.
 const STREAM_POLL: Duration = Duration::from_millis(50);
+
+/// Consecutive panics on one request key before it is quarantined.
+pub const QUARANTINE_AFTER: u32 = 3;
+
+/// Seconds advertised in `Retry-After` on backpressure (`429`) and
+/// drain (`503`) rejections.
+const RETRY_AFTER_SECS: &str = "1";
+
+/// Extra time granted past the drain budget for cancelled requests to
+/// reach their next cooperative checkpoint.
+const DRAIN_CANCEL_GRACE: Duration = Duration::from_secs(5);
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -70,6 +90,88 @@ struct DaemonState {
     ledger: Ledger,
     default_deadline: Option<Duration>,
     next_id: AtomicU64,
+    /// Accepted requests not yet answered (queued + running).
+    in_flight: AtomicUsize,
+    /// Cancel tokens of registered measure requests, by request id.
+    cancels: Mutex<HashMap<u64, CancelToken>>,
+    /// Consecutive-panic counts per request key (the poison guard).
+    quarantine: Mutex<HashMap<String, u32>>,
+    /// Set when the drain budget has expired: jobs starting now answer
+    /// `503` immediately instead of computing.
+    drain_expired: AtomicBool,
+}
+
+impl DaemonState {
+    fn quarantined(&self, key: &str) -> bool {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .is_some_and(|&n| n >= QUARANTINE_AFTER)
+    }
+
+    /// Record a (non-deadline) panic against `key`; returns the new
+    /// consecutive count.
+    fn note_panic(&self, key: &str) -> u32 {
+        let mut map = self.quarantine.lock().unwrap_or_else(|e| e.into_inner());
+        let n = map.entry(key.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    fn clear_panics(&self, key: &str) {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+    }
+}
+
+/// Decrements the in-flight gauge exactly once — when its job finishes,
+/// unwinds, or is dropped unexecuted (rejected dispatch).
+struct InFlight(Arc<DaemonState>);
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What a [`DaemonHandle::drain`] accomplished.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainSummary {
+    /// Requests in flight when the drain began.
+    pub in_flight_at_stop: usize,
+    /// Requests still running at the budget that were told to cancel.
+    pub cancelled: usize,
+    /// True when every in-flight request finished (or cancelled out)
+    /// before the grace period ran out.
+    pub drained: bool,
+    /// Wall-clock seconds the drain took.
+    pub elapsed_secs: f64,
+    /// Pool health at the end of the drain.
+    pub pool: PoolStats,
+    /// Damaged ledger lines recovered when this daemon opened.
+    pub recovered_lines: u64,
+}
+
+impl std::fmt::Display for DrainSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drain: in_flight={} cancelled={} drained={} elapsed={:.2}s \
+             workers={}/{} panics={} respawns={} recovered_lines={}",
+            self.in_flight_at_stop,
+            self.cancelled,
+            self.drained,
+            self.elapsed_secs,
+            self.pool.live,
+            self.pool.size,
+            self.pool.panics,
+            self.pool.respawns,
+            self.recovered_lines,
+        )
+    }
 }
 
 /// A running daemon; dropping it shuts the daemon down.
@@ -78,6 +180,8 @@ pub struct DaemonHandle {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     ledger_path: PathBuf,
+    state: Arc<DaemonState>,
+    pool: Arc<WorkerPool>,
 }
 
 impl DaemonHandle {
@@ -91,9 +195,89 @@ impl DaemonHandle {
         &self.ledger_path
     }
 
+    /// Worker-pool health (size, live, panics, respawns).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Damaged ledger lines recovered when this daemon's ledger opened.
+    pub fn recovered_lines(&self) -> u64 {
+        self.state.ledger.recovered_lines()
+    }
+
+    /// Requests accepted but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.state.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish
+    /// within `budget`, cancel whatever is still running past it, join
+    /// everything, and fsync the ledger. Idempotent with
+    /// [`shutdown`](Self::shutdown) — whichever runs first wins.
+    pub fn drain(&mut self, budget: Duration) -> DrainSummary {
+        let start = Instant::now();
+        // `live` is sampled before the stop flag goes up: the accept
+        // thread shuts the pool down as soon as it wakes, so a later
+        // reading only measures how far that teardown got. Sampled here
+        // it answers the operator's question — did the daemon reach its
+        // drain at full strength? The cumulative counters (panics,
+        // respawns) are re-sampled at the end instead, so panics during
+        // the drain itself still show.
+        let live_at_stop = self.pool.stats().live;
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // The accept loop blocks in accept(); poke it awake.
+            let _ = TcpStream::connect(self.addr);
+        }
+        let in_flight_at_stop = self.state.in_flight.load(Ordering::SeqCst);
+        while self.state.in_flight.load(Ordering::SeqCst) > 0 && start.elapsed() < budget {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut cancelled_ids: HashSet<u64> = HashSet::new();
+        if self.state.in_flight.load(Ordering::SeqCst) > 0 {
+            // Budget exhausted: tell every running request to stop at
+            // its next checkpoint, and keep sweeping — queued jobs may
+            // register after the first pass (they answer 503 anyway
+            // once `drain_expired` is up).
+            self.state.drain_expired.store(true, Ordering::SeqCst);
+            let grace = Instant::now() + DRAIN_CANCEL_GRACE;
+            loop {
+                {
+                    let cancels = self.state.cancels.lock().unwrap_or_else(|e| e.into_inner());
+                    for (id, token) in cancels.iter() {
+                        token.cancel();
+                        cancelled_ids.insert(*id);
+                    }
+                }
+                if self.state.in_flight.load(Ordering::SeqCst) == 0 || Instant::now() >= grace {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Err(e) = self.state.ledger.sync() {
+            eprintln!("serve: ledger sync failed during drain: {e}");
+        }
+        let mut pool = self.pool.stats();
+        pool.live = live_at_stop;
+        DrainSummary {
+            in_flight_at_stop,
+            cancelled: cancelled_ids.len(),
+            drained: self.state.in_flight.load(Ordering::SeqCst) == 0,
+            elapsed_secs: start.elapsed().as_secs_f64(),
+            pool,
+            recovered_lines: self.state.ledger.recovered_lines(),
+        }
+    }
+
     /// Stop accepting, finish in-flight requests, join all threads.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
+            if let Some(handle) = self.accept_thread.take() {
+                let _ = handle.join();
+            }
             return;
         }
         // The accept loop blocks in accept(); poke it awake.
@@ -122,26 +306,37 @@ pub fn serve(config: ServeConfig) -> std::io::Result<DaemonHandle> {
         ledger: Ledger::open(&config.ledger_path)?,
         default_deadline: config.default_deadline,
         next_id: AtomicU64::new(1),
+        in_flight: AtomicUsize::new(0),
+        cancels: Mutex::new(HashMap::new()),
+        quarantine: Mutex::new(HashMap::new()),
+        drain_expired: AtomicBool::new(false),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
-    let workers = config.workers;
-    let queue = config.queue;
+    let pool = Arc::new(WorkerPool::new(config.workers, config.queue));
+    let accept_pool = Arc::clone(&pool);
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("serve-accept".into())
         .spawn(move || {
-            let mut pool = WorkerPool::new(workers, queue);
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
                 let state = Arc::clone(&accept_state);
-                let dispatched = pool.try_dispatch(Box::new({
+                // Count the request the moment it is accepted; the
+                // guard decrements whether the job runs, unwinds, or is
+                // dropped unexecuted by a refused dispatch.
+                state.in_flight.fetch_add(1, Ordering::SeqCst);
+                let guard = InFlight(Arc::clone(&state));
+                let dispatched = accept_pool.try_dispatch(Box::new({
                     let state = Arc::clone(&state);
                     let mut stream = stream.try_clone().expect("clone TCP stream");
-                    move || handle_connection(&state, &mut stream)
+                    move || {
+                        let _guard = guard;
+                        handle_connection(&state, &mut stream);
+                    }
                 }));
                 match dispatched {
                     Ok(()) => {}
@@ -154,13 +349,15 @@ pub fn serve(config: ServeConfig) -> std::io::Result<DaemonHandle> {
                     Err(DispatchError::Closed) => break,
                 }
             }
-            pool.shutdown();
+            accept_pool.shutdown();
         })?;
     Ok(DaemonHandle {
         addr,
         stop,
         accept_thread: Some(accept_thread),
         ledger_path: config.ledger_path,
+        state,
+        pool,
     })
 }
 
@@ -174,11 +371,13 @@ fn reject_saturated(state: &DaemonState, mut stream: TcpStream) {
     let _ = read_request(&mut stream);
     let exit = ExitCode::Failures;
     let body = error_body("saturated: all workers busy and queue full", exit);
+    let mut headers = status_headers(exit, "-");
+    headers.push(("Retry-After", RETRY_AFTER_SECS.to_string()));
     let _ = write_response(
         &mut stream,
         429,
         "Too Many Requests",
-        &status_headers(exit, "-"),
+        &headers,
         "application/json",
         body.as_bytes(),
     );
@@ -220,17 +419,30 @@ fn handle_connection(state: &DaemonState, stream: &mut TcpStream) {
     let req = match read_request(stream) {
         Ok(req) => req,
         Err(e) => {
+            let (http, _) = status_for_parse_error(&e);
             respond_error(
                 state,
                 stream,
                 request_id,
                 started,
-                400,
+                http,
                 &format!("bad request: {e}"),
             );
             return;
         }
     };
+    if state.drain_expired.load(Ordering::SeqCst) {
+        // The drain budget is spent; anything starting now is refused
+        // fast so the daemon can finish dying.
+        respond_unavailable(
+            state,
+            stream,
+            request_id,
+            started,
+            "draining: shutting down",
+        );
+        return;
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let exit = ExitCode::Clean;
@@ -284,6 +496,7 @@ fn respond_error(
     let reason = match http {
         400 => "Bad Request",
         404 => "Not Found",
+        413 => "Payload Too Large",
         _ => "Error",
     };
     let body = error_body(error, exit);
@@ -311,6 +524,60 @@ fn respond_error(
     );
 }
 
+/// `503 Service Unavailable` with `Retry-After` — quarantined keys and
+/// requests arriving after the drain budget expired.
+fn respond_unavailable(
+    state: &DaemonState,
+    stream: &mut TcpStream,
+    request_id: u64,
+    started: Instant,
+    error: &str,
+) {
+    let exit = ExitCode::Failures;
+    let body = error_body(error, exit);
+    let mut headers = status_headers(exit, "-");
+    headers.push(("Retry-After", RETRY_AFTER_SECS.to_string()));
+    let _ = write_response(
+        stream,
+        503,
+        "Service Unavailable",
+        &headers,
+        "application/json",
+        body.as_bytes(),
+    );
+    record(
+        state,
+        LedgerEntry {
+            request_id,
+            topology: "-".into(),
+            seed: 0,
+            scale: "-".into(),
+            status: exit,
+            http: 503,
+            cache: "-",
+            duration_secs: started.elapsed().as_secs_f64(),
+            error: Some(error.to_string()),
+        },
+    );
+}
+
+/// Unregisters a request's cancel token when the request finishes —
+/// including by unwind, so the drain sweep never cancels a dead id.
+struct CancelReg<'a> {
+    state: &'a DaemonState,
+    id: u64,
+}
+
+impl Drop for CancelReg<'_> {
+    fn drop(&mut self) {
+        self.state
+            .cancels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+    }
+}
+
 fn handle_measure(
     state: &DaemonState,
     stream: &mut TcpStream,
@@ -332,14 +599,40 @@ fn handle_measure(
             return;
         }
     };
+    // The poison guard: a key that keeps panicking is refused before it
+    // can take down more requests (a success before the threshold
+    // resets its count; past it, only a restart does).
+    let key = response_key(&req);
+    if state.quarantined(&key) {
+        respond_unavailable(
+            state,
+            stream,
+            request_id,
+            started,
+            &format!("quarantined: {QUARANTINE_AFTER} consecutive panics on this request key"),
+        );
+        return;
+    }
+    // Every request gets a cancellable deadline — cancel-only when
+    // unbounded — registered so the drain path can stop stragglers.
     let deadline = req
         .deadline_secs
         .map(Duration::from_secs_f64)
         .or(state.default_deadline)
-        .map(Deadline::after);
+        .map(Deadline::after)
+        .unwrap_or_else(Deadline::cancel_only);
+    state
+        .cancels
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(request_id, deadline.token());
+    let _cancel_reg = CancelReg {
+        state,
+        id: request_id,
+    };
     let mut ctx = RunCtx::new();
     ctx.store = state.store.clone();
-    ctx.deadline = deadline;
+    ctx.deadline = Some(deadline);
     let mut entry = LedgerEntry {
         request_id,
         topology: spec_canonical(&req.spec),
@@ -352,11 +645,12 @@ fn handle_measure(
         error: None,
     };
     if req.stream {
-        stream_measure(stream, ctx, &req, &mut entry);
+        stream_measure(state, stream, ctx, &req, &key, &mut entry);
     } else {
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| measure_body(&ctx, &req)));
         match outcome {
             Ok((body, hit)) => {
+                state.clear_panics(&key);
                 entry.cache = if hit { "hit" } else { "miss" };
                 let _ = write_response(
                     stream,
@@ -368,14 +662,23 @@ fn handle_measure(
                 );
             }
             Err(payload) => {
-                let (http, reason, error) = if is_cancelled_payload(&*payload) {
+                let cancelled = is_cancelled_payload(&*payload);
+                let (http, reason, error) = if cancelled {
                     (504, "Gateway Timeout", "deadline exceeded".to_string())
                 } else {
+                    state.note_panic(&key);
                     (500, "Internal Server Error", panic_message(&*payload))
                 };
                 entry.status = ExitCode::Failures;
                 entry.http = http;
-                entry.error = Some(error.clone());
+                // The durable ledger never records the panic payload —
+                // it can carry arbitrary internal state. The HTTP body
+                // still tells the requester what happened.
+                entry.error = Some(if cancelled {
+                    error.clone()
+                } else {
+                    "panicked (payload redacted)".to_string()
+                });
                 let body = error_body(&error, ExitCode::Failures);
                 let _ = write_response(
                     stream,
@@ -385,6 +688,12 @@ fn handle_measure(
                     "application/json",
                     body.as_bytes(),
                 );
+                if http == 504 {
+                    // The deadline path must not leave a half-open
+                    // socket behind: shut both directions so the peer
+                    // sees FIN, not a dangling connection.
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
             }
         }
     }
@@ -397,9 +706,11 @@ fn handle_measure(
 /// and the final line is the compact result — or an error document
 /// whose `status`/`code` carry the real outcome.
 fn stream_measure(
+    state: &DaemonState,
     stream: &mut TcpStream,
     ctx: RunCtx,
     req: &MeasureRequest,
+    key: &str,
     entry: &mut LedgerEntry,
 ) {
     let sink = Arc::new(TraceSink::new());
@@ -450,22 +761,30 @@ fn stream_measure(
     }
     let final_line = match outcome {
         Ok((body, hit)) => {
+            state.clear_panics(key);
             entry.cache = if hit { "hit" } else { "miss" };
             // The cached/pretty body is multi-line; the stream's result
             // line is its compact re-rendering.
             compact_json_line(&body)
         }
         Err(payload) => {
-            let error = if is_cancelled_payload(&*payload) {
+            let cancelled = is_cancelled_payload(&*payload);
+            let error = if cancelled {
                 "deadline exceeded".to_string()
             } else {
+                state.note_panic(key);
                 panic_message(&*payload)
             };
             // The HTTP status was already committed as 200; the ledger
-            // records the logical outcome, the tail line carries it to
-            // the client.
+            // records the logical outcome (panic payload redacted, as
+            // on the plain path), the tail line carries it to the
+            // client.
             entry.status = ExitCode::Failures;
-            entry.error = Some(error.clone());
+            entry.error = Some(if cancelled {
+                error.clone()
+            } else {
+                "panicked (payload redacted)".to_string()
+            });
             let mut line = error_line(&error);
             line.push('\n');
             line

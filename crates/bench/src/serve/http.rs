@@ -12,10 +12,41 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use topogen_par::faults::{self, IoFault};
+
 /// Maximum accepted header block (request line + headers).
 pub const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// Maximum accepted request body.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Default client read timeout for [`http_post`] / [`http_get`].
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Map a [`read_request`] error to an HTTP status: size-limit
+/// violations are 413 (the request was understood and refused), all
+/// other parse failures are 400.
+pub fn status_for_parse_error(e: &io::Error) -> (u16, &'static str) {
+    if e.kind() == io::ErrorKind::InvalidData && e.to_string().contains("exceeds limit") {
+        (413, "Payload Too Large")
+    } else {
+        (400, "Bad Request")
+    }
+}
+
+/// Server-side socket read with fault injection: `err` fails the read
+/// outright; `short` delivers through a buffer capped at half size — no
+/// bytes are lost, the caller's read loop just makes more trips, which
+/// is exactly what a real short read does.
+fn sock_read(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+    match faults::inject_io("sock-read", "serve") {
+        Some(IoFault::Err) => Err(faults::io_error("sock-read", "serve")),
+        Some(IoFault::Short) => {
+            let cap = (buf.len() / 2).max(1);
+            stream.read(&mut buf[..cap])
+        }
+        None => stream.read(buf),
+    }
+}
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -51,7 +82,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<HttpRequest> {
                 "header block exceeds limit",
             ));
         }
-        let n = stream.read(&mut buf)?;
+        let n = sock_read(stream, &mut buf)?;
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -102,7 +133,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<HttpRequest> {
     }
     let mut body = spill;
     while body.len() < content_length {
-        let n = stream.read(&mut buf)?;
+        let n = sock_read(stream, &mut buf)?;
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -145,6 +176,18 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
+    match faults::inject_io("sock-write", "serve") {
+        Some(IoFault::Err) => return Err(faults::io_error("sock-write", "serve")),
+        Some(IoFault::Short) => {
+            // A torn response: some header bytes land, then the
+            // connection dies under the peer. The client sees a
+            // truncated reply on a closed socket — never a hang.
+            let cut = (head.len() / 2).max(1);
+            stream.write_all(&head.as_bytes()[..cut])?;
+            return Err(faults::io_error("sock-write", "serve"));
+        }
+        None => {}
+    }
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -171,12 +214,24 @@ impl HttpResponse {
 /// Tiny std-only client: POST `body` to `http://{addr}{path}` and read
 /// the complete response. One request per connection, like the server.
 pub fn http_post(addr: impl ToSocketAddrs, path: &str, body: &str) -> io::Result<HttpResponse> {
-    http_send(addr, "POST", path, body.as_bytes())
+    http_send(addr, "POST", path, body.as_bytes(), CLIENT_TIMEOUT)
+}
+
+/// [`http_post`] with an explicit read timeout (the chaos-soak client
+/// uses a short one so a hung daemon fails the soak instead of stalling
+/// it for ten minutes).
+pub fn http_post_timeout(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    http_send(addr, "POST", path, body.as_bytes(), timeout)
 }
 
 /// Tiny std-only client: GET `http://{addr}{path}`.
 pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<HttpResponse> {
-    http_send(addr, "GET", path, &[])
+    http_send(addr, "GET", path, &[], CLIENT_TIMEOUT)
 }
 
 fn http_send(
@@ -184,9 +239,10 @@ fn http_send(
     method: &str,
     path: &str,
     body: &[u8],
+    timeout: Duration,
 ) -> io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_read_timeout(Some(timeout))?;
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: topogen\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -270,6 +326,41 @@ mod tests {
         let _ = stream.write_all(junk.as_bytes());
         let err = server.join().unwrap().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn parse_errors_classify_as_400_or_413() {
+        let limit = io::Error::new(io::ErrorKind::InvalidData, "body exceeds limit");
+        assert_eq!(status_for_parse_error(&limit).0, 413);
+        let header = io::Error::new(io::ErrorKind::InvalidData, "header block exceeds limit");
+        assert_eq!(status_for_parse_error(&header).0, 413);
+        let bad = io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length");
+        assert_eq!(status_for_parse_error(&bad).0, 400);
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-body");
+        assert_eq!(status_for_parse_error(&eof).0, 400);
+    }
+
+    #[test]
+    fn short_socket_reads_still_assemble_the_request() {
+        let _x = topogen_par::faults::exclusive_for_tests();
+        topogen_par::faults::install_spec("sock-read:short:1:9").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /m HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let req = server.join().unwrap();
+        topogen_par::faults::clear();
+        // Every read was capped to half the buffer, but no bytes were
+        // lost — the request assembles exactly as without faults.
+        let req = req.unwrap();
+        assert_eq!(req.path, "/m");
+        assert_eq!(req.body, b"hello");
     }
 
     #[test]

@@ -15,6 +15,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use topogen_par::faults::{self, IoFault};
+
 use super::wire::WIRE_VERSION;
 
 /// One ledger line.
@@ -70,26 +72,68 @@ impl Serialize for LedgerEntry {
 pub struct Ledger {
     path: PathBuf,
     file: Mutex<File>,
+    recovered_lines: u64,
 }
 
 impl Ledger {
-    /// Open (creating parents) for appending.
+    /// Open (creating parents) for appending, recovering from whatever
+    /// a previous crash left behind: a torn final line (no trailing
+    /// newline) is truncated away, and complete-but-unparseable JSONL
+    /// lines are skipped, not fatal. Both are counted in
+    /// [`recovered_lines`](Self::recovered_lines) — a damaged ledger
+    /// never refuses to start the daemon.
     pub fn open(path: &Path) -> io::Result<Ledger> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let mut recovered_lines = 0u64;
+        if let Ok(bytes) = std::fs::read(path) {
+            let torn = !bytes.is_empty() && !bytes.ends_with(b"\n");
+            if torn {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .and_then(|f| f.set_len(keep as u64))?;
+                eprintln!(
+                    "serve: recovered torn ledger tail ({} byte(s) truncated)",
+                    bytes.len() - keep
+                );
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            let bad = text
+                .lines()
+                .filter(|l| {
+                    let l = l.trim();
+                    !l.is_empty() && serde_json::from_str::<Content>(l).is_err()
+                })
+                .count() as u64;
+            if bad > 0 {
+                eprintln!("serve: ledger has {bad} unparseable line(s); skipped, not fatal");
+            }
+            // The torn tail is usually one of the unparseable lines;
+            // count it once either way.
+            recovered_lines = if torn { bad.max(1) } else { bad };
+        }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Ledger {
             path: path.to_path_buf(),
             file: Mutex::new(file),
+            recovered_lines,
         })
     }
 
     /// Where the ledger lives.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Lines found damaged (torn tail, unparseable JSON) and skipped
+    /// during [`open`](Self::open).
+    pub fn recovered_lines(&self) -> u64 {
+        self.recovered_lines
     }
 
     /// Append one entry; errors are returned, not swallowed, so the
@@ -99,8 +143,21 @@ impl Ledger {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         line.push('\n');
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.write_all(line.as_bytes())?;
+        let payload = match faults::inject_io("ledger-append", "serve") {
+            Some(IoFault::Err) => return Err(faults::io_error("ledger-append", "serve")),
+            Some(IoFault::Short) => &line.as_bytes()[..line.len() / 2],
+            None => line.as_bytes(),
+        };
+        file.write_all(payload)?;
         file.flush()
+    }
+
+    /// Flush and fsync — the drain path calls this so a clean shutdown
+    /// leaves a durable, complete ledger.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.flush()?;
+        file.sync_all()
     }
 }
 
@@ -150,6 +207,79 @@ mod tests {
         assert!(lines[0].contains("\"status\":\"clean\""), "{}", lines[0]);
         assert!(lines[1].contains("\"code\":2"), "{}", lines[1]);
         assert!(lines[1].contains("schema_version 99"), "{}", lines[1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_entry(request_id: u64) -> LedgerEntry {
+        LedgerEntry {
+            request_id,
+            topology: "mesh(side=3)".into(),
+            seed: 7,
+            scale: "small".into(),
+            status: ExitCode::Clean,
+            http: 200,
+            cache: "miss",
+            duration_secs: 0.25,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn torn_tail_and_garbage_lines_are_recovered_not_fatal() {
+        let dir = std::env::temp_dir().join(format!(
+            "topogen-ledger-recover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        {
+            let ledger = Ledger::open(&path).unwrap();
+            assert_eq!(ledger.recovered_lines(), 0);
+            ledger.append(&sample_entry(1)).unwrap();
+        }
+        // Simulate a crash mid-append plus an earlier corrupted line.
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{good}not json at all\n{{\"torn\":")).unwrap();
+
+        let ledger = Ledger::open(&path).unwrap();
+        assert_eq!(ledger.recovered_lines(), 2, "garbage line + torn tail");
+        // The torn tail was truncated; appending continues cleanly.
+        ledger.append(&sample_entry(2)).unwrap();
+        ledger.sync().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let parsed_ok = text
+            .lines()
+            .filter(|l| serde_json::from_str::<Content>(l).is_ok())
+            .count();
+        assert_eq!(parsed_ok, 2, "both real entries parse:\n{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_append_faults_surface_as_errors_and_tears() {
+        let _x = topogen_par::faults::exclusive_for_tests();
+        let dir = std::env::temp_dir().join(format!(
+            "topogen-ledger-fault-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let ledger = Ledger::open(&path).unwrap();
+        topogen_par::faults::install_spec("ledger-append@serve:err:1:3").unwrap();
+        let err = ledger.append(&sample_entry(1)).unwrap_err();
+        topogen_par::faults::install_spec("ledger-append@serve:short:1:3").unwrap();
+        ledger.append(&sample_entry(2)).unwrap();
+        topogen_par::faults::clear();
+        assert!(err.to_string().contains("injected fault"));
+        drop(ledger);
+        // The shorted append left a torn tail; reopening recovers it.
+        let ledger = Ledger::open(&path).unwrap();
+        assert_eq!(ledger.recovered_lines(), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.is_empty(), "torn-only ledger truncates to empty");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

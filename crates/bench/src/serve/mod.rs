@@ -24,6 +24,12 @@
 //! * **Accounting** appends one line per request — including rejected
 //!   and timed-out ones — to a request ledger ([`ledger`]) using the
 //!   CLI's [`ExitCode`](crate::ExitCode) taxonomy as the status field.
+//! * **Failure posture** is chaos-tested: every I/O boundary is an
+//!   injectable fault site ([`topogen_par::faults`]), panicking
+//!   requests are absorbed by a self-healing pool with a quarantine
+//!   guard, shutdown drains gracefully under a budget, crashed ledgers
+//!   recover on reopen, and `repro serve --chaos-soak` ([`soak`])
+//!   asserts all of it under an armed fault matrix.
 //!
 //! The daemon is the reason the engine core grew re-entrant contexts:
 //! every request gets its own `RunCtx { store, deadline, trace, … }`
@@ -34,8 +40,10 @@ pub mod http;
 pub mod ledger;
 pub mod measure;
 pub mod pool;
+pub mod soak;
 pub mod wire;
 
-pub use daemon::{serve, DaemonHandle, ServeConfig};
+pub use daemon::{serve, DaemonHandle, DrainSummary, ServeConfig};
 pub use measure::run_measure;
+pub use soak::chaos_soak;
 pub use wire::{MeasureRequest, MeasureResponse, WIRE_VERSION};

@@ -1,11 +1,21 @@
-//! Bounded worker pool with explicit backpressure.
+//! Bounded worker pool with explicit backpressure and self-healing.
 //!
 //! The daemon must never buffer unboundedly: requests are dispatched
 //! into a bounded queue drained by a fixed set of workers, and a full
 //! queue surfaces immediately as [`DispatchError::Saturated`] so the
 //! accept loop can answer `429` instead of stacking work. Shutdown is
 //! cooperative — drop the sender side, join the workers.
+//!
+//! Self-healing has two layers. Every job runs under `catch_unwind`,
+//! so a panicking request costs that request, not a worker. If a panic
+//! somehow escapes the catch anyway (a panicking `Drop` in the payload,
+//! say), a sentinel respawns the thread from its own `Drop` — the pool
+//! never shrinks below its configured size for longer than one respawn.
+//! [`stats`](WorkerPool::stats) exposes live/panics/respawns so the
+//! chaos-soak can assert zero worker loss.
 
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,10 +32,35 @@ pub enum DispatchError {
     Closed,
 }
 
-/// A fixed-size worker pool over a bounded queue.
+/// A point-in-time health report for the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured pool size.
+    pub size: usize,
+    /// Worker threads currently alive.
+    pub live: usize,
+    /// Jobs whose panic the per-job `catch_unwind` absorbed.
+    pub panics: u64,
+    /// Workers respawned after a panic escaped the per-job catch.
+    pub respawns: u64,
+}
+
+struct Shared {
+    rx: Mutex<Receiver<Job>>,
+    live: AtomicUsize,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    next_id: AtomicUsize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A fixed-size worker pool over a bounded queue. All methods take
+/// `&self`, so the pool shares cleanly behind an `Arc` (the accept loop
+/// dispatches while the drain path shuts down).
 pub struct WorkerPool {
-    tx: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    shared: Arc<Shared>,
+    size: usize,
 }
 
 impl WorkerPool {
@@ -36,25 +71,28 @@ impl WorkerPool {
     pub fn new(workers: usize, queue: usize) -> WorkerPool {
         assert!(workers > 0, "worker pool needs at least one worker");
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let shared = Arc::new(Shared {
+            rx: Mutex::new(rx),
+            live: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            next_id: AtomicUsize::new(workers),
+            handles: Mutex::new(Vec::new()),
+        });
+        for i in 0..workers {
+            spawn_worker(&shared, i);
+        }
         WorkerPool {
-            tx: Some(tx),
-            workers,
+            tx: Mutex::new(Some(tx)),
+            shared,
+            size: workers,
         }
     }
 
     /// Hand `job` to the pool without blocking.
     pub fn try_dispatch(&self, job: Job) -> Result<(), DispatchError> {
-        match &self.tx {
+        let tx = self.tx.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match tx {
             None => Err(DispatchError::Closed),
             Some(tx) => match tx.try_send(job) {
                 Ok(()) => Ok(()),
@@ -64,11 +102,38 @@ impl WorkerPool {
         }
     }
 
-    /// Stop accepting work, drain queued jobs, and join every worker.
-    pub fn shutdown(&mut self) {
-        self.tx.take();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+    /// Current pool health.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            size: self.size,
+            live: self.shared.live.load(Ordering::SeqCst),
+            panics: self.shared.panics.load(Ordering::SeqCst),
+            respawns: self.shared.respawns.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stop accepting work, drain queued jobs, and join every worker —
+    /// including any respawned mid-shutdown.
+    pub fn shutdown(&self) {
+        self.tx.lock().unwrap_or_else(|e| e.into_inner()).take();
+        loop {
+            let handles: Vec<_> = {
+                let mut guard = self
+                    .shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+            // A worker dying during the joins may have respawned a
+            // replacement; its handle is visible by the time the dying
+            // thread's join returns, so one more pass picks it up.
         }
     }
 }
@@ -79,28 +144,67 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn spawn_worker(shared: &Arc<Shared>, id: usize) {
+    let for_worker = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("serve-worker-{id}"))
+        .spawn(move || worker_run(&for_worker))
+        .expect("spawn worker thread");
+    shared
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+}
+
+/// Decrements `live` on the way out and, when the exit is a panic that
+/// escaped the per-job catch, respawns a replacement worker.
+struct Sentinel {
+    shared: Arc<Shared>,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        self.shared.live.fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() {
+            self.shared.respawns.fetch_add(1, Ordering::SeqCst);
+            let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+            spawn_worker(&self.shared, id);
+        }
+    }
+}
+
+fn worker_run(shared: &Arc<Shared>) {
+    shared.live.fetch_add(1, Ordering::SeqCst);
+    let sentinel = Sentinel {
+        shared: Arc::clone(shared),
+    };
     loop {
         // Hold the lock only while waiting for the next job, not while
         // running it — otherwise the pool degrades to one worker.
-        let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+        let job = match shared.rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
             Ok(job) => job,
-            Err(_) => return,
+            Err(_) => break,
         };
-        job();
+        // A panicking job costs the job, not the worker.
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::SeqCst);
+        }
     }
+    drop(sentinel);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
     use std::sync::mpsc::channel;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn jobs_run_and_shutdown_drains() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let mut pool = WorkerPool::new(3, 16);
+        let pool = WorkerPool::new(3, 16);
         for _ in 0..10 {
             let counter = Arc::clone(&counter);
             pool.try_dispatch(Box::new(move || {
@@ -118,7 +222,7 @@ mod tests {
 
     #[test]
     fn saturation_is_reported_not_buffered() {
-        let mut pool = WorkerPool::new(1, 1);
+        let pool = WorkerPool::new(1, 1);
         let (release_tx, release_rx) = channel::<()>();
         let (started_tx, started_rx) = channel::<()>();
         pool.try_dispatch(Box::new(move || {
@@ -135,6 +239,70 @@ mod tests {
             Err(DispatchError::Saturated)
         );
         release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_shrink_the_pool() {
+        let pool = WorkerPool::new(2, 32);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut accepted = 0u64;
+        let mut panickers = 0u64;
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            let ok = pool
+                .try_dispatch(Box::new(move || {
+                    if i % 3 == 0 {
+                        panic!("injected fault at test-job ({i})");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .is_ok();
+            // Bounded queue may saturate under the burst; the test only
+            // cares that accepted jobs complete and workers survive.
+            if ok {
+                accepted += 1;
+                if i % 3 == 0 {
+                    panickers += 1;
+                }
+            }
+        }
+        // Wait until every accepted job has either finished or panicked.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) as u64 + pool.stats().panics < accepted
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.stats().panics, panickers);
+        let stats = pool.stats();
+        assert_eq!(stats.live, 2, "panicking jobs must not kill workers");
+        assert!(stats.panics > 0, "the panics were counted");
+        assert_eq!(stats.respawns, 0, "catch_unwind absorbed them all");
+        pool.shutdown();
+        assert_eq!(pool.stats().live, 0);
+    }
+
+    #[test]
+    fn stats_report_full_strength_after_heavy_panic_load() {
+        let pool = WorkerPool::new(4, 64);
+        for _ in 0..64 {
+            let _ = pool.try_dispatch(Box::new(|| {
+                panic!("injected fault at test-job (storm)");
+            }));
+        }
+        // Drain by dispatching a sentinel through each worker.
+        let done = Arc::new(AtomicUsize::new(0));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            let done = Arc::clone(&done);
+            let _ = pool.try_dispatch(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(done.load(Ordering::SeqCst) > 0, "pool still serves jobs");
+        assert_eq!(pool.stats().live, 4, "no worker loss under panic storm");
         pool.shutdown();
     }
 }

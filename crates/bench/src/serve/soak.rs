@@ -1,0 +1,287 @@
+//! `repro serve --chaos-soak` — the daemon's fault-injection gauntlet.
+//!
+//! Boots a throwaway daemon (ephemeral port, scratch store and ledger),
+//! arms every I/O fault site at once ([`SOAK_FAULT_SPEC`]), and hammers
+//! it from concurrent clients with a deterministic request matrix. The
+//! soak then disarms the harness and asserts the properties the
+//! robustness work promises:
+//!
+//! * **no deadlock** — every request completes within the client
+//!   timeout, faulted or not;
+//! * **no worker loss** — the pool ends at full strength (panics and
+//!   respawns are reported, shrinkage fails the soak);
+//! * **no corruption** — `Store::verify` finds zero bad entries, and
+//!   any `200` body served *during* the fault storm is byte-identical
+//!   to the unfaulted inline computation (I/O faults may cost a
+//!   request, never its answer);
+//! * **fault-free repeats** — with the harness disarmed, every matrix
+//!   request answers `200` with exactly the reference bytes;
+//! * **clean drain** — the daemon drains and reports within its budget.
+//!
+//! Everything is deterministic: the fault spec's SplitMix64 streams,
+//! the request matrix, and the engines themselves. Only thread
+//! interleaving varies between runs, which is the point — the
+//! properties must hold for every interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use topogen_core::ctx::RunCtx;
+use topogen_core::zoo::{Scale, TopologySpec};
+use topogen_par::faults;
+use topogen_store::Store;
+
+use super::daemon::{serve, ServeConfig};
+use super::http::http_post_timeout;
+use super::measure::run_measure;
+use super::wire::MeasureRequest;
+use crate::ExitCode;
+
+/// Every I/O fault site, both kinds, at the acceptance rate. Distinct
+/// seeds per entry so the streams don't fire in lockstep.
+pub const SOAK_FAULT_SPEC: &str = "sock-read:err:0.05:101,sock-read:short:0.05:102,\
+     sock-write:err:0.05:103,sock-write:short:0.05:104,\
+     store-read:err:0.05:105,store-read:short:0.05:106,\
+     store-write:err:0.05:107,store-write:short:0.05:108,\
+     ledger-append:err:0.05:109,ledger-append:short:0.05:110";
+
+/// A request that takes longer than this has hung, not faulted — the
+/// soak's deadlock detector.
+const SOAK_CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Concurrent soak clients (below workers + queue so backpressure
+/// `429`s stay out of the picture and every outcome is a fault verdict).
+const SOAK_CLIENTS: usize = 3;
+
+/// Budget for the final graceful drain.
+const SOAK_DRAIN_BUDGET: Duration = Duration::from_secs(30);
+
+/// What one soak client observed.
+#[derive(Clone, Copy, Debug, Default)]
+struct ClientTally {
+    ok: usize,
+    ok_mismatched: usize,
+    faulted: usize,
+    hung: usize,
+}
+
+/// The deterministic request matrix: cheap, varied topologies so the
+/// soak exercises build + suite + cache paths without taking minutes.
+fn request_matrix() -> Vec<MeasureRequest> {
+    let specs = [
+        TopologySpec::Mesh { side: 6 },
+        TopologySpec::Mesh { side: 7 },
+        TopologySpec::Mesh { side: 8 },
+        TopologySpec::Tree { k: 2, depth: 5 },
+        TopologySpec::Tree { k: 3, depth: 4 },
+        TopologySpec::Linear { n: 48 },
+        TopologySpec::Linear { n: 64 },
+        TopologySpec::Complete { n: 24 },
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| MeasureRequest::new(spec.clone(), 7 + i as u64, Scale::Small))
+        .collect()
+}
+
+fn soak_client(
+    addr: std::net::SocketAddr,
+    matrix: &[MeasureRequest],
+    bodies: &[String],
+    reference: &[String],
+    next: &AtomicUsize,
+    total: usize,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= total {
+            break;
+        }
+        let idx = i % matrix.len();
+        match http_post_timeout(addr, "/measure", &bodies[idx], SOAK_CLIENT_TIMEOUT) {
+            Ok(resp) if resp.status == 200 => {
+                if resp.body == reference[idx].as_bytes() {
+                    tally.ok += 1;
+                } else {
+                    tally.ok_mismatched += 1;
+                    eprintln!(
+                        "chaos-soak: request {i} ({}) answered 200 with wrong bytes",
+                        matrix[idx].to_json()
+                    );
+                }
+            }
+            // Non-200 statuses and connection errors are the faults
+            // doing their job: a lost request, never a wrong answer.
+            Ok(_) => tally.faulted += 1,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                tally.hung += 1;
+                eprintln!("chaos-soak: request {i} hung past the client timeout: {e}");
+            }
+            Err(_) => tally.faulted += 1,
+        }
+    }
+    tally
+}
+
+/// Run the gauntlet; `requests` is the faulted-phase request count.
+/// `ledger_path` overrides the scratch ledger location so CI can keep
+/// the soak ledger as an artifact (it survives the scratch cleanup).
+pub fn chaos_soak(requests: usize, ledger_path: Option<std::path::PathBuf>) -> ExitCode {
+    let started = Instant::now();
+    let scratch = std::env::temp_dir().join(format!("topogen-chaos-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let store = match Store::open(scratch.join("store")) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("chaos-soak: scratch store failed to open: {e}");
+            return ExitCode::Failures;
+        }
+    };
+    let mut config = ServeConfig::new("127.0.0.1:0");
+    config.store = Some(Arc::clone(&store));
+    config.ledger_path = ledger_path.unwrap_or_else(|| scratch.join("serve-ledger.jsonl"));
+
+    let matrix = request_matrix();
+    let bodies: Vec<String> = matrix.iter().map(MeasureRequest::to_json).collect();
+    println!(
+        "chaos-soak: computing {} unfaulted reference responses",
+        matrix.len()
+    );
+    let reference: Vec<String> = matrix
+        .iter()
+        .map(|req| run_measure(&RunCtx::new(), req).body())
+        .collect();
+
+    let mut handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("chaos-soak: daemon failed to start: {e}");
+            return ExitCode::Failures;
+        }
+    };
+    let addr = handle.addr();
+    let pool_size = handle.pool_stats().size;
+
+    println!(
+        "chaos-soak: hammering {addr} with {requests} request(s) from {SOAK_CLIENTS} client(s), \
+         all I/O fault sites armed at rate 0.05"
+    );
+    if let Err(e) = faults::install_spec(SOAK_FAULT_SPEC) {
+        eprintln!("chaos-soak: bad fault spec: {e}");
+        return ExitCode::Failures;
+    }
+    let next = AtomicUsize::new(0);
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..SOAK_CLIENTS)
+            .map(|_| {
+                scope.spawn(|| soak_client(addr, &matrix, &bodies, &reference, &next, requests))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    faults::clear();
+    let mut tally = ClientTally::default();
+    for t in &tallies {
+        tally.ok += t.ok;
+        tally.ok_mismatched += t.ok_mismatched;
+        tally.faulted += t.faulted;
+        tally.hung += t.hung;
+    }
+    println!(
+        "chaos-soak: storm done in {:.1}s: {} ok, {} faulted, {} mismatched, {} hung",
+        started.elapsed().as_secs_f64(),
+        tally.ok,
+        tally.faulted,
+        tally.ok_mismatched,
+        tally.hung
+    );
+
+    // Fault-free repeats: with the harness disarmed, every matrix
+    // request must answer 200 with exactly the reference bytes —
+    // whether it comes from the cache or a fresh computation.
+    let mut repeat_failures = 0usize;
+    for (idx, (body, want)) in bodies.iter().zip(&reference).enumerate() {
+        match http_post_timeout(addr, "/measure", body, SOAK_CLIENT_TIMEOUT) {
+            Ok(resp) if resp.status == 200 && resp.body == want.as_bytes() => {}
+            Ok(resp) => {
+                repeat_failures += 1;
+                eprintln!(
+                    "chaos-soak: fault-free repeat {idx} got {} ({} byte(s), want {})",
+                    resp.status,
+                    resp.body.len(),
+                    want.len()
+                );
+            }
+            Err(e) => {
+                repeat_failures += 1;
+                eprintln!("chaos-soak: fault-free repeat {idx} failed: {e}");
+            }
+        }
+    }
+
+    let stats = handle.pool_stats();
+    let verify = store.verify();
+    let summary = handle.drain(SOAK_DRAIN_BUDGET);
+    println!("chaos-soak: {summary}");
+
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        println!("chaos-soak: {name}: {}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+    check("no request hung (deadlock-free)", tally.hung == 0);
+    check(
+        "some requests survived the storm",
+        tally.ok > 0 || requests == 0,
+    );
+    check(
+        "pool at full strength after the storm",
+        stats.live == pool_size,
+    );
+    check(
+        "no corrupt store entries",
+        verify.corrupt.is_empty() && store.counters().snapshot().corrupt == 0,
+    );
+    check(
+        "every 200 under faults was byte-identical",
+        tally.ok_mismatched == 0,
+    );
+    check(
+        "fault-free repeats byte-identical to unfaulted daemon",
+        repeat_failures == 0,
+    );
+    check("drained within budget", summary.drained);
+    if !verify.corrupt.is_empty() {
+        for (path, err) in &verify.corrupt {
+            eprintln!("chaos-soak: corrupt entry {path}: {err:?}");
+        }
+    }
+
+    // Scratch is deleted only on success; a failing soak keeps its
+    // store and ledger for post-mortem. A `--ledger` outside the
+    // scratch dir (the CI artifact) survives either way.
+    if failures == 0 {
+        let _ = std::fs::remove_dir_all(&scratch);
+        println!(
+            "chaos-soak: all checks passed in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+        ExitCode::Clean
+    } else {
+        eprintln!(
+            "chaos-soak: {failures} check(s) failed (scratch kept at {})",
+            scratch.display()
+        );
+        ExitCode::Failures
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the daemon's HTTP/1.1 parser: arbitrary
+//! truncations, oversizings, and byte flips of otherwise-valid requests
+//! must come out as a clean `400`/`413` classification — never a panic,
+//! never a hang. The parser runs over a real loopback socket pair so
+//! the byte-boundary behavior (spill past the header read, EOF
+//! mid-body) is the production code path, not a mock.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use topogen_bench::serve::http::{
+    read_request, status_for_parse_error, HttpRequest, MAX_BODY_BYTES, MAX_HEADER_BYTES,
+};
+
+/// Feed `payload` to [`read_request`] over loopback: the client writes
+/// the bytes and closes, so a parser waiting for more input sees EOF,
+/// not a stall. The read timeout is a backstop — a true hang fails the
+/// test in seconds instead of wedging the suite.
+fn parse_payload(payload: Vec<u8>) -> std::io::Result<HttpRequest> {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(&payload);
+        // Drop closes the socket; the server reads EOF past the bytes.
+    });
+    let (mut stream, _) = listener.accept().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let result = read_request(&mut stream);
+    client.join().unwrap();
+    result
+}
+
+/// A well-formed POST with `len` bytes of deterministic body.
+fn valid_request(len: usize) -> Vec<u8> {
+    let body: Vec<u8> = (0..len).map(|i| b'a' + (i % 26) as u8).collect();
+    let mut req = format!(
+        "POST /measure HTTP/1.1\r\nHost: topogen\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(&body);
+    req
+}
+
+/// An `Err` from the parser must classify as 400 or 413 — nothing else
+/// reaches the response writer.
+fn assert_classified(e: &std::io::Error) {
+    let (status, reason) = status_for_parse_error(e);
+    assert!(
+        status == 400 || status == 413,
+        "unexpected classification {status} {reason} for: {e}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn truncated_requests_error_cleanly(len in 0usize..64, cut_frac in 0.0f64..1.0) {
+        let full = valid_request(len);
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        // Strictly truncated (cut < full.len()), so the parser must
+        // error — mid-header or mid-body depending on where the knife
+        // landed — and classify clean either way.
+        match parse_payload(full[..cut].to_vec()) {
+            Ok(req) => prop_assert!(false, "truncated request parsed: {:?}", req.path),
+            Err(e) => assert_classified(&e),
+        }
+    }
+
+    #[test]
+    fn byte_flipped_requests_never_panic(seed in any::<u64>(), len in 1usize..48) {
+        let mut full = valid_request(len);
+        let pos = (seed as usize) % full.len();
+        full[pos] = (seed >> 32) as u8;
+        // A flip can land anywhere: request line, header name, the
+        // Content-Length digits, the terminator, the body. Whatever it
+        // hits, the parser returns — Ok when the flip was harmless,
+        // a classified Err otherwise. (A flip that inflates
+        // Content-Length ends at EOF as "closed mid-body", not a hang.)
+        match parse_payload(full) {
+            Ok(_) => {}
+            Err(e) => assert_classified(&e),
+        }
+    }
+
+    #[test]
+    fn oversized_headers_are_413(over in 1usize..2048) {
+        let payload = format!(
+            "GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "j".repeat(MAX_HEADER_BYTES + over)
+        );
+        let e = parse_payload(payload.into_bytes()).expect_err("oversized header must be refused");
+        prop_assert_eq!(status_for_parse_error(&e).0, 413, "{}", e);
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_413_before_any_body_read(over in 1usize..4096) {
+        // Only the declaration is oversized — no body bytes are sent,
+        // and the parser must refuse up front rather than try to read
+        // (or allocate) a megabyte-plus body.
+        let payload = format!(
+            "POST /measure HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + over
+        );
+        let e = parse_payload(payload.into_bytes()).expect_err("oversized body must be refused");
+        prop_assert_eq!(status_for_parse_error(&e).0, 413, "{}", e);
+    }
+
+    #[test]
+    fn garbage_prefixes_error_cleanly(seed in any::<u64>(), len in 1usize..256) {
+        // Pure noise: bytes from a SplitMix64 stream, no HTTP at all.
+        let mut state = seed;
+        let payload: Vec<u8> = (0..len)
+            .map(|_| {
+                state = topogen_par::faults::splitmix64(state);
+                state as u8
+            })
+            .collect();
+        match parse_payload(payload) {
+            // Vanishingly unlikely, but noise *could* spell a request.
+            Ok(_) => {}
+            Err(e) => assert_classified(&e),
+        }
+    }
+}

@@ -145,6 +145,14 @@ fn deadline_cancels_one_request_while_neighbors_complete() {
         "{}",
         heavy.text()
     );
+    // Pinned: the 504 arrives as a complete JSON document over a
+    // cleanly closed connection — the client read to EOF without an
+    // error, and the body parses standalone.
+    assert!(
+        serde_json::from_str::<serde::Content>(&heavy.text()).is_ok(),
+        "504 body is not standalone JSON: {}",
+        heavy.text()
+    );
     assert_eq!(quick.status, 200, "neighbor was harmed: {}", quick.text());
 
     drop(handle);
@@ -193,6 +201,12 @@ fn saturated_daemon_rejects_with_429_instead_of_buffering() {
             resp.headers.get("x-topogen-status").map(String::as_str),
             Some("failures")
         );
+        // Pinned: backpressure rejections advertise when to come back.
+        assert_eq!(
+            resp.headers.get("retry-after").map(String::as_str),
+            Some("1"),
+            "429 must carry Retry-After"
+        );
     }
     let _ = blocker_thread.join().unwrap();
 
@@ -230,6 +244,136 @@ fn unknown_schema_version_is_rejected_cleanly() {
         Some("2"),
         "usage errors carry exit code 2"
     );
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_under_load_cancels_stragglers_and_flushes_the_ledger() {
+    let dir = temp_dir("drain");
+    let mut config = config("drain", &dir);
+    config.workers = 2;
+    let mut handle = serve::serve(config).unwrap();
+    let addr = handle.addr();
+
+    // A heavy request with no deadline of its own: only the drain's
+    // cancel sweep can stop it.
+    let heavy = std::thread::spawn(move || {
+        let req = MeasureRequest::new(TopologySpec::Random { n: 2500, p: 0.003 }, 9, Scale::Small);
+        http_post(addr, "/measure", &req.to_json()).unwrap()
+    });
+    // Wait until it is provably in flight, then drain with a budget it
+    // cannot meet.
+    let arrived = std::time::Instant::now();
+    while handle.in_flight() == 0 && arrived.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(handle.in_flight() > 0, "heavy request never arrived");
+    let summary = handle.drain(Duration::from_millis(200));
+    assert!(summary.in_flight_at_stop >= 1);
+    assert!(
+        summary.cancelled >= 1,
+        "the straggler was told to cancel: {summary}"
+    );
+    assert!(summary.drained, "drain must finish within grace: {summary}");
+    assert_eq!(handle.in_flight(), 0);
+    assert_eq!(
+        summary.pool.live, 2,
+        "full pool strength at drain: {summary}"
+    );
+
+    // The cancelled request was answered 504, not dropped on the floor.
+    let heavy = heavy.join().unwrap();
+    assert_eq!(heavy.status, 504, "{}", heavy.text());
+
+    // The drain fsynced a complete ledger: every line parses, the tail
+    // is whole, and the cancelled request is accounted for.
+    let ledger = std::fs::read_to_string(handle.ledger_path()).unwrap();
+    assert!(ledger.ends_with('\n'), "torn ledger tail after drain");
+    for line in ledger.lines() {
+        assert!(
+            serde_json::from_str::<serde::Content>(line).is_ok(),
+            "unparseable ledger line after drain: {line}"
+        );
+    }
+    assert!(
+        ledger.contains("\"http\":504"),
+        "cancelled request missing from ledger:\n{ledger}"
+    );
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_requests_answer_500_quarantine_their_key_and_spare_the_pool() {
+    let _x = topogen_par::faults::exclusive_for_tests();
+    let dir = temp_dir("heal");
+    let mut config = config("heal", &dir);
+    config.workers = 2;
+    let handle = serve::serve(config).unwrap();
+    let addr = handle.addr();
+
+    // Scoped to `Linear` builds so concurrent tests in this binary
+    // (all Mesh/Random) never see the fault.
+    topogen_par::faults::install_spec("build@Linear:panic:1:9").unwrap();
+    let poison = MeasureRequest::new(TopologySpec::Linear { n: 32 }, 1, Scale::Small);
+    for attempt in 0..serve::daemon::QUARANTINE_AFTER {
+        let resp = http_post(addr, "/measure", &poison.to_json()).unwrap();
+        assert_eq!(resp.status, 500, "attempt {attempt}: {}", resp.text());
+        assert!(resp.text().contains("panicked"), "{}", resp.text());
+    }
+    topogen_par::faults::clear();
+
+    // The key is quarantined now — refused before compute even though
+    // the fault is gone (it's the guard talking, not the fault).
+    let refused = http_post(addr, "/measure", &poison.to_json()).unwrap();
+    assert_eq!(refused.status, 503, "{}", refused.text());
+    assert!(refused.text().contains("quarantined"), "{}", refused.text());
+    assert_eq!(
+        refused.headers.get("retry-after").map(String::as_str),
+        Some("1"),
+        "quarantine rejections must carry Retry-After"
+    );
+
+    // The panics cost three requests, zero workers: the pool is at full
+    // strength and other keys still serve.
+    assert_eq!(handle.pool_stats().live, 2, "worker lost to a panic");
+    let ok = http_post(addr, "/measure", &mesh_request(11).to_json()).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.text());
+
+    // The durable ledger records the panics with the payload redacted.
+    let ledger = std::fs::read_to_string(handle.ledger_path()).unwrap();
+    assert!(
+        ledger.contains("panicked (payload redacted)"),
+        "no redacted panic line:\n{ledger}"
+    );
+    assert!(
+        !ledger.contains("injected fault"),
+        "panic payload leaked into the ledger:\n{ledger}"
+    );
+
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_ledger_is_recovered_and_counted_at_startup() {
+    let dir = temp_dir("recover");
+    let config = config("recover", &dir);
+    // A previous "crash" left one garbage line and a torn tail.
+    std::fs::write(
+        &config.ledger_path,
+        "not json at all\n{\"schema_version\":1,\"torn\":",
+    )
+    .unwrap();
+    let handle = serve::serve(config).unwrap();
+    assert_eq!(handle.recovered_lines(), 2, "garbage line + torn tail");
+    // The daemon starts and serves normally regardless.
+    let resp = http_post(handle.addr(), "/measure", &mesh_request(3).to_json()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let ledger = std::fs::read_to_string(handle.ledger_path()).unwrap();
+    assert!(ledger.ends_with('\n'));
     drop(handle);
     let _ = std::fs::remove_dir_all(&dir);
 }

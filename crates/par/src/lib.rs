@@ -24,6 +24,7 @@ pub mod trace;
 
 pub use cancel::{CancelToken, Cancelled, Deadline};
 pub use ctx::EngineCtx;
+pub use faults::IoFault;
 pub use instrument::{
     record_arena_highwater, take_arena_highwater, Instrument, InstrumentReport, PhaseTiming,
 };

@@ -32,6 +32,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+use topogen_par::faults::{self, IoFault};
 
 use crate::codec::{verify_container, CodecError};
 use crate::key::key_hash;
@@ -41,6 +44,18 @@ pub const LEDGER_FILE: &str = "ledger.tsv";
 /// Entry file extension.
 pub const ENTRY_EXT: &str = "tgr";
 
+/// Bounded retries on transient entry-I/O errors before failing open.
+pub const IO_RETRIES: u32 = 3;
+
+/// Backoff before retry `attempt` (0-based): bounded exponential
+/// (0.5 ms, 1 ms, 2 ms, …) plus a deterministic SplitMix64 jitter keyed
+/// by the entry hash — no clocks, no global RNG, same waits every run.
+fn backoff(seed: u64, attempt: u32) -> Duration {
+    let base_us = 500u64 << attempt.min(4);
+    let jitter_us = faults::splitmix64(seed ^ u64::from(attempt)) % (base_us / 2 + 1);
+    Duration::from_micros(base_us + jitter_us)
+}
+
 /// Monotonic counters describing store traffic since open.
 #[derive(Debug, Default)]
 pub struct StoreCounters {
@@ -49,6 +64,8 @@ pub struct StoreCounters {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     corrupt: AtomicU64,
+    io_retries: AtomicU64,
+    io_giveups: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreCounters`].
@@ -64,6 +81,10 @@ pub struct CounterSnapshot {
     pub bytes_written: u64,
     /// Entries found corrupt (checksum failure) and evicted on read.
     pub corrupt: u64,
+    /// Transient entry-I/O errors retried after backoff.
+    pub io_retries: u64,
+    /// Operations abandoned after exhausting [`IO_RETRIES`] (fail-open).
+    pub io_giveups: u64,
 }
 
 impl StoreCounters {
@@ -75,6 +96,8 @@ impl StoreCounters {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_giveups: self.io_giveups.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +112,8 @@ impl CounterSnapshot {
             bytes_read: later.bytes_read - self.bytes_read,
             bytes_written: later.bytes_written - self.bytes_written,
             corrupt: later.corrupt - self.corrupt,
+            io_retries: later.io_retries - self.io_retries,
+            io_giveups: later.io_giveups - self.io_giveups,
         }
     }
 
@@ -154,7 +179,28 @@ impl Store {
             ledger: Mutex::new(()),
         };
         store.clean_stale_tmp();
+        store.recover_torn_ledger_tail();
         Ok(store)
+    }
+
+    /// Truncate a torn final ledger line (a crash mid-append leaves the
+    /// file without a trailing newline). Losing the line only demotes
+    /// one entry's recency — it never blocks opening the store.
+    fn recover_torn_ledger_tail(&self) {
+        let path = self.root.join(LEDGER_FILE);
+        let Ok(bytes) = fs::read(&path) else { return };
+        if bytes.is_empty() || bytes.ends_with(b"\n") {
+            return;
+        }
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let torn = bytes.len() - keep;
+        let truncated = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .and_then(|f| f.set_len(keep as u64));
+        if truncated.is_ok() {
+            eprintln!("store: recovered torn ledger tail ({torn} byte(s) truncated)");
+        }
     }
 
     /// Remove `*.tmp` leftovers from writes interrupted before rename.
@@ -203,24 +249,83 @@ impl Store {
     fn append_ledger_locked(&self, verb: &str, hash: u64, len: usize, key: &str) {
         let line = format!("{verb}\t{hash:016x}\t{len}\t{key}\n");
         // Ledger writes are best-effort: a failure here must not fail
-        // the computation the cache is accelerating.
+        // the computation the cache is accelerating. An injected `err`
+        // drops the line (recency demotion only); an injected `short`
+        // leaves a torn tail for the next open to recover.
+        let payload = match faults::inject_io("ledger-append", "store") {
+            Some(IoFault::Err) => return,
+            Some(IoFault::Short) => &line.as_bytes()[..line.len() / 2],
+            None => line.as_bytes(),
+        };
         let _ = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.root.join(LEDGER_FILE))
-            .and_then(|mut f| f.write_all(line.as_bytes()));
+            .and_then(|mut f| f.write_all(payload));
+    }
+
+    /// Read the entry file, distinguishing torn reads from corruption:
+    /// the store never truncates an entry in place (writes are tmp +
+    /// rename), so a read shorter than the file on disk is transient —
+    /// retry it, do not let it reach the checksum-evict path and delete
+    /// a good entry.
+    fn read_entry(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let bytes = match faults::inject_io("store-read", "get") {
+            Some(IoFault::Err) => return Err(faults::io_error("store-read", "get")),
+            Some(IoFault::Short) => {
+                let b = fs::read(path)?;
+                let keep = b.len() / 2;
+                b[..keep].to_vec()
+            }
+            None => fs::read(path)?,
+        };
+        let expect = fs::metadata(path)?.len();
+        if bytes.len() as u64 != expect {
+            return Err(std::io::Error::other(format!(
+                "short read: {} of {expect} bytes",
+                bytes.len()
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// [`Self::read_entry`] with bounded retries. `Ok(None)` is a clean
+    /// not-found; `Err` means a transient error survived all retries.
+    fn read_entry_retrying(&self, path: &Path, hash: u64) -> std::io::Result<Option<Vec<u8>>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.read_entry(path) {
+                Ok(bytes) => return Ok(Some(bytes)),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => {
+                    if attempt >= IO_RETRIES {
+                        return Err(e);
+                    }
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff(hash, attempt));
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Look up `key`. Returns the verified container bytes on a hit.
     /// A checksum failure deletes the entry and reports a miss, so the
-    /// caller recomputes and rewrites.
+    /// caller recomputes and rewrites. Transient I/O errors are retried
+    /// with backoff; if they persist the lookup fails open to a miss
+    /// (the caller recomputes — the store is an accelerator).
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
         let _span = topogen_par::trace::span("store-get");
         let hash = key_hash(key);
         let path = self.entry_path(hash);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
+        let bytes = match self.read_entry_retrying(&path, hash) {
+            Ok(Some(b)) => b,
+            Ok(None) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
             Err(_) => {
+                self.counters.io_giveups.fetch_add(1, Ordering::Relaxed);
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -265,13 +370,40 @@ impl Store {
         let tmp = dir.join(format!("{hash:016x}.tmp"));
         let write_synced = || -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
+            match faults::inject_io("store-write", "put") {
+                Some(IoFault::Err) => return Err(faults::io_error("store-write", "put")),
+                Some(IoFault::Short) => {
+                    // A torn write: some bytes land, then the error. The
+                    // retry recreates the tmp from scratch, and even a
+                    // crash here leaves only a stale `.tmp` that the
+                    // next open sweeps — never a corrupt entry.
+                    f.write_all(&bytes[..bytes.len() / 2])?;
+                    f.sync_all()?;
+                    return Err(faults::io_error("store-write", "put"));
+                }
+                None => {}
+            }
             f.write_all(bytes)?;
             f.sync_all()?;
             Ok(())
         };
-        if write_synced().is_err() {
-            let _ = fs::remove_file(&tmp);
-            return;
+        let mut attempt = 0u32;
+        loop {
+            match write_synced() {
+                Ok(()) => break,
+                Err(_) if attempt < IO_RETRIES => {
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff(hash ^ 0x9e37_79b9, attempt));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // Exhausted: fail open. A skipped put only costs a
+                    // future miss.
+                    self.counters.io_giveups.fetch_add(1, Ordering::Relaxed);
+                    let _ = fs::remove_file(&tmp);
+                    return;
+                }
+            }
         }
         // Publish (rename) and record (ledger line) under the ledger
         // lock, so a concurrent `gc` can never observe the entry file
@@ -623,6 +755,8 @@ mod tests {
             bytes_read: 10,
             bytes_written: 20,
             corrupt: 0,
+            io_retries: 1,
+            io_giveups: 0,
         };
         let b = CounterSnapshot {
             hits: 4,
@@ -630,13 +764,121 @@ mod tests {
             bytes_read: 30,
             bytes_written: 20,
             corrupt: 1,
+            io_retries: 3,
+            io_giveups: 1,
         };
         let d = a.delta_to(&b);
         assert_eq!(d.hits, 3);
         assert_eq!(d.misses, 0);
         assert_eq!(d.bytes_read, 20);
         assert_eq!(d.corrupt, 1);
+        assert_eq!(d.io_retries, 2);
+        assert_eq!(d.io_giveups, 1);
         assert!(!d.is_zero());
         assert!(a.delta_to(&a).is_zero());
+    }
+
+    #[test]
+    fn torn_ledger_tail_is_recovered_on_open() {
+        let dir = tmpdir("torntail");
+        let bytes = sample_container(0);
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put("a", &bytes);
+            store.put("b", &bytes);
+        }
+        // Simulate a crash mid-append: a partial line with no newline.
+        let ledger = dir.join(LEDGER_FILE);
+        let before = fs::read_to_string(&ledger).unwrap();
+        assert!(before.ends_with('\n'));
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&ledger)
+            .unwrap()
+            .write_all(b"get\t0123abc")
+            .unwrap();
+
+        // Reopen: the torn tail is truncated, complete lines survive,
+        // and the store serves normally.
+        let store = Store::open(&dir).unwrap();
+        let after = fs::read_to_string(&ledger).unwrap();
+        assert_eq!(after, before, "torn tail truncated back to last newline");
+        assert_eq!(store.get("a").as_deref(), Some(bytes.as_slice()));
+        assert_eq!(store.ledger_index().len(), 2);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn injected_read_faults_are_retried_without_evicting_good_entries() {
+        let _x = topogen_par::faults::exclusive_for_tests();
+        let store = Store::open(tmpdir("readfault")).unwrap();
+        let bytes = sample_container(0);
+        store.put("k", &bytes);
+        // Every read attempt fails: the lookup retries, then fails open
+        // to a miss — but the entry on disk must survive untouched.
+        topogen_par::faults::install_spec("store-read:err:1:7").unwrap();
+        assert!(store.get("k").is_none());
+        topogen_par::faults::clear();
+        let c = store.counters().snapshot();
+        assert_eq!(c.io_retries, IO_RETRIES as u64);
+        assert_eq!(c.io_giveups, 1);
+        assert_eq!(c.corrupt, 0, "injected errors must not evict");
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+
+        // Short reads likewise retry and never reach the evict path.
+        topogen_par::faults::install_spec("store-read:short:1:7").unwrap();
+        assert!(store.get("k").is_none());
+        topogen_par::faults::clear();
+        let c = store.counters().snapshot();
+        assert_eq!(c.corrupt, 0, "short reads must not evict");
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+        assert_eq!(store.verify().corrupt.len(), 0);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn injected_write_faults_never_leave_a_corrupt_entry() {
+        let _x = topogen_par::faults::exclusive_for_tests();
+        let store = Store::open(tmpdir("writefault")).unwrap();
+        let bytes = sample_container(1);
+        // All write attempts fail (rate 1): put gives up cleanly, no
+        // entry and no tmp debris.
+        topogen_par::faults::install_spec("store-write:short:1:3").unwrap();
+        store.put("k", &bytes);
+        topogen_par::faults::clear();
+        let c = store.counters().snapshot();
+        assert_eq!(c.io_giveups, 1);
+        assert_eq!(store.walk_entries().len(), 0, "no entry published");
+        assert!(store.get("k").is_none());
+        assert_eq!(store.verify().corrupt.len(), 0);
+
+        // At rate 0.5 some attempts fail but a retry lands the write;
+        // the published entry must verify and serve the exact bytes.
+        topogen_par::faults::install_spec("store-write:err:0.5:11").unwrap();
+        store.put("k", &bytes);
+        topogen_par::faults::clear();
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+        assert_eq!(store.verify().corrupt.len(), 0);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn injected_ledger_faults_only_cost_recency() {
+        let _x = topogen_par::faults::exclusive_for_tests();
+        let store = Store::open(tmpdir("ledgerfault")).unwrap();
+        let bytes = sample_container(0);
+        // A shorted ledger append leaves a torn tail; a later complete
+        // append would merge lines, but reopening first recovers it.
+        topogen_par::faults::install_spec("ledger-append:short:1:5").unwrap();
+        store.put("k", &bytes);
+        topogen_par::faults::clear();
+        let root = store.root().to_path_buf();
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        let text = fs::read_to_string(root.join(LEDGER_FILE)).unwrap_or_default();
+        assert!(text.is_empty() || text.ends_with('\n'));
+        // The entry itself is fine — only its recency metadata was lost.
+        assert_eq!(store.get("k").as_deref(), Some(bytes.as_slice()));
+        fs::remove_dir_all(store.root()).unwrap();
     }
 }
