@@ -84,6 +84,17 @@
 //!   store verify         checksum-walk every entry, report corruption
 //!   store gc --max-bytes N  evict least-recently-used entries over N
 //!   trace export [PATH]  convert a trace JSONL log to Chrome trace JSON
+//!   check [--suite NAME] [--cases N] [--seed S] [--json]
+//!                        run the registered invariant suites
+//!                        (crates/check): differential oracles for the
+//!                        kernels, threading, codec, degree sequences,
+//!                        store/ledger, trace spans, and hierarchy
+//!                        baseline. --json archives the structured
+//!                        report as out/check-report.json. On a
+//!                        violation, prints a one-line
+//!                        TOPOGEN_CHECK=suite:invariant:seed repro;
+//!                        exporting that env var replays exactly the
+//!                        recorded case.
 //!   perf-gate [--baseline DIR] [--current DIR] [--tolerance PCT]
 //!                        compare the current run's BENCH_*.json op
 //!                        counters against committed baselines
@@ -247,6 +258,7 @@ fn usage() -> ! {
     );
     eprintln!("       repro store <ls|verify|gc> [--cache[=DIR]] [--max-bytes N]");
     eprintln!("       repro trace export [PATH] [--trace[=DIR]]");
+    eprintln!("       repro check [--suite NAME] [--cases N] [--seed S] [--json]");
     eprintln!("       repro perf-gate [--baseline DIR] [--current DIR] [--tolerance PCT]");
     eprintln!(
         "       repro serve --addr HOST:PORT [--workers N] [--queue N] [--cache[=DIR]] \
@@ -269,6 +281,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => run_serve_cmd(&args[1..]).exit(),
         Some("measure") => run_measure_cmd(&args[1..]).exit(),
+        Some("check") => run_check_cmd(&args[1..]).exit(),
         Some("perf-gate") => topogen_bench::perfgate::run_cli(&args[1..]).exit(),
         _ => {}
     }
@@ -453,7 +466,7 @@ fn main() {
         println!("fig12 fig13 fig14 fig15 tab-signature tab-hierarchy");
         println!("bgp-vs-policy robustness-snapshots robustness-incompleteness");
         println!("ablation-ts ablation-extremes ablation-distortion");
-        println!("load-measured store trace perf-gate all");
+        println!("load-measured store trace check perf-gate all");
         return;
     }
     if cmd == "load-measured" && arg.is_none() {
@@ -875,6 +888,111 @@ fn run_serve_cmd(args: &[String]) -> ExitCode {
             eprintln!("cannot serve: {e}");
             ExitCode::Usage
         }
+    }
+}
+
+/// `repro check`: run the registered invariant suites (crates/check)
+/// against their independent oracles and report every violation with a
+/// replayable `TOPOGEN_CHECK=suite:invariant:seed` line. Exporting that
+/// env var makes the next `repro check` replay exactly the recorded
+/// case (with whatever `TOPOGEN_FAULTS` the original run had, if any,
+/// re-armed by the caller).
+fn run_check_cmd(args: &[String]) -> ExitCode {
+    let mut opts = topogen_check::CheckOptions::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suite" => match it.next() {
+                Some(name) => opts.suite = Some(name.clone()),
+                None => {
+                    eprintln!("--suite needs a suite name");
+                    return ExitCode::Usage;
+                }
+            },
+            "--cases" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.cases = n,
+                _ => {
+                    eprintln!("--cases needs a positive integer");
+                    return ExitCode::Usage;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => {
+                    eprintln!("--seed needs a u64");
+                    return ExitCode::Usage;
+                }
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown check flag {other:?}");
+                return ExitCode::Usage;
+            }
+        }
+    }
+    if let Ok(line) = std::env::var("TOPOGEN_CHECK") {
+        match topogen_check::ReplaySpec::parse(&line) {
+            Ok(spec) => {
+                eprintln!(">>> replaying TOPOGEN_CHECK={}", spec.render());
+                opts.replay = Some(spec);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::Usage;
+            }
+        }
+    }
+    let report = match topogen_check::run_checks(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::Usage;
+        }
+    };
+    if report.faults_armed {
+        eprintln!(">>> TOPOGEN_FAULTS armed: violations below may be injected");
+    }
+    for s in &report.suites {
+        for inv in &s.invariants {
+            let status = if inv.failures.is_empty() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{status:>4}  {}:{}  ({} case(s))",
+                s.suite, inv.invariant, inv.cases_run
+            );
+        }
+    }
+    for (suite, inv, f) in report.failures() {
+        eprintln!(
+            "FAIL {suite}:{} case seed {}: {}",
+            inv.invariant, f.case_seed, f.detail
+        );
+        eprintln!("     shrink: {}", f.shrink_hint);
+        eprintln!("     repro:  {}", f.repro);
+    }
+    println!(
+        "check: {} suite(s), {} case(s), {} violation(s)",
+        report.suites.len(),
+        report.cases_run(),
+        report.failure_count()
+    );
+    if json {
+        let path = "out/check-report.json";
+        let body = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::create_dir_all("out").and_then(|()| std::fs::write(path, body)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::Failures;
+        }
+        eprintln!(">>> report: {path}");
+    }
+    if report.ok() {
+        ExitCode::Clean
+    } else {
+        ExitCode::Failures
     }
 }
 

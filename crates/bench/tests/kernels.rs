@@ -3,11 +3,15 @@
 //! path at every scale — the bit-identity contract the archived JSONs
 //! and the perf gate both lean on.
 
+use proptest::prelude::*;
 use topogen_bench::ExpCtx;
+use topogen_check::gen::arb_graph;
 use topogen_core::ctx::RunCtx;
 use topogen_core::suite::{run_suite_in, SuiteResult};
 use topogen_core::zoo::{build, Scale, TopologySpec};
-use topogen_metrics::engine::KernelPolicy;
+use topogen_graph::NodeId;
+use topogen_metrics::balls::PlainBalls;
+use topogen_metrics::engine::{BallPlan, KernelPolicy, PlanResult, ResilienceMetric};
 
 /// One metric curve as exact bit patterns: (radius, avg_size, value).
 type CurveBits = Vec<(u32, u64, u64)>;
@@ -96,4 +100,49 @@ fn large_scale_mesh_signature_pinned_and_kernel_identical() {
         "HHH",
         "large-tier Mesh signature"
     );
+}
+
+/// A plan result as exact bit patterns, for whole-plan comparison.
+fn plan_bits(r: &PlanResult) -> (Vec<u64>, Vec<CurveBits>) {
+    (
+        r.expansion.iter().map(|v| v.to_bits()).collect(),
+        r.curves
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|p| (p.radius, p.avg_size.to_bits(), p.value.to_bits()))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The zoo tests above pin the forced kernels; this pins the *Auto*
+    /// heuristic on arbitrary (possibly disconnected) graphs from the
+    /// shared `topogen-check` generators: whatever kernel Auto picks,
+    /// the curves must match the forced-scalar reference bit-for-bit.
+    #[test]
+    fn auto_policy_matches_forced_scalar_on_arbitrary_graphs(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let src = PlainBalls { graph: &g };
+        let centers: Vec<NodeId> = g.nodes().collect();
+        let metric = ResilienceMetric { restarts: 1, max_ball_nodes: 500 };
+        let run = |policy: KernelPolicy| {
+            BallPlan::new(&src, 6, seed)
+                .ball_centers(centers.clone())
+                .expansion_centers(centers.clone())
+                .kernel(policy)
+                .metric(&metric)
+                .run()
+        };
+        prop_assert_eq!(
+            plan_bits(&run(KernelPolicy::Auto)),
+            plan_bits(&run(KernelPolicy::Scalar))
+        );
+    }
 }

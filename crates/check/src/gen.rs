@@ -1,0 +1,117 @@
+//! Shared arbitrary-graph generators: the seeded builders every
+//! invariant derives its cases from, plus the proptest strategies that
+//! the workspace's property tests were previously duplicating inline.
+//!
+//! Everything is a pure function of its seed — the same seed always
+//! rebuilds the same case, which is what makes the runner's
+//! `TOPOGEN_CHECK=suite:invariant:seed` lines complete repros.
+
+use proptest::prelude::*;
+use topogen_graph::{Graph, NodeId};
+
+/// The tiny deterministic generator behind every seeded case: a 64-bit
+/// LCG (Knuth's MMIX multiplier) returning the well-mixed high bits.
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// A stream seeded by `seed` (zero is mapped off the fixed point).
+    pub fn new(seed: u64) -> Lcg {
+        Lcg { state: seed | 1 }
+    }
+
+    /// Next 31 well-mixed bits, as the `usize` every index draw wants.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never ends, infallible
+    pub fn next(&mut self) -> usize {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) as usize
+    }
+
+    /// A draw in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.next() % n
+    }
+}
+
+/// Arbitrary simple graph: `n` nodes, up to `edges` random pairs,
+/// self-loops filtered, duplicates collapsed by the CSR builder.
+/// Possibly disconnected — the adversarial shape for BFS kernels.
+pub fn sparse_graph(n: usize, edges: usize, seed: u64) -> Graph {
+    let mut rng = Lcg::new(seed);
+    let pairs = (0..edges)
+        .map(|_| (rng.below(n) as NodeId, rng.below(n) as NodeId))
+        .filter(|(u, v)| u != v);
+    Graph::from_edges(n, pairs)
+}
+
+/// Arbitrary connected graph: a random tree (each node hangs off an
+/// earlier one) plus `extra` random non-loop edges.
+pub fn connected_graph(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut rng = Lcg::new(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1) + extra);
+    for v in 1..n {
+        edges.push((rng.below(v) as NodeId, v as NodeId));
+    }
+    for _ in 0..extra {
+        let u = rng.below(n) as NodeId;
+        let v = rng.below(n) as NodeId;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Proptest strategy: arbitrary (possibly disconnected) graph of up to
+/// 30 nodes and up to 80 random edge pairs.
+pub fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30, 0usize..80, any::<u64>()).prop_map(|(n, edges, seed)| sparse_graph(n, edges, seed))
+}
+
+/// Proptest strategy: arbitrary connected graph of up to 30 nodes
+/// (random tree plus `n` extra edges).
+pub fn arb_connected() -> impl Strategy<Value = Graph> {
+    (2usize..30, any::<u64>()).prop_map(|(n, seed)| connected_graph(n, n, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen_graph::components::components;
+
+    #[test]
+    fn builders_are_deterministic_in_the_seed() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = connected_graph(17, 17, seed);
+            let b = connected_graph(17, 17, seed);
+            assert_eq!(a.node_count(), b.node_count());
+            assert_eq!(a.edges(), b.edges());
+            let c = sparse_graph(9, 20, seed);
+            let d = sparse_graph(9, 20, seed);
+            assert_eq!(c.edges(), d.edges());
+        }
+    }
+
+    #[test]
+    fn connected_graph_is_connected() {
+        for seed in 0..32u64 {
+            let g = connected_graph(2 + (seed as usize % 28), 5, seed);
+            assert_eq!(components(&g).sizes.len(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_graph_has_no_self_loops() {
+        for seed in 0..16u64 {
+            let g = sparse_graph(8, 40, seed);
+            assert!(g.edges().iter().all(|e| e.a != e.b));
+        }
+    }
+}

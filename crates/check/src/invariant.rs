@@ -1,0 +1,82 @@
+//! The invariant registry's vocabulary: a named, seeded, replayable
+//! correctness claim with an explicit oracle and a shrink hint.
+
+/// One machine-checked correctness claim.
+///
+/// An invariant is a *seeded case generator* plus a *property*: given a
+/// case seed it derives a test case deterministically, runs the engine
+/// code under check, and compares against an independent oracle. The
+/// same seed always replays the same case — the runner's
+/// `TOPOGEN_CHECK=suite:invariant:seed` line is a complete repro.
+pub trait Invariant: Send + Sync {
+    /// Stable kebab-case name, unique within its suite.
+    fn name(&self) -> &'static str;
+
+    /// The claim, in one plain-language sentence.
+    fn property(&self) -> &'static str;
+
+    /// The independent reference the property is checked against.
+    fn oracle(&self) -> &'static str;
+
+    /// How to minimize a failing case by hand (the vendored proptest
+    /// shim does not shrink, so the hint is the shrinking strategy).
+    fn shrink_hint(&self) -> &'static str;
+
+    /// Cap on derived cases worth running — whole-suite differential
+    /// runs are expensive and fully deterministic per seed, so they
+    /// cap low; cheap per-graph properties leave this unbounded.
+    fn max_cases(&self) -> u32 {
+        u32::MAX
+    }
+
+    /// Run the case derived from `seed`. `Err` carries the violation
+    /// detail (what diverged, where) for the report.
+    fn check(&self, seed: u64) -> Result<(), String>;
+}
+
+/// A plain-function [`Invariant`] — the registry's workhorse.
+pub struct Check {
+    /// See [`Invariant::name`].
+    pub name: &'static str,
+    /// See [`Invariant::property`].
+    pub property: &'static str,
+    /// See [`Invariant::oracle`].
+    pub oracle: &'static str,
+    /// See [`Invariant::shrink_hint`].
+    pub shrink_hint: &'static str,
+    /// See [`Invariant::max_cases`].
+    pub max_cases: u32,
+    /// The seeded case: generate, run, compare.
+    pub run: fn(u64) -> Result<(), String>,
+}
+
+impl Invariant for Check {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn property(&self) -> &'static str {
+        self.property
+    }
+    fn oracle(&self) -> &'static str {
+        self.oracle
+    }
+    fn shrink_hint(&self) -> &'static str {
+        self.shrink_hint
+    }
+    fn max_cases(&self) -> u32 {
+        self.max_cases
+    }
+    fn check(&self, seed: u64) -> Result<(), String> {
+        (self.run)(seed)
+    }
+}
+
+/// A named group of invariants sharing one subsystem under check.
+pub struct Suite {
+    /// Stable kebab-case suite name (`--suite` selector).
+    pub name: &'static str,
+    /// One-line description of what the suite guards.
+    pub description: &'static str,
+    /// The registered invariants, in report order.
+    pub invariants: Vec<Box<dyn Invariant>>,
+}

@@ -1,0 +1,334 @@
+//! The check runner: derive seeded cases, run every registered
+//! invariant, and produce a structured, replayable report.
+
+use crate::invariant::Suite;
+use serde::{Deserialize, Serialize};
+
+/// Schema version of `check-report.json`.
+pub const REPORT_VERSION: u32 = 1;
+
+/// What to run and how hard.
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Restrict to one suite (`None` = all registered suites).
+    pub suite: Option<String>,
+    /// Cases per invariant (each invariant may cap lower).
+    pub cases: u32,
+    /// Master seed; every case seed is derived from it.
+    pub seed: u64,
+    /// Replay exactly one recorded case instead of sweeping.
+    pub replay: Option<ReplaySpec>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            suite: None,
+            cases: 8,
+            seed: 42,
+            replay: None,
+        }
+    }
+}
+
+/// A parsed `TOPOGEN_CHECK=suite:invariant:seed` repro line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplaySpec {
+    /// Suite name.
+    pub suite: String,
+    /// Invariant name within the suite.
+    pub invariant: String,
+    /// The exact case seed to replay.
+    pub seed: u64,
+}
+
+impl ReplaySpec {
+    /// Parse `suite:invariant:seed` (the payload of the env var).
+    pub fn parse(s: &str) -> Result<ReplaySpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [suite, invariant, seed] = parts[..] else {
+            return Err(format!(
+                "bad TOPOGEN_CHECK '{s}': want suite:invariant:seed"
+            ));
+        };
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("bad TOPOGEN_CHECK seed '{seed}': want a u64"))?;
+        Ok(ReplaySpec {
+            suite: suite.to_string(),
+            invariant: invariant.to_string(),
+            seed,
+        })
+    }
+
+    /// The env-var form, `suite:invariant:seed`.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}", self.suite, self.invariant, self.seed)
+    }
+}
+
+/// One violated case, with everything needed to replay it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// The exact seed whose derived case violated the property.
+    pub case_seed: u64,
+    /// What diverged (the invariant's own diagnosis).
+    pub detail: String,
+    /// How to minimize the case by hand.
+    pub shrink_hint: String,
+    /// The one-line repro: `TOPOGEN_CHECK=suite:invariant:seed`.
+    pub repro: String,
+}
+
+/// One invariant's sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InvariantReport {
+    /// Invariant name.
+    pub invariant: String,
+    /// The claim checked.
+    pub property: String,
+    /// The independent oracle it was checked against.
+    pub oracle: String,
+    /// Cases actually run (after the invariant's own cap).
+    pub cases_run: u32,
+    /// Violations, in case order.
+    pub failures: Vec<FailureReport>,
+}
+
+/// One suite's sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Suite name.
+    pub suite: String,
+    /// Per-invariant results, in registry order.
+    pub invariants: Vec<InvariantReport>,
+}
+
+/// The whole run: `out/check-report.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Schema version.
+    pub version: u32,
+    /// Master seed the case seeds were derived from.
+    pub seed: u64,
+    /// Requested cases per invariant.
+    pub cases: u32,
+    /// Whether `TOPOGEN_FAULTS` was armed during the run (a tripped
+    /// run under injection is the harness working as designed).
+    pub faults_armed: bool,
+    /// Per-suite results.
+    pub suites: Vec<SuiteReport>,
+}
+
+impl CheckReport {
+    /// No violations anywhere.
+    pub fn ok(&self) -> bool {
+        self.failure_count() == 0
+    }
+
+    /// Total violated cases.
+    pub fn failure_count(&self) -> usize {
+        self.suites
+            .iter()
+            .flat_map(|s| &s.invariants)
+            .map(|i| i.failures.len())
+            .sum()
+    }
+
+    /// Total cases run.
+    pub fn cases_run(&self) -> u64 {
+        self.suites
+            .iter()
+            .flat_map(|s| &s.invariants)
+            .map(|i| i.cases_run as u64)
+            .sum()
+    }
+
+    /// Every failure with its suite name, report order.
+    pub fn failures(&self) -> Vec<(&str, &InvariantReport, &FailureReport)> {
+        let mut out = Vec::new();
+        for s in &self.suites {
+            for inv in &s.invariants {
+                for f in &inv.failures {
+                    out.push((s.suite.as_str(), inv, f));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Derive the seed for one case: a stable mix of the master seed, the
+/// suite and invariant names, and the case index, so every invariant
+/// sees an independent stream and a recorded seed pins its case alone.
+pub fn case_seed(master: u64, suite: &str, invariant: &str, index: u32) -> u64 {
+    let mut h = topogen_store::fnv::Fnv1a::new();
+    h.write(suite.as_bytes());
+    h.write(b":");
+    h.write(invariant.as_bytes());
+    h.write_u64(master);
+    h.write_u64(index as u64);
+    topogen_par::faults::splitmix64(h.finish())
+}
+
+/// Run the registered checks. `Err` is an option error (unknown suite
+/// or invariant) — violations are *not* errors, they are the report's
+/// content.
+pub fn run_checks(opts: &CheckOptions) -> Result<CheckReport, String> {
+    let registry = crate::registry();
+    if let Some(want) = &opts.suite {
+        if !registry.iter().any(|s| s.name == want) {
+            let known: Vec<&str> = registry.iter().map(|s| s.name).collect();
+            return Err(format!(
+                "unknown suite '{want}' (registered: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    if let Some(replay) = &opts.replay {
+        let suite = registry
+            .iter()
+            .find(|s| s.name == replay.suite)
+            .ok_or_else(|| format!("unknown replay suite '{}'", replay.suite))?;
+        if !suite
+            .invariants
+            .iter()
+            .any(|i| i.name() == replay.invariant)
+        {
+            return Err(format!(
+                "unknown invariant '{}' in suite '{}'",
+                replay.invariant, replay.suite
+            ));
+        }
+    }
+    let mut suites = Vec::new();
+    for suite in &registry {
+        if let Some(want) = &opts.suite {
+            if suite.name != want {
+                continue;
+            }
+        }
+        if let Some(replay) = &opts.replay {
+            if suite.name != replay.suite {
+                continue;
+            }
+        }
+        suites.push(run_suite(suite, opts));
+    }
+    Ok(CheckReport {
+        version: REPORT_VERSION,
+        seed: opts.seed,
+        cases: opts.cases,
+        faults_armed: topogen_par::faults::active(),
+        suites,
+    })
+}
+
+fn run_suite(suite: &Suite, opts: &CheckOptions) -> SuiteReport {
+    let mut invariants = Vec::new();
+    for inv in &suite.invariants {
+        if let Some(replay) = &opts.replay {
+            if inv.name() != replay.invariant {
+                continue;
+            }
+        }
+        let mut failures = Vec::new();
+        let cases_run;
+        match &opts.replay {
+            Some(replay) => {
+                // Replay: the recorded seed IS the case seed.
+                cases_run = 1;
+                record(&mut failures, suite.name, inv.as_ref(), replay.seed);
+            }
+            None => {
+                cases_run = opts.cases.min(inv.max_cases()).max(1);
+                for index in 0..cases_run {
+                    let seed = case_seed(opts.seed, suite.name, inv.name(), index);
+                    record(&mut failures, suite.name, inv.as_ref(), seed);
+                }
+            }
+        }
+        invariants.push(InvariantReport {
+            invariant: inv.name().to_string(),
+            property: inv.property().to_string(),
+            oracle: inv.oracle().to_string(),
+            cases_run,
+            failures,
+        });
+    }
+    SuiteReport {
+        suite: suite.name.to_string(),
+        invariants,
+    }
+}
+
+/// Run one case, catching panics so a crashing invariant is a recorded
+/// violation with a repro line, not a dead runner.
+fn record(
+    failures: &mut Vec<FailureReport>,
+    suite: &'static str,
+    inv: &dyn crate::Invariant,
+    seed: u64,
+) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inv.check(seed)));
+    let detail = match outcome {
+        Ok(Ok(())) => return,
+        Ok(Err(detail)) => detail,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            format!("case panicked: {msg}")
+        }
+    };
+    let replay = ReplaySpec {
+        suite: suite.to_string(),
+        invariant: inv.name().to_string(),
+        seed,
+    };
+    failures.push(FailureReport {
+        case_seed: seed,
+        detail,
+        shrink_hint: inv.shrink_hint().to_string(),
+        repro: format!("TOPOGEN_CHECK={}", replay.render()),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_spec_roundtrips() {
+        let r = ReplaySpec::parse("store:gc-lru-frontier:123456789").unwrap();
+        assert_eq!(r.suite, "store");
+        assert_eq!(r.invariant, "gc-lru-frontier");
+        assert_eq!(r.seed, 123456789);
+        assert_eq!(ReplaySpec::parse(&r.render()).unwrap(), r);
+        assert!(ReplaySpec::parse("no-colons").is_err());
+        assert!(ReplaySpec::parse("a:b:not-a-seed").is_err());
+        assert!(ReplaySpec::parse("a:b:c:d").is_err());
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        let a = case_seed(42, "kernels", "bfs-bitset-vs-scalar", 0);
+        assert_eq!(a, case_seed(42, "kernels", "bfs-bitset-vs-scalar", 0));
+        assert_ne!(a, case_seed(42, "kernels", "bfs-bitset-vs-scalar", 1));
+        assert_ne!(a, case_seed(42, "kernels", "suite-kernel-identity", 0));
+        assert_ne!(a, case_seed(43, "kernels", "bfs-bitset-vs-scalar", 0));
+    }
+
+    #[test]
+    fn unknown_suite_is_an_option_error() {
+        let err = run_checks(&CheckOptions {
+            suite: Some("nope".into()),
+            cases: 1,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown suite"), "{err}");
+    }
+}

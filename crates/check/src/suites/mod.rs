@@ -1,0 +1,9 @@
+//! The registered suites, one module per subsystem under check.
+
+pub mod codec;
+pub mod degseq;
+pub mod hierarchy;
+pub mod kernels;
+pub mod store;
+pub mod threads;
+pub mod trace;

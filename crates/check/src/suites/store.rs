@@ -1,0 +1,285 @@
+//! Store/ledger consistency: every ledger line resolves to an entry on
+//! disk, every entry on disk is ledgered, and gc evicts exactly the
+//! least-recently-used frontier — checked against an independent
+//! re-derivation of the frontier from the pre-gc state.
+//!
+//! The workload phase is fault-tolerant by design: with `store-write`
+//! faults armed the store fails *open* (a dropped put costs a miss,
+//! never an inconsistency), so this suite stays green under
+//! `TOPOGEN_FAULTS=store-write:…`. A `ledger-append` fault, by
+//! contrast, drops the line that records a published entry — a genuine
+//! violation of "every file is ledgered" that this suite must catch
+//! (CI's injected-violation trip test arms exactly that).
+
+use crate::gen::{self, Lcg};
+use crate::invariant::{Check, Suite};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use topogen_store::codec::encode_graph;
+use topogen_store::Store;
+
+/// The `store` suite.
+pub fn suite() -> Suite {
+    Suite {
+        name: "store",
+        description: "ledger and entry files stay consistent; gc keeps the LRU frontier",
+        invariants: vec![
+            Box::new(Check {
+                name: "ledger-bijection",
+                property: "after a put/get workload, every ledger line's hash resolves \
+                           to an entry file and every entry file has a ledger line \
+                           naming its key",
+                oracle: "an independent parse of ledger.tsv joined against a disk walk",
+                shrink_hint: "shrink the workload length, then the entry sizes",
+                max_cases: u32::MAX,
+                run: ledger_bijection,
+            }),
+            Box::new(Check {
+                name: "gc-lru-frontier",
+                property: "gc evicts exactly the least-recently-used entries needed to \
+                           reach the budget, keeping the recency frontier",
+                oracle: "the frontier re-derived from the pre-gc ledger and sizes",
+                shrink_hint: "shrink the workload, then widen the byte budget",
+                max_cases: u32::MAX,
+                run: gc_lru_frontier,
+            }),
+            Box::new(Check {
+                name: "concurrent-put-gc",
+                property: "puts racing a generous gc lose nothing: the store verifies \
+                           clean, stays consistent, and (fault-free) serves every put \
+                           back byte-identical",
+                oracle: "the put payloads retained in memory",
+                shrink_hint: "reduce writer threads to 1, then shrink puts per writer",
+                max_cases: 16,
+                run: concurrent_put_gc,
+            }),
+        ],
+    }
+}
+
+fn case_dir(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "topogen-check-{tag}-{}-{seed:016x}",
+        std::process::id()
+    ))
+}
+
+/// A small valid `.tgr` container whose size varies with `seed`.
+fn container(seed: u64) -> Vec<u8> {
+    let mut rng = Lcg::new(seed);
+    let n = 2 + rng.below(24);
+    encode_graph(&gen::sparse_graph(n, rng.below(3 * n), rng.next() as u64))
+}
+
+/// Independent ledger parse: last rank and key per 16-hex hash, in the
+/// store's own line format (`verb\thash\tlen\tkey`). Deliberately
+/// re-implemented here rather than calling into `topogen-store`.
+fn parse_ledger(root: &std::path::Path) -> HashMap<String, (usize, String)> {
+    let mut map = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(root.join("ledger.tsv")) else {
+        return map;
+    };
+    for (rank, line) in text.lines().enumerate() {
+        let mut parts = line.splitn(4, '\t');
+        let _verb = parts.next();
+        let (Some(hash), Some(_len), Some(key)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+            map.insert(hash.to_string(), (rank, key.to_string()));
+        }
+    }
+    map
+}
+
+/// Entry files on disk, as hash → size, via the store's own listing
+/// (which walks the shard directories).
+fn disk_entries(store: &Store) -> HashMap<String, u64> {
+    store.ls().into_iter().map(|e| (e.hash, e.bytes)).collect()
+}
+
+/// The bijection check shared by the invariants: ledgered ⊇ on-disk
+/// and on-disk ⊇ ledgered.
+fn check_bijection(store: &Store) -> Result<(), String> {
+    let ledger = parse_ledger(store.root());
+    let disk = disk_entries(store);
+    for hash in ledger.keys() {
+        if !disk.contains_key(hash) {
+            return Err(format!(
+                "ledger line for {hash} resolves to no entry file ({} on disk)",
+                disk.len()
+            ));
+        }
+    }
+    for hash in disk.keys() {
+        if !ledger.contains_key(hash) {
+            return Err(format!(
+                "entry file {hash} has no ledger line ({} ledgered)",
+                ledger.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn ledger_bijection(seed: u64) -> Result<(), String> {
+    let dir = case_dir("bijection", seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = (|| {
+        let store = Store::open(&dir).map_err(|e| format!("open: {e}"))?;
+        let mut rng = Lcg::new(seed);
+        let keys: Vec<String> = (0..12 + rng.below(12))
+            .map(|i| format!("check/bijection/{seed:x}/{i}"))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            store.put(key, &container(seed.wrapping_add(i as u64)));
+        }
+        // Recency churn: touch a seeded subset.
+        for _ in 0..keys.len() {
+            let _ = store.get(&keys[rng.below(keys.len())]);
+        }
+        check_bijection(&store)?;
+        // Every ledgered key must round-trip through ls().
+        for info in store.ls() {
+            if info.key.is_none() {
+                return Err(format!("ls() lost the key of entry {}", info.hash));
+            }
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn gc_lru_frontier(seed: u64) -> Result<(), String> {
+    let dir = case_dir("gc", seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = (|| {
+        let store = Store::open(&dir).map_err(|e| format!("open: {e}"))?;
+        let mut rng = Lcg::new(seed);
+        let keys: Vec<String> = (0..16 + rng.below(16))
+            .map(|i| format!("check/gc/{seed:x}/{i}"))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            store.put(key, &container(seed.wrapping_add(i as u64)));
+        }
+        for _ in 0..2 * keys.len() {
+            let _ = store.get(&keys[rng.below(keys.len())]);
+        }
+        // Pre-gc state: sizes from disk, recency from our own ledger
+        // parse. Unledgered entries (possible under ledger faults)
+        // count as the oldest tier, in hash order — the store's
+        // documented rule, re-derived independently.
+        let ledger = parse_ledger(store.root());
+        let disk = disk_entries(&store);
+        let mut order: Vec<(&String, u64)> = disk.iter().map(|(h, &b)| (h, b)).collect();
+        order.sort_by_key(|(hash, _)| {
+            ledger
+                .get(*hash)
+                .map(|(rank, _)| (1u8, *rank, (*hash).clone()))
+                .unwrap_or((0, 0, (*hash).clone()))
+        });
+        let total: u64 = disk.values().sum();
+        let budget = total / 2 + (rng.below(total.max(2) as usize / 2) as u64);
+        let mut excess = total.saturating_sub(budget);
+        let mut want_evicted = HashSet::new();
+        for (hash, bytes) in &order {
+            if excess > 0 {
+                want_evicted.insert((*hash).clone());
+                excess = excess.saturating_sub(*bytes);
+            }
+        }
+        let report = store.gc(budget);
+        let got_evicted: HashSet<String> = report.evicted.iter().cloned().collect();
+        if got_evicted != want_evicted {
+            return Err(format!(
+                "gc to {budget}/{total} bytes evicted {:?}, frontier oracle wanted {:?}",
+                sorted(&got_evicted),
+                sorted(&want_evicted)
+            ));
+        }
+        // Survivors on disk are exactly the complement, and the
+        // compacted ledger matches them.
+        let after = disk_entries(&store);
+        let want_kept: HashSet<&String> =
+            disk.keys().filter(|h| !want_evicted.contains(*h)).collect();
+        if after.len() != want_kept.len() || !want_kept.iter().all(|h| after.contains_key(*h)) {
+            return Err(format!(
+                "post-gc disk has {} entries, frontier oracle wanted {}",
+                after.len(),
+                want_kept.len()
+            ));
+        }
+        check_bijection(&store)?;
+        if store.total_bytes() > total && budget < total {
+            return Err("gc grew the store".into());
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn sorted(set: &HashSet<String>) -> Vec<&String> {
+    let mut v: Vec<&String> = set.iter().collect();
+    v.sort();
+    v
+}
+
+fn concurrent_put_gc(seed: u64) -> Result<(), String> {
+    let dir = case_dir("concurrent", seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = (|| {
+        let store = Arc::new(Store::open(&dir).map_err(|e| format!("open: {e}"))?);
+        const WRITERS: usize = 4;
+        const PUTS: usize = 8;
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut written = Vec::new();
+                for i in 0..PUTS {
+                    let key = format!("check/concurrent/{seed:x}/{w}/{i}");
+                    let bytes = container(seed ^ ((w * PUTS + i) as u64) << 8);
+                    store.put(&key, &bytes);
+                    written.push((key, bytes));
+                }
+                written
+            }));
+        }
+        // Interleave generous gc passes: budget far above the total, so
+        // the frontier is everything — racing puts must lose nothing.
+        for _ in 0..6 {
+            let _ = store.gc(u64::MAX / 2);
+            std::thread::yield_now();
+        }
+        let mut written = Vec::new();
+        for h in handles {
+            written.extend(h.join().map_err(|_| "writer thread panicked")?);
+        }
+        let _ = store.gc(u64::MAX / 2);
+        let verify = store.verify();
+        if !verify.corrupt.is_empty() {
+            return Err(format!(
+                "{} corrupt entries after races",
+                verify.corrupt.len()
+            ));
+        }
+        check_bijection(&store)?;
+        // Durability is only claimed fault-free: with store-write
+        // faults armed, a put may fail open (a miss, not a violation).
+        if !topogen_par::faults::active() {
+            for (key, bytes) in &written {
+                match store.get(key) {
+                    Some(got) if &got == bytes => {}
+                    Some(_) => return Err(format!("{key}: bytes changed")),
+                    None => return Err(format!("{key}: put lost without faults armed")),
+                }
+            }
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}

@@ -1,0 +1,122 @@
+//! Thread-count bit-identity: the engines must produce the same bits
+//! at 1, 2, and 8 worker threads — the determinism contract behind
+//! every archived JSON and every cached curve.
+
+use crate::gen;
+use crate::invariant::{Check, Suite};
+use topogen_graph::NodeId;
+use topogen_metrics::balls::PlainBalls;
+use topogen_metrics::engine::{BallPlan, DistortionMetric, ResilienceMetric};
+use topogen_metrics::CurvePoint;
+
+/// The `threads` suite.
+pub fn suite() -> Suite {
+    Suite {
+        name: "threads",
+        description: "engine outputs are bit-identical at 1, 2, and 8 worker threads",
+        invariants: vec![
+            Box::new(Check {
+                name: "ballplan-thread-identity",
+                property: "a BallPlan's expansion and metric curves are bit-identical \
+                           at 1, 2, and 8 threads",
+                oracle: "the 1-thread run of the same plan",
+                shrink_hint: "shrink the node count, then drop extra edges, then metrics",
+                max_cases: u32::MAX,
+                run: ballplan_thread_identity,
+            }),
+            Box::new(Check {
+                name: "hier-thread-identity",
+                property: "link_values_threads returns bit-identical values at 1, 2, \
+                           and 8 threads",
+                oracle: "the 1-thread run on the same graph",
+                shrink_hint: "shrink the node count, then the extra-edge count",
+                max_cases: u32::MAX,
+                run: hier_thread_identity,
+            }),
+        ],
+    }
+}
+
+fn same_bits(a: &[CurvePoint], b: &[CurvePoint]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.radius == y.radius
+                && x.avg_size.to_bits() == y.avg_size.to_bits()
+                && x.value.to_bits() == y.value.to_bits()
+        })
+}
+
+fn ballplan_thread_identity(seed: u64) -> Result<(), String> {
+    let mut rng = gen::Lcg::new(seed);
+    let n = 8 + rng.below(40);
+    let g = gen::connected_graph(n, n / 2 + rng.below(n), rng.next() as u64);
+    let src = PlainBalls { graph: &g };
+    let ball_centers: Vec<NodeId> = g.nodes().step_by(2).collect();
+    let exp_centers: Vec<NodeId> = g.nodes().collect();
+    let res = ResilienceMetric {
+        restarts: 2,
+        max_ball_nodes: 1_000,
+    };
+    let dis = DistortionMetric {
+        max_ball_nodes: 1_000,
+        use_bartal: false,
+        polish: false,
+    };
+    let run = |threads: usize| {
+        BallPlan::new(&src, 6, seed)
+            .ball_centers(ball_centers.clone())
+            .expansion_centers(exp_centers.clone())
+            .threads(Some(threads))
+            .metric(&res)
+            .metric(&dis)
+            .run()
+    };
+    let one = run(1);
+    for threads in [2usize, 8] {
+        let many = run(threads);
+        for (i, (ca, cb)) in one.curves.iter().zip(&many.curves).enumerate() {
+            if !same_bits(ca, cb) {
+                return Err(format!(
+                    "n={n}: curve {i} differs between 1 and {threads} threads"
+                ));
+            }
+        }
+        if one.curves.len() != many.curves.len() {
+            return Err(format!("n={n}: curve count differs at {threads} threads"));
+        }
+        if one
+            .expansion
+            .iter()
+            .zip(&many.expansion)
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+            || one.expansion.len() != many.expansion.len()
+        {
+            return Err(format!(
+                "n={n}: expansion differs between 1 and {threads} threads"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn hier_thread_identity(seed: u64) -> Result<(), String> {
+    let mut rng = gen::Lcg::new(seed);
+    let n = 6 + rng.below(26);
+    let g = gen::connected_graph(n, rng.below(n + 1), rng.next() as u64);
+    let mode = topogen_hierarchy::PathMode::Shortest;
+    let one = topogen_hierarchy::link_values_threads(&g, &mode, Some(1), None);
+    for threads in [2usize, 8] {
+        let many = topogen_hierarchy::link_values_threads(&g, &mode, Some(threads), None);
+        if one.len() != many.len() {
+            return Err(format!("n={n}: value count differs at {threads} threads"));
+        }
+        for (i, (a, b)) in one.iter().zip(&many).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "n={n}: link {i} differs at {threads} threads: {a} vs {b}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}

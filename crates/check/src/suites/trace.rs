@@ -1,0 +1,243 @@
+//! Span-tree well-formedness: every trace stream the engines emit must
+//! form proper per-thread LIFO trees — unique ids, parents that exist,
+//! exits matching the innermost open span, timestamps that never run
+//! backwards within a span.
+//!
+//! The verifier here is deliberately independent of the bench crate's
+//! JSONL checker: it consumes raw [`TraceEvent`]s and re-derives the
+//! stream contract from scratch, so the two implementations cross-check
+//! each other through the shared format.
+
+use crate::gen;
+use crate::invariant::{Check, Suite};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use topogen_core::ctx::RunCtx;
+use topogen_hierarchy::PathMode;
+use topogen_par::{par_map_threads, TraceEvent, TraceSink};
+
+/// The `trace` suite.
+pub fn suite() -> Suite {
+    Suite {
+        name: "trace",
+        description: "engine trace streams form well-formed per-thread LIFO span trees",
+        invariants: vec![
+            Box::new(Check {
+                name: "engine-spans-well-formed",
+                property: "a traced hierarchy + metric run emits a well-formed span \
+                           stream: unique ids, live parents, per-thread LIFO nesting, \
+                           every span closed",
+                oracle: "an independent stream verifier (re-derived, not bench's)",
+                shrink_hint: "shrink the graph, then drop the metric run, then threads",
+                max_cases: 24,
+                run: engine_spans_well_formed,
+            }),
+            Box::new(Check {
+                name: "worker-spans-parented",
+                property: "spans opened inside par_map workers parent under the \
+                           caller's enclosing span, across threads",
+                oracle: "the Enter events' parent ids against the root span's id",
+                shrink_hint: "shrink the item count, then the thread count",
+                max_cases: 24,
+                run: worker_spans_parented,
+            }),
+        ],
+    }
+}
+
+/// Re-derived stream contract. `events` is a sink snapshot: per-tid
+/// order is emission order; cross-tid interleaving is arbitrary.
+fn verify_stream(events: &[TraceEvent]) -> Result<(), String> {
+    let mut entered: HashSet<u64> = HashSet::new();
+    let mut enter_t: HashMap<u64, u64> = HashMap::new();
+    for ev in events {
+        if let TraceEvent::Enter { id, t_ns, .. } = ev {
+            if *id == 0 {
+                return Err("span id 0 is reserved for 'no parent'".into());
+            }
+            if !entered.insert(*id) {
+                return Err(format!("span id {id} entered twice"));
+            }
+            enter_t.insert(*id, *t_ns);
+        }
+    }
+    for ev in events {
+        if let TraceEvent::Enter { id, parent, .. } = ev {
+            if *parent != 0 && !entered.contains(parent) {
+                return Err(format!("span {id} names unknown parent {parent}"));
+            }
+            if parent == id {
+                return Err(format!("span {id} is its own parent"));
+            }
+        }
+    }
+    // Per-thread LIFO: an exit must close that thread's innermost open
+    // span, and the closing thread must be the entering thread.
+    let mut stacks: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut exited: HashSet<u64> = HashSet::new();
+    for ev in events {
+        match ev {
+            TraceEvent::Enter { id, tid, .. } => stacks.entry(*tid).or_default().push(*id),
+            TraceEvent::Exit { id, tid, t_ns, .. } => {
+                let stack = stacks.entry(*tid).or_default();
+                match stack.pop() {
+                    Some(top) if top == *id => {}
+                    Some(top) => {
+                        return Err(format!(
+                            "tid {tid}: exit of {id} but innermost open span is {top}"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "tid {tid}: exit of {id} with no span open on this thread"
+                        ))
+                    }
+                }
+                if !exited.insert(*id) {
+                    return Err(format!("span {id} exited twice"));
+                }
+                match enter_t.get(id) {
+                    None => return Err(format!("exit of never-entered span {id}")),
+                    Some(start) if t_ns < start => {
+                        return Err(format!("span {id} exits before it enters"))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never closed: {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn engine_spans_well_formed(seed: u64) -> Result<(), String> {
+    let mut rng = gen::Lcg::new(seed);
+    let n = 8 + rng.below(24);
+    let g = gen::connected_graph(n, rng.below(n + 1), rng.next() as u64);
+    let sink = Arc::new(TraceSink::new());
+    let ctx = RunCtx::new().with_trace(sink.clone());
+    ctx.scope(|| {
+        let _root = topogen_par::trace::span("check-root");
+        let _ = topogen_hierarchy::link_values_threads(&g, &PathMode::Shortest, Some(3), None);
+    });
+    let events = sink.snapshot();
+    if events.is_empty() {
+        return Err("traced engine run emitted no events".into());
+    }
+    if !events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Enter { name, .. } if *name == "hier-cover"))
+    {
+        return Err("engine emitted no hier-cover span under an installed sink".into());
+    }
+    verify_stream(&events)
+}
+
+fn worker_spans_parented(seed: u64) -> Result<(), String> {
+    let mut rng = gen::Lcg::new(seed);
+    let items: Vec<usize> = (0..4 + rng.below(29)).collect();
+    let threads = 1 + rng.below(4);
+    let sink = Arc::new(TraceSink::new());
+    let root_id = topogen_par::trace::with_sink(Some(sink.clone()), || {
+        let root = topogen_par::trace::span("check-fanout");
+        let _ = par_map_threads(&items, Some(threads), |&i| {
+            let _leaf = topogen_par::trace::span_labeled("check-item", &i.to_string());
+            i * 2
+        });
+        root.id()
+    });
+    let events = sink.snapshot();
+    verify_stream(&events)?;
+    let mut leaves = 0;
+    for ev in &events {
+        if let TraceEvent::Enter { name, parent, .. } = ev {
+            if *name == "check-item" {
+                leaves += 1;
+                if *parent != root_id {
+                    return Err(format!(
+                        "worker span parented under {parent}, not the caller's \
+                         span {root_id}"
+                    ));
+                }
+            }
+        }
+    }
+    if leaves != items.len() {
+        return Err(format!(
+            "expected {} worker spans, saw {leaves}",
+            items.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(id: u64, parent: u64, tid: u64, t_ns: u64) -> TraceEvent {
+        TraceEvent::Enter {
+            id,
+            parent,
+            tid,
+            name: "t",
+            label: None,
+            t_ns,
+        }
+    }
+
+    fn exit(id: u64, tid: u64, t_ns: u64) -> TraceEvent {
+        TraceEvent::Exit {
+            id,
+            tid,
+            name: "t",
+            t_ns,
+            dur_ns: 0,
+        }
+    }
+
+    #[test]
+    fn verifier_accepts_proper_nesting_and_rejects_malformed_streams() {
+        // Proper: two threads, nested + interleaved.
+        let ok = vec![
+            enter(1, 0, 1, 0),
+            enter(3, 1, 2, 5),
+            exit(3, 2, 9),
+            enter(2, 1, 1, 4),
+            exit(2, 1, 8),
+            exit(1, 1, 10),
+        ];
+        assert!(verify_stream(&ok).is_ok());
+
+        // Crossed exits on one thread.
+        let crossed = vec![
+            enter(1, 0, 1, 0),
+            enter(2, 1, 1, 1),
+            exit(1, 1, 2),
+            exit(2, 1, 3),
+        ];
+        assert!(verify_stream(&crossed).is_err());
+
+        // Unknown parent.
+        assert!(verify_stream(&[enter(2, 7, 1, 0), exit(2, 1, 1)]).is_err());
+        // Duplicate id.
+        assert!(verify_stream(&[
+            enter(1, 0, 1, 0),
+            exit(1, 1, 1),
+            enter(1, 0, 1, 2),
+            exit(1, 1, 3)
+        ])
+        .is_err());
+        // Leaked (never-closed) span.
+        assert!(verify_stream(&[enter(1, 0, 1, 0)]).is_err());
+        // Exit on the wrong thread.
+        assert!(verify_stream(&[enter(1, 0, 1, 0), exit(1, 2, 1)]).is_err());
+    }
+}

@@ -53,7 +53,12 @@ pub fn power_law_degrees<R: Rng>(
 /// "feasibility test" the original Inet tool performs (Appendix D.1).
 /// The resampling loop is bounded at `max_attempts`; exhaustion (which
 /// only happens at adversarial scales, e.g. `n = 2` with a degree cap
-/// above `n`) returns [`GenError::Infeasible`] instead of spinning.
+/// above `n`) returns [`GenError::NotGraphical`] carrying the
+/// Erdős–Gallai witness of the last rejected draw — the prefix length
+/// `k`, its degree sum, and the bound it exceeded — instead of
+/// spinning or discarding the diagnosis.
+///
+/// [`GenError::NotGraphical`]: crate::errors::GenError::NotGraphical
 pub fn power_law_degrees_graphical<R: Rng>(
     n: usize,
     alpha: f64,
@@ -76,16 +81,32 @@ pub fn power_law_degrees_graphical<R: Rng>(
             what: "max_attempts must be at least 1".into(),
         });
     }
+    let mut last_witness = None;
     for _ in 0..max_attempts {
         let mut degrees = power_law_degrees(n, alpha, max_degree, rng);
         evenize(&mut degrees);
-        if is_graphical(&degrees) {
-            return Ok(degrees);
+        match erdos_gallai_witness(&degrees) {
+            None => return Ok(degrees),
+            Some(w) => last_witness = Some(w),
         }
     }
-    Err(crate::errors::GenError::Infeasible {
+    let (k, prefix_sum, bound) = match last_witness {
+        Some(EgWitness::Prefix {
+            k,
+            prefix_sum,
+            bound,
+        }) => (k, prefix_sum, bound),
+        // `evenize` guarantees an even sum, so a parity witness cannot
+        // reach this path; degenerate fields keep the error total.
+        Some(EgWitness::OddSum { sum }) => (0, sum, 0),
+        None => unreachable!("max_attempts >= 1 and graphical draws return early"),
+    };
+    Err(crate::errors::GenError::NotGraphical {
         stage: "power-law degree sequence",
         attempts: max_attempts,
+        k,
+        prefix_sum,
+        bound,
     })
 }
 
@@ -99,20 +120,48 @@ pub fn natural_cutoff(n: usize, alpha: f64) -> usize {
 /// Erdős–Gallai test: is the degree sequence realizable by some simple
 /// graph? (Sum must be even and the k-prefix inequalities must hold.)
 pub fn is_graphical(degrees: &[usize]) -> bool {
+    erdos_gallai_witness(degrees).is_none()
+}
+
+/// Why a degree sequence fails the Erdős–Gallai test: the concrete
+/// violated condition, suitable for error reports and for differential
+/// checking against an independent realizability oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EgWitness {
+    /// The degree sum is odd — no simple graph has an odd handshake
+    /// total.
+    OddSum {
+        /// The offending (odd) degree sum.
+        sum: usize,
+    },
+    /// The `k` largest degrees demand more edge endpoints than the
+    /// `k`-clique plus the rest of the graph can supply:
+    /// `Σ_{i≤k} d_i > k(k-1) + Σ_{i>k} min(d_i, k)`.
+    Prefix {
+        /// 1-based prefix length of the first failing inequality.
+        k: usize,
+        /// Sum of the `k` largest degrees (the left-hand side).
+        prefix_sum: usize,
+        /// The right-hand side the prefix sum exceeded.
+        bound: usize,
+    },
+}
+
+/// The first violated Erdős–Gallai condition of `degrees`, or `None`
+/// when the sequence is graphical. A degree `≥ n` always surfaces as a
+/// `k = 1` prefix violation (its bound tops out at `n - 1`).
+pub fn erdos_gallai_witness(degrees: &[usize]) -> Option<EgWitness> {
     let n = degrees.len();
     if n == 0 {
-        return true;
+        return None;
     }
     let mut d: Vec<usize> = degrees.to_vec();
     d.sort_unstable_by(|a, b| b.cmp(a));
-    if d[0] >= n {
-        return false;
-    }
     let sum: usize = d.iter().sum();
     if !sum.is_multiple_of(2) {
-        return false;
+        return Some(EgWitness::OddSum { sum });
     }
-    // Prefix sums for the right-hand side.
+    // Prefix sums for the left-hand side.
     let mut prefix = vec![0usize; n + 1];
     for i in 0..n {
         prefix[i + 1] = prefix[i] + d[i];
@@ -124,10 +173,14 @@ pub fn is_graphical(degrees: &[usize]) -> bool {
             rhs += di.min(k);
         }
         if lhs > rhs {
-            return false;
+            return Some(EgWitness::Prefix {
+                k,
+                prefix_sum: lhs,
+                bound: rhs,
+            });
         }
     }
-    true
+    None
 }
 
 /// Make a degree sequence graphical by decrementing the largest degree
@@ -258,29 +311,76 @@ mod tests {
     fn graphical_sampling_bounded_at_adversarial_scale() {
         // n = 2 with a degree cap of 5: any draw whose evenized max is
         // >= 2 fails Erdős–Gallai (degree >= n). With a budget of one
-        // attempt, infeasible draws must surface as a typed error —
-        // scanning a handful of seeds is guaranteed to hit one.
-        let mut saw_infeasible = false;
+        // attempt, non-graphical draws must surface as a typed error
+        // carrying the violated prefix inequality — scanning a handful
+        // of seeds is guaranteed to hit one.
+        let mut saw_not_graphical = false;
         for seed in 0..64 {
             let mut rng = StdRng::seed_from_u64(seed);
             match power_law_degrees_graphical(2, 1.1, 5, 1, &mut rng) {
                 Ok(d) => assert!(is_graphical(&d)),
-                Err(e) => {
-                    assert_eq!(
-                        e,
-                        crate::errors::GenError::Infeasible {
-                            stage: "power-law degree sequence",
-                            attempts: 1
-                        }
+                Err(crate::errors::GenError::NotGraphical {
+                    stage,
+                    attempts,
+                    k,
+                    prefix_sum,
+                    bound,
+                }) => {
+                    assert_eq!(stage, "power-law degree sequence");
+                    assert_eq!(attempts, 1);
+                    assert!(k >= 1, "witness must name a prefix, got k={k}");
+                    assert!(
+                        prefix_sum > bound,
+                        "witness must be a genuine violation: {prefix_sum} <= {bound}"
                     );
-                    saw_infeasible = true;
+                    saw_not_graphical = true;
                 }
+                Err(e) => panic!("unexpected error variant: {e}"),
             }
         }
         assert!(
-            saw_infeasible,
-            "no seed in 0..64 produced an infeasible draw"
+            saw_not_graphical,
+            "no seed in 0..64 produced a non-graphical draw"
         );
+    }
+
+    #[test]
+    fn witness_agrees_with_is_graphical_and_recomputes() {
+        // The witness is the reason `is_graphical` says no: absent iff
+        // graphical, and its fields recompute from the sorted sequence.
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0, 0],
+            vec![1, 1],
+            vec![3, 3, 3, 3],
+            vec![1, 1, 1],          // odd sum
+            vec![5, 1, 1, 1],       // k = 1 violation (degree >= n)
+            vec![3, 3, 3, 1, 1, 1], // k = 3 violation
+            vec![4, 4, 4, 4, 4],
+        ];
+        for d in cases {
+            match erdos_gallai_witness(&d) {
+                None => assert!(is_graphical(&d), "{d:?}"),
+                Some(EgWitness::OddSum { sum }) => {
+                    assert!(!is_graphical(&d));
+                    assert_eq!(sum, d.iter().sum::<usize>());
+                    assert!(sum % 2 == 1);
+                }
+                Some(EgWitness::Prefix {
+                    k,
+                    prefix_sum,
+                    bound,
+                }) => {
+                    assert!(!is_graphical(&d));
+                    let mut s = d.clone();
+                    s.sort_unstable_by(|a, b| b.cmp(a));
+                    let lhs: usize = s[..k].iter().sum();
+                    let rhs: usize = k * (k - 1) + s[k..].iter().map(|&x| x.min(k)).sum::<usize>();
+                    assert_eq!((prefix_sum, bound), (lhs, rhs), "{d:?} at k={k}");
+                    assert!(prefix_sum > bound);
+                }
+            }
+        }
     }
 
     #[test]

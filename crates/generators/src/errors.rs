@@ -25,6 +25,23 @@ pub enum GenError {
         /// Human-readable description of the offending parameter.
         what: String,
     },
+    /// No graphical degree sequence was drawn within the attempt
+    /// budget. Unlike the generic [`GenError::Infeasible`], this
+    /// carries the Erdős–Gallai witness of the last rejected draw: the
+    /// first prefix length `k` whose `k` largest degrees demand more
+    /// edge endpoints than the inequality's bound allows.
+    NotGraphical {
+        /// Which stage of the construction gave up.
+        stage: &'static str,
+        /// How many draws were rejected before giving up.
+        attempts: u64,
+        /// 1-based prefix length of the first violated inequality.
+        k: usize,
+        /// Left-hand side: sum of the `k` largest degrees.
+        prefix_sum: usize,
+        /// Right-hand side: `k(k-1) + Σ_{i>k} min(d_i, k)`.
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for GenError {
@@ -34,6 +51,20 @@ impl std::fmt::Display for GenError {
                 write!(f, "{stage}: infeasible after {attempts} attempt(s)")
             }
             GenError::BadParam { what } => write!(f, "bad parameter: {what}"),
+            GenError::NotGraphical {
+                stage,
+                attempts,
+                k,
+                prefix_sum,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "{stage}: no graphical draw in {attempts} attempt(s); \
+                     last draw violates Erdős–Gallai at k={k} \
+                     (prefix sum {prefix_sum} > bound {bound})"
+                )
+            }
         }
     }
 }
@@ -58,5 +89,15 @@ mod tests {
             what: "alpha must exceed 1".into(),
         };
         assert!(!b.to_string().contains('\n'));
+        let g = GenError::NotGraphical {
+            stage: "power-law degree sequence",
+            attempts: 1,
+            k: 1,
+            prefix_sum: 5,
+            bound: 1,
+        };
+        let msg = g.to_string();
+        assert!(msg.contains("k=1") && msg.contains("5") && msg.contains("1"));
+        assert!(!msg.contains('\n'));
     }
 }

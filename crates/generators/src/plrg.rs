@@ -194,8 +194,9 @@ mod tests {
     fn try_plrg_typed_error_at_adversarial_scale() {
         use crate::errors::GenError;
         // Degree cap far above n: most draws are non-graphical. With a
-        // one-attempt budget some seed in a small scan must exhaust.
-        let saw_infeasible = (0..64).any(|seed| {
+        // one-attempt budget some seed in a small scan must exhaust,
+        // surfacing the Erdős–Gallai witness of the rejected draw.
+        let saw_not_graphical = (0..64).any(|seed| {
             matches!(
                 try_plrg(
                     &PlrgParams {
@@ -206,10 +207,10 @@ mod tests {
                     1,
                     &mut StdRng::seed_from_u64(seed),
                 ),
-                Err(GenError::Infeasible { .. })
+                Err(GenError::NotGraphical { .. })
             )
         });
-        assert!(saw_infeasible, "no seed in 0..64 exhausted the budget");
+        assert!(saw_not_graphical, "no seed in 0..64 exhausted the budget");
         assert!(matches!(
             try_plrg(
                 &PlrgParams {

@@ -2,6 +2,7 @@
 //! algorithm in the workspace silently relies on, over arbitrary graphs.
 
 use proptest::prelude::*;
+use topogen_check::gen::{arb_connected, arb_graph};
 use topogen_graph::apsp::all_pairs_distances;
 use topogen_graph::bfs::{distances, distances_bounded, shortest_path_dag, DistScratch};
 use topogen_graph::bfs_bitset::{self, BfsStats, BitsetScratch};
@@ -12,44 +13,7 @@ use topogen_graph::io::{parse_edge_list, to_edge_list};
 use topogen_graph::prune::core;
 use topogen_graph::subgraph::ball;
 use topogen_graph::tree::{Lca, RootedTree};
-use topogen_graph::{Graph, NodeId, UNREACHED};
-
-/// Arbitrary graph: up to 30 nodes, arbitrary edge pairs.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..30)
-        .prop_flat_map(|n| {
-            (
-                Just(n),
-                proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..80),
-            )
-        })
-        .prop_map(|(n, pairs)| Graph::from_edges(n, pairs.into_iter().filter(|(u, v)| u != v)))
-}
-
-/// Arbitrary connected graph: random tree + extra edges.
-fn arb_connected() -> impl Strategy<Value = Graph> {
-    (2usize..30, any::<u64>()).prop_map(|(n, seed)| {
-        let mut edges = Vec::new();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        for v in 1..n {
-            edges.push(((next() % v) as NodeId, v as NodeId));
-        }
-        for _ in 0..n {
-            let u = (next() % n) as NodeId;
-            let v = (next() % n) as NodeId;
-            if u != v {
-                edges.push((u, v));
-            }
-        }
-        Graph::from_edges(n, edges)
-    })
-}
+use topogen_graph::{NodeId, UNREACHED};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
