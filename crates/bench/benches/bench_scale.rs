@@ -3,10 +3,13 @@
 //! on the structural (Mesh) and degree-based (PLRG) families.
 //!
 //! Besides wall-clock, the run checks the two kernels produce identical
-//! ring profiles and archives `out/BENCH_scale.json`: per-topology
-//! timings plus a top-level `"gate"` object of deterministic operation
-//! counters (`words_scanned`, `frontier_passes`) that `repro perf-gate`
-//! ratchets against the committed baseline in `ci/perf-baselines/`.
+//! ring profiles, streams a million-node PLRG through the
+//! memory-budgeted spill-and-merge builder (asserting the edge scratch
+//! stays under budget), and archives `out/BENCH_scale.json`:
+//! per-topology timings, the xl build record, plus a top-level `"gate"`
+//! object of deterministic operation counters (`words_scanned`,
+//! `frontier_passes`, `spill_runs`) that `repro perf-gate` ratchets
+//! against the committed baseline in `ci/perf-baselines/`.
 //! Wall-clock fields are advisory-only — the gate never reads them.
 //! `--quick` shrinks the graphs for smoke runs (and is what the
 //! committed baseline was produced with).
@@ -16,10 +19,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use topogen_generators::canonical::mesh;
-use topogen_generators::plrg::{plrg, PlrgParams};
+use topogen_generators::plrg::{plrg, plrg_into, PlrgParams};
 use topogen_graph::bfs;
 use topogen_graph::bfs_bitset::{multi_source_ring_counts, BfsStats};
 use topogen_graph::components::largest_component;
+use topogen_graph::stream::StreamingBuilder;
 use topogen_graph::Graph;
 use topogen_metrics::balls::sample_centers;
 
@@ -128,6 +132,48 @@ fn scale_report(_c: &mut Criterion) {
     }
     let all_identical = rows.iter().all(|r| r.identical);
 
+    // The xl probe: a million-node PLRG built through the streaming
+    // spill-and-merge path under a hard 8 MiB edge-scratch budget —
+    // the tier whose raw edge buffer the in-memory builder cannot
+    // afford to hold. Runs in quick mode too (seconds in release), so
+    // the committed baseline gates its spill count.
+    let xl_budget: u64 = 8 * 1024 * 1024;
+    let xl_n = 1_000_000usize;
+    let scratch = std::env::temp_dir().join(format!("topogen-bench-xl-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&scratch);
+    let xl_start = Instant::now();
+    let mut sink = StreamingBuilder::new(0, Some(xl_budget), &scratch);
+    let mut xl_rng = StdRng::seed_from_u64(77);
+    plrg_into(
+        &PlrgParams {
+            n: xl_n,
+            alpha: 2.246,
+            max_degree: None,
+        },
+        &mut xl_rng,
+        &mut sink,
+    );
+    let (xl_g, xl_stats) = sink.build();
+    let xl_secs = xl_start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "scale report: PLRG{xl_n} streamed under {xl_budget} B: {} nodes, {} edges, \
+         peak {} B, {} spill run(s), {xl_secs:.3}s",
+        xl_g.node_count(),
+        xl_g.edge_count(),
+        xl_stats.peak_bytes,
+        xl_stats.spill_runs,
+    );
+    assert!(
+        xl_stats.spill_runs >= 1,
+        "the xl build must exercise the spill path"
+    );
+    assert!(
+        xl_stats.peak_bytes <= xl_budget,
+        "edge-scratch peak {} exceeded the {xl_budget}-byte budget",
+        xl_stats.peak_bytes
+    );
+
     let rows_json: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -145,14 +191,22 @@ fn scale_report(_c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"quick\": {},\n  \"max_h\": {},\n  \"reps\": {},\n  \"rows\": [\n{}\n  ],\n  \"bit_identical\": {},\n  \"gate\": {{\n    \"words_scanned\": {},\n    \"frontier_passes\": {}\n  }}\n}}\n",
+        "{{\n  \"quick\": {},\n  \"max_h\": {},\n  \"reps\": {},\n  \"rows\": [\n{}\n  ],\n  \"bit_identical\": {},\n  \"xl\": {{\n    \"name\": \"PLRG{}\",\n    \"nodes\": {},\n    \"edges\": {},\n    \"budget_bytes\": {},\n    \"peak_bytes\": {},\n    \"spill_runs\": {},\n    \"build_secs\": {:.6}\n  }},\n  \"gate\": {{\n    \"words_scanned\": {},\n    \"frontier_passes\": {},\n    \"spill_runs\": {}\n  }}\n}}\n",
         quick,
         max_h,
         reps,
         rows_json.join(",\n"),
         all_identical,
+        xl_n,
+        xl_g.node_count(),
+        xl_g.edge_count(),
+        xl_budget,
+        xl_stats.peak_bytes,
+        xl_stats.spill_runs,
+        xl_secs,
         gate.words_scanned,
         gate.frontier_passes,
+        xl_stats.spill_runs,
     );
     // Benches run with the package dir as cwd; anchor the default output
     // at the workspace root so CI finds it at out/BENCH_scale.json.

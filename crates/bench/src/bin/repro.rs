@@ -2,14 +2,24 @@
 //!
 //! ```text
 //! repro <experiment> [--scale small|paper|large|xl] [--seed N] [--thorough] [--json DIR]
-//!                    [--timings] [--kernel auto|scalar|bitset] [--keep-going] [--resume]
-//!                    [--deadline SECS] [--retries N] [--strict-checks] [--cache[=DIR]]
-//!                    [--trace[=DIR]]
+//!                    [--timings] [--kernel auto|scalar|bitset] [--mem-budget BYTES]
+//!                    [--keep-going] [--resume] [--deadline SECS] [--retries N]
+//!                    [--strict-checks] [--cache[=DIR]] [--trace[=DIR]]
 //!
 //! --scale large (~170k-node structural/degree-based graphs) and xl
 //! (~1M nodes where the generators allow) run the sampled-center
 //! tiers: metric curves are estimated over a seeded center subsample
-//! and the tables record population + sample sizes per row.
+//! and the tables record population + sample sizes per row, plus
+//! bootstrap 95% half-width columns for the classified statistics.
+//!
+//! --mem-budget BYTES (binary K/M/G suffixes accepted) caps the edge
+//! buffer used while building topologies: streaming-capable generators
+//! emit through a bounded builder that spills sorted runs to out/ and
+//! k-way merges them into the final CSR. The built graph is identical
+//! to the in-memory path; --timings reports the peak buffer bytes and
+//! spill-run count. At the sampled tiers suite jobs also run in
+//! store-checkpointed batches, so a killed run restarted with --resume
+//! and --cache serves completed batches from the store.
 //!
 //! --kernel forces the BFS kernel for metric plans: `scalar` is the
 //! per-center queue BFS, `bitset` the batched word-parallel kernels,
@@ -250,11 +260,24 @@ impl Output {
     }
 }
 
+/// Parse a byte count with an optional binary K/M/G suffix ("65536",
+/// "64K", "256M", "2G").
+fn parse_byte_count(s: &str) -> Option<u64> {
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok()?.checked_mul(mult)
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale small|paper|large|xl] [--seed N] [--thorough] \
-         [--json DIR] [--timings] [--kernel auto|scalar|bitset] [--keep-going] [--resume] \
-         [--deadline SECS] [--retries N] [--strict-checks] [--cache[=DIR]] [--trace[=DIR]]"
+         [--json DIR] [--timings] [--kernel auto|scalar|bitset] [--mem-budget BYTES] \
+         [--keep-going] [--resume] [--deadline SECS] [--retries N] [--strict-checks] \
+         [--cache[=DIR]] [--trace[=DIR]]"
     );
     eprintln!("       repro store <ls|verify|gc> [--cache[=DIR]] [--max-bytes N]");
     eprintln!("       repro trace export [PATH] [--trace[=DIR]]");
@@ -360,6 +383,21 @@ fn main() {
                     Some(p) => topogen_graph::bfs_bitset::set_default_policy(p),
                     None => {
                         eprintln!("unknown kernel {v:?} (want auto|scalar|bitset)");
+                        usage();
+                    }
+                }
+            }
+            "--mem-budget" => {
+                let v = it
+                    .next()
+                    .expect("--mem-budget needs BYTES (K/M/G suffixes ok)");
+                match parse_byte_count(&v) {
+                    // Set process-wide so every RunCtx (batch units,
+                    // ambient snapshots) routes streaming-capable
+                    // builds through the bounded builder.
+                    Some(b) if b > 0 => topogen_graph::stream::set_default_budget(Some(b)),
+                    _ => {
+                        eprintln!("bad --mem-budget {v:?} (want BYTES, e.g. 64M)");
                         usage();
                     }
                 }

@@ -7,7 +7,7 @@ use crate::experiments::fig3::linkvalue_zoo;
 use crate::ExpCtx;
 use topogen_core::hier::{hierarchy_report_timed, HierOptions};
 use topogen_core::report::{TableData, TimingReport};
-use topogen_core::suite::{run_suite, run_suite_policy, run_suite_rl_policy};
+use topogen_core::suite::{run_suite, run_suite_policy, run_suite_rl_policy, SuiteCis};
 use topogen_core::zoo::{build, Scale, TopologySpec};
 
 /// The paper's expected signature per topology (§4.4's table).
@@ -27,6 +27,19 @@ pub fn paper_signature(name: &str) -> Option<&'static str> {
     })
 }
 
+/// Bootstrap 95% half-width cells for a sampled-tier row ("-" when the
+/// suite ran without bootstrap resampling).
+fn ci_cells(cis: Option<&SuiteCis>) -> [String; 3] {
+    match cis {
+        Some(c) => [
+            SuiteCis::pm(c.expansion_rate),
+            SuiteCis::pm(c.resilience_peak),
+            SuiteCis::pm(c.distortion_last),
+        ],
+        None => ["-".to_string(), "-".to_string(), "-".to_string()],
+    }
+}
+
 /// The §4.4 signature table over the full zoo (plus Complete and Linear
 /// for calibration), with the paper's expected column and a match flag.
 pub fn run_signature_table(ctx: &ExpCtx) -> TableData {
@@ -40,7 +53,8 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
     let params = ctx.suite_params();
     // At the sampled-center tiers the curves are estimates over a
     // center subsample, so the table records the population and sample
-    // sizes next to each signature; Small/Paper keep the historical
+    // sizes next to each signature, plus bootstrap 95% half-widths for
+    // the three classified statistics; Small/Paper keep the historical
     // four-column shape byte-identical.
     let sampled = matches!(ctx.scale, Scale::Large | Scale::Xl);
     let mut timings = TimingReport::default();
@@ -88,6 +102,7 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
         if sampled {
             row.push(n.to_string());
             row.push(centers.to_string());
+            row.extend(ci_cells(r.cis.as_ref()));
         }
         rows.push(row);
         if t.annotations.is_some() {
@@ -105,6 +120,7 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             if sampled {
                 row.push(n.to_string());
                 row.push(centers.to_string());
+                row.extend(ci_cells(rp.cis.as_ref()));
             }
             rows.push(row);
         }
@@ -123,6 +139,7 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
             if sampled {
                 row.push(n.to_string());
                 row.push(centers.to_string());
+                row.extend(ci_cells(rp.cis.as_ref()));
             }
             rows.push(row);
         }
@@ -136,6 +153,9 @@ pub fn run_signature_table_timed(ctx: &ExpCtx) -> (TableData, TimingReport) {
     if sampled {
         header.push("Nodes".to_string());
         header.push("Centers".to_string());
+        header.push("Exp±".to_string());
+        header.push("Res±".to_string());
+        header.push("Dist±".to_string());
     }
     let mut table = TableData::new("tab-signature", header, rows);
     for (name, reason) in failures {

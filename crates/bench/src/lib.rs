@@ -116,7 +116,10 @@ impl ExpCtx {
     /// randomly chosen nodes") with budgets sized so one signature
     /// table stays CI-feasible: fewer, shallower balls as the graphs
     /// grow, leaning on the batched bitset BFS kernels for the
-    /// expansion sweeps.
+    /// expansion sweeps. The sampled tiers additionally run in
+    /// checkpointed batches (partials land in the store, so a killed
+    /// suite resumes mid-run) and attach bootstrap 95% CIs to the
+    /// sampled estimates; the archived tiers keep both off.
     pub fn suite_params(&self) -> topogen_core::suite::SuiteParams {
         let mut p = if self.quick {
             topogen_core::suite::SuiteParams::quick()
@@ -130,12 +133,16 @@ impl ExpCtx {
                 p.expansion_sources = 128;
                 p.max_radius = 40;
                 p.max_ball_nodes = 900;
+                p.batch = Some(4);
+                p.bootstrap = Some(200);
             }
             Scale::Xl => {
                 p.centers = 8;
                 p.expansion_sources = 64;
                 p.max_radius = 32;
                 p.max_ball_nodes = 900;
+                p.batch = Some(4);
+                p.bootstrap = Some(200);
             }
         }
         p.seed = self.seed ^ 0x5EED;

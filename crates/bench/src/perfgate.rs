@@ -33,13 +33,15 @@ use crate::ExitCode;
 
 /// TimingReport counters the gate compares (deterministic operation
 /// counts; cache-traffic fields intentionally excluded).
-pub const GATED_COUNTERS: [&str; 8] = [
+pub const GATED_COUNTERS: [&str; 10] = [
     "bfs_runs",
     "balls_built",
     "partitioner_restarts",
     "dag_states",
     "pairs_accumulated",
     "arena_bytes",
+    "scratch_bytes",
+    "spill_runs",
     "words_scanned",
     "frontier_passes",
 ];
@@ -108,12 +110,19 @@ pub struct GateReport {
     pub counters_compared: usize,
     /// Baseline files whose current counterpart was missing/unreadable.
     pub missing: Vec<String>,
+    /// `(file, counter, baseline)` triples for counters the baseline
+    /// gates on that the current run's document does not carry at all.
+    /// Reading those as zero used to make a renamed or dropped counter
+    /// look like a total improvement and pass silently; a nonzero
+    /// baseline vanishing is a gate failure until the baseline is
+    /// refreshed deliberately.
+    pub missing_counters: Vec<(String, String, u64)>,
 }
 
 impl GateReport {
     /// Whether the gate passes.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty() && self.missing.is_empty() && self.missing_counters.is_empty()
     }
 
     /// Render the verdict as the lines `repro perf-gate` prints.
@@ -132,6 +141,12 @@ impl GateReport {
         }
         for f in &self.missing {
             out.push_str(&format!("FAIL {f}: no current-run counterpart\n"));
+        }
+        for (file, counter, base) in &self.missing_counters {
+            out.push_str(&format!(
+                "FAIL {file}: counter {counter} (baseline {base}) is absent from the current \
+                 run; refresh the baseline if it was removed deliberately\n"
+            ));
         }
         for d in &self.ratchet_candidates {
             out.push_str(&format!(
@@ -157,15 +172,22 @@ impl GateReport {
     }
 }
 
-/// A counter value read leniently from a JSON tree: absent keys and
-/// non-numeric values read as zero (the emit-when-nonzero convention).
-fn counter_of(doc: &Content, key: &str) -> u64 {
-    match doc.get(key) {
-        Some(Content::U64(v)) => *v,
-        Some(Content::I64(v)) if *v >= 0 => *v as u64,
-        Some(Content::F64(v)) if *v >= 0.0 => *v as u64,
-        _ => 0,
+/// A counter value read from a JSON tree, distinguishing absence
+/// (`None`) from an explicit zero — the gate treats a nonzero-baselined
+/// counter that vanished entirely as a failure, not an improvement.
+fn counter_lookup(doc: &Content, key: &str) -> Option<u64> {
+    match doc.get(key)? {
+        Content::U64(v) => Some(*v),
+        Content::I64(v) if *v >= 0 => Some(*v as u64),
+        Content::F64(v) if *v >= 0.0 => Some(*v as u64),
+        _ => None,
     }
+}
+
+/// A counter value read leniently: absent keys and non-numeric values
+/// read as zero (the emit-when-nonzero convention).
+fn counter_of(doc: &Content, key: &str) -> u64 {
+    counter_lookup(doc, key).unwrap_or(0)
 }
 
 /// Summed wall-clock seconds of a report's `phases` array (advisory).
@@ -212,12 +234,21 @@ fn compare_docs(
     report: &mut GateReport,
 ) {
     for (name, base) in gate_counters(baseline) {
-        let cur = if current.get("gate").is_some() {
-            counter_of(current.get("gate").unwrap(), &name)
-        } else {
-            counter_of(current, &name)
-        };
+        let cur_doc = current.get("gate").unwrap_or(current);
         report.counters_compared += 1;
+        let cur = match counter_lookup(cur_doc, &name) {
+            Some(v) => v,
+            // The emit-when-nonzero convention makes absence read as
+            // zero — legitimate for a counter the baseline also has at
+            // zero, but a nonzero baseline disappearing wholesale means
+            // the counter was renamed or dropped, and "0, improved
+            // 100%" would wave that through silently.
+            None if base > 0 => {
+                report.missing_counters.push((file.to_string(), name, base));
+                continue;
+            }
+            None => 0,
+        };
         let delta = CounterDelta {
             file: file.to_string(),
             counter: name,
@@ -507,6 +538,81 @@ mod tests {
         let _ = std::fs::remove_dir_all(&b);
         let _ = std::fs::remove_dir_all(&c);
         let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn nonzero_baseline_counter_absent_from_current_fails_by_name() {
+        let (b, c) = (tmpdir("drop-b"), tmpdir("drop-c"));
+        write(&b, "BENCH_x.json", BASE);
+        // balls_built (baseline 50) vanishes from the current report:
+        // under the old absent-reads-as-zero rule this was a "100%
+        // improvement" that passed silently.
+        write(
+            &c,
+            "BENCH_x.json",
+            &BASE.replace("\"balls_built\": 50,", ""),
+        );
+        let opts = GateOptions {
+            baseline_dir: b.clone(),
+            current_dir: c.clone(),
+            tolerance: 0.05,
+        };
+        let r = run_gate(&opts).unwrap();
+        assert!(!r.passed());
+        assert_eq!(
+            r.missing_counters,
+            vec![("BENCH_x.json".to_string(), "balls_built".to_string(), 50)]
+        );
+        assert!(r.regressions.is_empty() && r.ratchet_candidates.is_empty());
+        assert!(r
+            .render(0.05)
+            .contains("counter balls_built (baseline 50) is absent"));
+        let _ = std::fs::remove_dir_all(&b);
+        let _ = std::fs::remove_dir_all(&c);
+    }
+
+    #[test]
+    fn zero_baseline_counter_may_stay_absent() {
+        let (b, c) = (tmpdir("zeroabs-b"), tmpdir("zeroabs-c"));
+        write(&b, "BENCH_x.json", BASE);
+        // dag_states is 0 in the baseline; the emit-when-nonzero
+        // convention omits it from a run that also did no DAG work.
+        write(&c, "BENCH_x.json", &BASE.replace("\"dag_states\": 0,", ""));
+        let opts = GateOptions {
+            baseline_dir: b.clone(),
+            current_dir: c.clone(),
+            tolerance: 0.05,
+        };
+        let r = run_gate(&opts).unwrap();
+        assert!(r.passed(), "{:?}", r.missing_counters);
+        let _ = std::fs::remove_dir_all(&b);
+        let _ = std::fs::remove_dir_all(&c);
+    }
+
+    #[test]
+    fn gate_object_counter_absent_from_current_fails_by_name() {
+        let (b, c) = (tmpdir("gatedrop-b"), tmpdir("gatedrop-c"));
+        write(
+            &b,
+            "BENCH_scale.json",
+            r#"{"rows": [], "gate": {"words_scanned": 1000, "frontier_passes": 12}}"#,
+        );
+        write(
+            &c,
+            "BENCH_scale.json",
+            r#"{"rows": [], "gate": {"frontier_passes": 12}}"#,
+        );
+        let opts = GateOptions {
+            baseline_dir: b.clone(),
+            current_dir: c.clone(),
+            tolerance: 0.05,
+        };
+        let r = run_gate(&opts).unwrap();
+        assert!(!r.passed());
+        assert_eq!(r.missing_counters.len(), 1);
+        assert_eq!(r.missing_counters[0].1, "words_scanned");
+        let _ = std::fs::remove_dir_all(&b);
+        let _ = std::fs::remove_dir_all(&c);
     }
 
     #[test]

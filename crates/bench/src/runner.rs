@@ -169,6 +169,10 @@ pub struct LedgerUnit {
     /// footprint, vs the cumulative `arena_bytes` counter in
     /// `--timings`. Absent when the unit never built a DAG arena.
     pub arena_bytes_peak: Option<u64>,
+    /// Sorted runs the memory-budgeted streaming builder spilled to
+    /// disk during the terminal attempt. Absent when no build streamed
+    /// (no `--mem-budget`, or the build fit its buffer).
+    pub spill_runs: Option<u64>,
 }
 
 // Manual serde: `cache` / `duration_total_secs` are omitted (not null)
@@ -192,6 +196,9 @@ impl Serialize for LedgerUnit {
         if let Some(peak) = self.arena_bytes_peak {
             fields.push(("arena_bytes_peak".to_string(), peak.to_content()));
         }
+        if let Some(runs) = self.spill_runs {
+            fields.push(("spill_runs".to_string(), runs.to_content()));
+        }
         Content::Map(fields)
     }
 }
@@ -214,6 +221,10 @@ impl Deserialize for LedgerUnit {
                 None => None,
             },
             arena_bytes_peak: match c.get("arena_bytes_peak") {
+                Some(v) => Some(u64::from_content(v)?),
+                None => None,
+            },
+            spill_runs: match c.get("spill_runs") {
                 Some(v) => Some(u64::from_content(v)?),
                 None => None,
             },
@@ -515,10 +526,12 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
             // earlier failed/retried attempts are kept apart in
             // `duration_total_secs` instead of blended in.
             let attempt_started = Instant::now();
-            // Drain the arena high-water global so the recorded peak
-            // covers exactly this attempt (stale contributions from
-            // earlier attempts or abandoned unit threads are dropped).
+            // Drain the arena high-water and spill-run globals so the
+            // recorded peaks cover exactly this attempt (stale
+            // contributions from earlier attempts or abandoned unit
+            // threads are dropped).
             let _ = topogen_par::take_arena_highwater();
+            let _ = topogen_par::take_spill_runs();
             match run_attempt(&unit.work, attempt, opts.deadline) {
                 Attempt::Success => {
                     entry = Some(LedgerUnit {
@@ -534,6 +547,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         error: None,
                         cache: None,
                         arena_bytes_peak: None,
+                        spill_runs: None,
                     });
                     break;
                 }
@@ -548,6 +562,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         error: Some("deadline exceeded".to_string()),
                         cache: None,
                         arena_bytes_peak: None,
+                        spill_runs: None,
                     });
                     break;
                 }
@@ -563,6 +578,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                         error: Some(msg),
                         cache: None,
                         arena_bytes_peak: None,
+                        spill_runs: None,
                     });
                     break;
                 }
@@ -577,6 +593,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                             error: Some(err.message().to_string()),
                             cache: None,
                             arena_bytes_peak: None,
+                            spill_runs: None,
                         });
                     } else {
                         eprintln!(
@@ -598,6 +615,7 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
                             error: Some(msg),
                             cache: None,
                             arena_bytes_peak: None,
+                            spill_runs: None,
                         });
                     } else {
                         eprintln!(
@@ -618,6 +636,10 @@ pub fn run_units(units: &[Unit], opts: &RunnerOptions, seed: u64, scale: &str) -
         match topogen_par::take_arena_highwater() {
             0 => {}
             peak => entry.arena_bytes_peak = Some(peak),
+        }
+        match topogen_par::take_spill_runs() {
+            0 => {}
+            runs => entry.spill_runs = Some(runs),
         }
         if let (Some(before), Some(after)) = (store_before, topogen_store::ambient::counters()) {
             let d = before.delta_to(&after);
@@ -857,6 +879,7 @@ mod tests {
             error: Some("deadline exceeded".into()),
             cache: None,
             arena_bytes_peak: None,
+            spill_runs: None,
         });
         l.units.push(LedgerUnit {
             id: "tab2".into(),
@@ -872,6 +895,7 @@ mod tests {
                 bytes_written: 1024,
             }),
             arena_bytes_peak: Some(2048),
+            spill_runs: Some(3),
         });
         let j = serde_json::to_string_pretty(&l).unwrap();
         assert!(j.contains("timed-out"));
@@ -881,7 +905,9 @@ mod tests {
         assert_eq!(back.units[0].cache, None);
         assert_eq!(back.units[0].duration_total_secs, None);
         assert_eq!(back.units[0].arena_bytes_peak, None);
+        assert_eq!(back.units[0].spill_runs, None);
         assert_eq!(back.units[1].arena_bytes_peak, Some(2048));
+        assert_eq!(back.units[1].spill_runs, Some(3));
         assert_eq!(back.units[1].duration_total_secs, Some(0.9));
         assert_eq!(back.units[1].cache.unwrap().hits, 3);
         assert_eq!(back.store, l.store);

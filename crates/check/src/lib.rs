@@ -46,6 +46,7 @@ pub fn registry() -> Vec<Suite> {
         suites::store::suite(),
         suites::trace::suite(),
         suites::hierarchy::suite(),
+        suites::scale::suite(),
     ]
 }
 

@@ -175,6 +175,12 @@ pub fn case_seed(master: u64, suite: &str, invariant: &str, index: u32) -> u64 {
 /// or invariant) — violations are *not* errors, they are the report's
 /// content.
 pub fn run_checks(opts: &CheckOptions) -> Result<CheckReport, String> {
+    // A zero-case run checks nothing; reporting it as green would let a
+    // misconfigured CI invocation pass vacuously. Option error, same
+    // tier as an unknown suite name (the CLI maps both to exit 2).
+    if opts.cases == 0 && opts.replay.is_none() {
+        return Err("--cases must be at least 1 (0 cases would pass vacuously)".to_string());
+    }
     let registry = crate::registry();
     if let Some(want) = &opts.suite {
         if !registry.iter().any(|s| s.name == want) {
@@ -241,7 +247,10 @@ fn run_suite(suite: &Suite, opts: &CheckOptions) -> SuiteReport {
                 record(&mut failures, suite.name, inv.as_ref(), replay.seed);
             }
             None => {
-                cases_run = opts.cases.min(inv.max_cases()).max(1);
+                // No `.max(1)` floor: `run_checks` rejects zero-case
+                // runs up front, and every registered invariant
+                // declares `max_cases >= 1`, so this is always >= 1.
+                cases_run = opts.cases.min(inv.max_cases());
                 for index in 0..cases_run {
                     let seed = case_seed(opts.seed, suite.name, inv.name(), index);
                     record(&mut failures, suite.name, inv.as_ref(), seed);

@@ -4,6 +4,7 @@ pub mod codec;
 pub mod degseq;
 pub mod hierarchy;
 pub mod kernels;
+pub mod scale;
 pub mod store;
 pub mod threads;
 pub mod trace;

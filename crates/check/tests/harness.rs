@@ -31,6 +31,25 @@ fn all_suites_green_at_seed_42() {
     assert!(!report.faults_armed);
 }
 
+/// A zero-case sweep checks nothing, so it must be an option error (the
+/// CLI maps it to exit 2), never a vacuous green report — and every
+/// requested case must actually run, not get clamped.
+#[test]
+fn zero_cases_is_an_error_not_a_vacuous_pass() {
+    let err = run_checks(&opts(None, 0)).expect_err("0 cases must not produce a report");
+    assert!(
+        err.contains("--cases") && err.contains("vacuous"),
+        "error names the option and the hazard: {err}"
+    );
+    // The boundary case still runs exactly one case per invariant.
+    let one = run_checks(&opts(None, 1)).unwrap();
+    assert!(one
+        .suites
+        .iter()
+        .flat_map(|s| &s.invariants)
+        .all(|i| i.cases_run == 1));
+}
+
 /// Satellite coverage: the store/ledger consistency suite with
 /// `store-write` faults armed. The store fails *open* on write faults
 /// (a dropped put is a miss, never an inconsistency), so the suite must

@@ -247,11 +247,7 @@ pub fn encode_curves(
     resilience: &[CurvePoint],
     distortion: &[CurvePoint],
 ) -> Vec<u8> {
-    let mut w = ContainerWriter::new();
-    w.section(codec::SEC_EXPANSION, &f64_payload(expansion));
-    w.section(codec::SEC_RESILIENCE, &curve_payload(resilience));
-    w.section(codec::SEC_DISTORTION, &curve_payload(distortion));
-    w.finish()
+    encode_curves_ci(expansion, resilience, distortion, None)
 }
 
 /// Decode a cached suite-curves container.
@@ -263,6 +259,143 @@ pub fn decode_curves(bytes: &[u8]) -> Option<(Vec<f64>, Vec<CurvePoint>, Vec<Cur
     let resilience = curve_from_payload(codec::find_section(&sections, codec::SEC_RESILIENCE)?)?;
     let distortion = curve_from_payload(codec::find_section(&sections, codec::SEC_DISTORTION)?)?;
     Some((expansion, resilience, distortion))
+}
+
+// ---------------------------------------------------------------------------
+// Suite-partial payloads (checkpointed per-batch engine outputs)
+// ---------------------------------------------------------------------------
+
+/// Section tag for one checkpointed batch of per-job engine outputs.
+const SEC_SUITE_PARTIAL: [u8; 4] = *b"SPRT";
+/// Section tag for bootstrap 95% confidence intervals of the suite's
+/// classification summary statistics.
+const SEC_SUITE_CI: [u8; 4] = *b"CI95";
+
+/// Deterministic store key for one center batch of a suite run: derived
+/// from the full curves key (itself covering graph hash + every
+/// sampling knob), the batch size, and the batch index — so a resumed
+/// process recomputes exactly the batches the killed one never wrote.
+pub fn suite_partial_key(curves_key: &str, batch_size: usize, index: usize) -> String {
+    KeyBuilder::new("suite-partial")
+        .u64("curves", topogen_store::fnv::fnv1a(curves_key.as_bytes()))
+        .u64("batch_size", batch_size as u64)
+        .u64("index", index as u64)
+        .finish()
+}
+
+/// Serialize one batch of [`topogen_metrics::engine::JobOut`]s.
+/// Bit-exact: float rows keep their IEEE-754 patterns (NaNs included),
+/// so aggregation over decoded partials equals aggregation over the
+/// originals.
+pub fn encode_suite_partial(outs: &[topogen_metrics::engine::JobOut]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u64(&mut buf, outs.len() as u64);
+    for (rows, cum) in outs {
+        buf.push(u8::from(rows.is_some()) | (u8::from(cum.is_some()) << 1));
+        if let Some(rows) = rows {
+            codec::put_u64(&mut buf, rows.len() as u64);
+            for (size, vals) in rows {
+                codec::put_f64(&mut buf, *size);
+                codec::put_u64(&mut buf, vals.len() as u64);
+                for v in vals {
+                    codec::put_f64(&mut buf, *v);
+                }
+            }
+        }
+        if let Some(cum) = cum {
+            codec::put_u64(&mut buf, cum.len() as u64);
+            for &c in cum {
+                codec::put_u64(&mut buf, c as u64);
+            }
+        }
+    }
+    let mut w = ContainerWriter::new();
+    w.section(SEC_SUITE_PARTIAL, &buf);
+    w.finish()
+}
+
+/// Decode a checkpointed batch; `None` (caller recomputes the batch) on
+/// any malformed payload.
+pub fn decode_suite_partial(bytes: &[u8]) -> Option<Vec<topogen_metrics::engine::JobOut>> {
+    let sections = codec::read_sections(bytes).ok()?;
+    let payload = codec::find_section(&sections, SEC_SUITE_PARTIAL)?;
+    let mut r = codec::Reader::new(payload);
+    let jobs = r.count(1).ok()?;
+    let mut outs = Vec::with_capacity(jobs);
+    for _ in 0..jobs {
+        let flags = *r.take(1).ok()?.first()?;
+        let rows = if flags & 1 != 0 {
+            let n = r.count(16).ok()?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let size = r.f64().ok()?;
+                let k = r.count(8).ok()?;
+                let mut vals = Vec::with_capacity(k);
+                for _ in 0..k {
+                    vals.push(r.f64().ok()?);
+                }
+                rows.push((size, vals));
+            }
+            Some(rows)
+        } else {
+            None
+        };
+        let cum = if flags & 2 != 0 {
+            let n = r.count(8).ok()?;
+            let mut cum = Vec::with_capacity(n);
+            for _ in 0..n {
+                cum.push(r.u64().ok()? as usize);
+            }
+            Some(cum)
+        } else {
+            None
+        };
+        outs.push((rows, cum));
+    }
+    (r.remaining() == 0).then_some(outs)
+}
+
+/// Serialize the three metric curves plus optional bootstrap CIs. With
+/// `cis: None` the payload is byte-identical to [`encode_curves`] —
+/// which is what keeps every small/paper cache entry (and everything
+/// fingerprinted from it) unchanged; only sampled tiers carry the extra
+/// section.
+pub fn encode_curves_ci(
+    expansion: &[f64],
+    resilience: &[CurvePoint],
+    distortion: &[CurvePoint],
+    cis: Option<&crate::suite::SuiteCis>,
+) -> Vec<u8> {
+    let mut w = ContainerWriter::new();
+    w.section(codec::SEC_EXPANSION, &f64_payload(expansion));
+    w.section(codec::SEC_RESILIENCE, &curve_payload(resilience));
+    w.section(codec::SEC_DISTORTION, &curve_payload(distortion));
+    if let Some(ci) = cis {
+        let mut buf = Vec::with_capacity(48);
+        for &(lo, hi) in [&ci.expansion_rate, &ci.resilience_peak, &ci.distortion_last] {
+            codec::put_f64(&mut buf, lo);
+            codec::put_f64(&mut buf, hi);
+        }
+        w.section(SEC_SUITE_CI, &buf);
+    }
+    w.finish()
+}
+
+/// Decode the optional CI section of a cached suite-curves container;
+/// `None` for pre-CI entries (every archived small/paper payload).
+pub fn decode_curve_cis(bytes: &[u8]) -> Option<crate::suite::SuiteCis> {
+    let sections = codec::read_sections(bytes).ok()?;
+    let payload = codec::find_section(&sections, SEC_SUITE_CI)?;
+    let mut r = codec::Reader::new(payload);
+    let mut pairs = [(0.0, 0.0); 3];
+    for p in &mut pairs {
+        *p = (r.f64().ok()?, r.f64().ok()?);
+    }
+    (r.remaining() == 0).then_some(crate::suite::SuiteCis {
+        expansion_rate: pairs[0],
+        resilience_peak: pairs[1],
+        distortion_last: pairs[2],
+    })
 }
 
 // ---------------------------------------------------------------------------

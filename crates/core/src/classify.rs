@@ -109,13 +109,7 @@ pub fn classify_expansion(curve: &[f64], t: &ClassifyThresholds) -> Level {
 /// noisy while the large-ball peak is stable.
 pub fn classify_resilience(curve: &[CurvePoint], t: &ClassifyThresholds) -> Level {
     let expo = resilience_growth_exponent(curve);
-    let finite: Vec<&CurvePoint> = curve.iter().filter(|p| p.value.is_finite()).collect();
-    let n_max = finite.iter().map(|p| p.avg_size).fold(0.0, f64::max);
-    let r_big = finite
-        .iter()
-        .filter(|p| p.avg_size >= 0.5 * n_max)
-        .map(|p| p.value)
-        .fold(0.0, f64::max);
+    let (n_max, r_big) = resilience_peak(curve);
     if (expo >= t.resilience_exponent && r_big >= t.resilience_magnitude)
         || r_big >= n_max.max(1.0).sqrt()
     {
@@ -125,17 +119,40 @@ pub fn classify_resilience(curve: &[CurvePoint], t: &ClassifyThresholds) -> Leve
     }
 }
 
-/// Classify a distortion curve.
-pub fn classify_distortion(curve: &[CurvePoint], t: &ClassifyThresholds) -> Level {
-    let last = curve
+/// The large-ball resilience summary `classify_resilience` thresholds
+/// on: `(largest finite average ball size, peak R among balls at least
+/// half that size)`. Public so the sampled-tier bootstrap resamples the
+/// exact statistic the classification uses.
+pub fn resilience_peak(curve: &[CurvePoint]) -> (f64, f64) {
+    let finite: Vec<&CurvePoint> = curve.iter().filter(|p| p.value.is_finite()).collect();
+    let n_max = finite.iter().map(|p| p.avg_size).fold(0.0, f64::max);
+    let r_big = finite
+        .iter()
+        .filter(|p| p.avg_size >= 0.5 * n_max)
+        .map(|p| p.value)
+        .fold(0.0, f64::max);
+    (n_max, r_big)
+}
+
+/// The distortion summary `classify_distortion` thresholds on: the last
+/// finite curve point with a non-trivial ball (≥ 8 nodes), if any.
+/// Public so the sampled-tier bootstrap resamples the exact statistic
+/// the classification uses.
+pub fn distortion_headline(curve: &[CurvePoint]) -> Option<(f64, f64)> {
+    curve
         .iter()
         .rev()
-        .find(|p| p.value.is_finite() && p.avg_size >= 8.0);
-    match last {
+        .find(|p| p.value.is_finite() && p.avg_size >= 8.0)
+        .map(|p| (p.avg_size, p.value))
+}
+
+/// Classify a distortion curve.
+pub fn classify_distortion(curve: &[CurvePoint], t: &ClassifyThresholds) -> Level {
+    match distortion_headline(curve) {
         None => Level::L,
-        Some(p) => {
-            let threshold = t.distortion_factor * p.avg_size.ln();
-            if p.value >= threshold {
+        Some((avg_size, value)) => {
+            let threshold = t.distortion_factor * avg_size.ln();
+            if value >= threshold {
                 Level::H
             } else {
                 Level::L

@@ -49,6 +49,13 @@ pub struct RunCtx {
     /// per plan). Initialized from the process default, which `repro
     /// --kernel` sets, so serve and batch paths share one choice.
     pub kernel: KernelPolicy,
+    /// Edge-buffer memory budget (bytes) for topology builds. `Some`
+    /// routes the streaming-capable generators through
+    /// [`topogen_graph::stream::StreamingBuilder`] (bounded buffer,
+    /// spill-to-disk runs, k-way merge); `None` builds in memory as
+    /// always. Initialized from the process default, which `repro
+    /// --mem-budget` sets. The built graph is identical either way.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for RunCtx {
@@ -59,6 +66,7 @@ impl Default for RunCtx {
             trace: None,
             instrument: None,
             kernel: topogen_graph::bfs_bitset::default_policy(),
+            mem_budget: topogen_graph::stream::default_budget(),
         }
     }
 }
@@ -81,6 +89,7 @@ impl RunCtx {
             trace: engine.trace,
             instrument: None,
             kernel: topogen_graph::bfs_bitset::default_policy(),
+            mem_budget: topogen_graph::stream::default_budget(),
         }
     }
 
@@ -111,6 +120,13 @@ impl RunCtx {
     /// Override the BFS kernel policy for this run.
     pub fn with_kernel(mut self, policy: KernelPolicy) -> Self {
         self.kernel = policy;
+        self
+    }
+
+    /// Override the build memory budget for this run (`None` disables
+    /// streaming builds regardless of the process default).
+    pub fn with_mem_budget(mut self, budget: Option<u64>) -> Self {
+        self.mem_budget = budget;
         self
     }
 

@@ -185,6 +185,12 @@ pub struct TimingReport {
     /// Frontier-expansion passes performed by the batched BFS kernels
     /// (zero on the scalar path).
     pub frontier_passes: u64,
+    /// Peak per-source scratch bytes of the hierarchy traversal stage
+    /// (a max across sources; zero when no traversal ran).
+    pub scratch_bytes: u64,
+    /// Sorted runs spilled to disk by memory-budgeted streaming builds
+    /// (zero without `--mem-budget`).
+    pub spill_runs: u64,
     /// Artifact-store lookups served from disk (`repro --cache`).
     pub store_hits: u64,
     /// Artifact-store lookups that fell through to computation.
@@ -231,6 +237,15 @@ impl Serialize for TimingReport {
                 self.frontier_passes.to_content(),
             ));
         }
+        // Same pattern for the memory-accounting counters (compressed
+        // hierarchy scratch, streaming-build spills): emit-when-nonzero
+        // keeps every pre-existing archive byte-identical.
+        if self.scratch_bytes > 0 {
+            fields.push(("scratch_bytes".to_string(), self.scratch_bytes.to_content()));
+        }
+        if self.spill_runs > 0 {
+            fields.push(("spill_runs".to_string(), self.spill_runs.to_content()));
+        }
         fields.extend([
             ("store_hits".to_string(), self.store_hits.to_content()),
             ("store_misses".to_string(), self.store_misses.to_content()),
@@ -272,6 +287,14 @@ impl Deserialize for TimingReport {
                 Some(v) => u64::from_content(v)?,
                 None => 0,
             },
+            scratch_bytes: match c.get("scratch_bytes") {
+                Some(v) => u64::from_content(v)?,
+                None => 0,
+            },
+            spill_runs: match c.get("spill_runs") {
+                Some(v) => u64::from_content(v)?,
+                None => 0,
+            },
             store_hits: u64::from_content(field("store_hits")?)?,
             store_misses: u64::from_content(field("store_misses")?)?,
             store_bytes_read: u64::from_content(field("store_bytes_read")?)?,
@@ -297,6 +320,8 @@ impl From<&topogen_par::InstrumentReport> for TimingReport {
             arena_bytes: r.arena_bytes,
             words_scanned: r.words_scanned,
             frontier_passes: r.frontier_passes,
+            scratch_bytes: r.scratch_bytes,
+            spill_runs: r.spill_runs,
             store_hits: r.store_hits,
             store_misses: r.store_misses,
             store_bytes_read: r.store_bytes_read,
@@ -347,6 +372,8 @@ impl TimingReport {
         self.arena_bytes += other.arena_bytes;
         self.words_scanned += other.words_scanned;
         self.frontier_passes += other.frontier_passes;
+        self.scratch_bytes = self.scratch_bytes.max(other.scratch_bytes);
+        self.spill_runs += other.spill_runs;
         self.store_hits += other.store_hits;
         self.store_misses += other.store_misses;
         self.store_bytes_read += other.store_bytes_read;
@@ -385,6 +412,12 @@ impl TimingReport {
             out.push_str(&format!(
                 "bitset words-scanned {}  frontier-passes {}\n",
                 self.words_scanned, self.frontier_passes
+            ));
+        }
+        if self.scratch_bytes + self.spill_runs > 0 {
+            out.push_str(&format!(
+                "memory scratch-peak {}B  spill-runs {}\n",
+                self.scratch_bytes, self.spill_runs
             ));
         }
         if self.store_hits + self.store_misses > 0 {
@@ -682,6 +715,42 @@ mod tests {
         assert_eq!(merged.words_scanned, 17);
         assert_eq!(merged.frontier_passes, 5);
         assert!(b.render().contains("bitset words-scanned 17"));
+    }
+
+    #[test]
+    fn timing_report_omits_memory_counters_when_zero() {
+        // Runs without a mem budget (and archives predating the
+        // compressed hierarchy scratch) carry neither key.
+        let r = TimingReport {
+            bfs_runs: 1,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(!j.contains("scratch_bytes"));
+        assert!(!j.contains("spill_runs"));
+        let back: TimingReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.scratch_bytes, 0);
+        assert_eq!(back.spill_runs, 0);
+
+        let b = TimingReport {
+            scratch_bytes: 4096,
+            spill_runs: 3,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&b).unwrap();
+        let back: TimingReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.scratch_bytes, 4096);
+        assert_eq!(back.spill_runs, 3);
+        // scratch is a high-water mark: merge takes the max, not the sum.
+        let mut merged = b.clone();
+        merged.merge(&TimingReport {
+            scratch_bytes: 1024,
+            spill_runs: 2,
+            ..Default::default()
+        });
+        assert_eq!(merged.scratch_bytes, 4096);
+        assert_eq!(merged.spill_runs, 5);
+        assert!(b.render().contains("memory scratch-peak 4096B"));
     }
 
     #[test]

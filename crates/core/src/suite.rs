@@ -30,6 +30,19 @@ pub struct SuiteParams {
     pub restarts: usize,
     /// Master seed.
     pub seed: u64,
+    /// Centers per checkpointed batch. `Some(b)`: the engine's job list
+    /// is collected `b` jobs at a time, each batch's outputs persisted
+    /// under a deterministic [`crate::cache::suite_partial_key`] before
+    /// the next starts — a killed run resumes from the last completed
+    /// batch. `None` (the historical default) runs one-shot. Results
+    /// are bit-identical either way (see
+    /// [`topogen_metrics::engine::JobOut`]), so this knob is *not* part
+    /// of the curves cache key.
+    pub batch: Option<usize>,
+    /// Bootstrap resamples for 95% CIs on the classification summary
+    /// statistics. `None` (default, and always at small/paper) computes
+    /// no CIs; sampled tiers set `Some(200)`. Never affects the curves.
+    pub bootstrap: Option<u32>,
 }
 
 impl SuiteParams {
@@ -42,6 +55,8 @@ impl SuiteParams {
             max_ball_nodes: 900,
             restarts: 2,
             seed: 0x51DE,
+            batch: None,
+            bootstrap: None,
         }
     }
 
@@ -54,6 +69,36 @@ impl SuiteParams {
             max_ball_nodes: 2_500,
             restarts: 4,
             seed: 0x51DE,
+            batch: None,
+            bootstrap: None,
+        }
+    }
+}
+
+/// Bootstrap 95% confidence intervals `(lo, hi)` for the three summary
+/// statistics the L/H classification thresholds on — resampled over
+/// centers, so they quantify center-sampling noise at the sampled
+/// (large/xl) tiers. Rendered as `±` half-width columns next to the
+/// signature.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuiteCis {
+    /// CI of the mid-curve expansion growth rate.
+    pub expansion_rate: (f64, f64),
+    /// CI of the large-ball resilience peak.
+    pub resilience_peak: (f64, f64),
+    /// CI of the headline (largest-ball) distortion value.
+    pub distortion_last: (f64, f64),
+}
+
+impl SuiteCis {
+    /// Render one interval as the `±` half-width string used in table
+    /// columns ("-" when the interval is degenerate or non-finite).
+    pub fn pm(interval: (f64, f64)) -> String {
+        let half = (interval.1 - interval.0) / 2.0;
+        if half.is_finite() {
+            format!("±{half:.3}")
+        } else {
+            "-".to_string()
         }
     }
 }
@@ -71,6 +116,9 @@ pub struct SuiteResult {
     pub signature: Signature,
     /// Engine counters and phase wall times for this run.
     pub timings: TimingReport,
+    /// Bootstrap 95% CIs of the classification summaries; present only
+    /// when [`SuiteParams::bootstrap`] was set (sampled tiers).
+    pub cis: Option<SuiteCis>,
 }
 
 /// Run the three metrics over plain shortest-path balls, under the
@@ -91,10 +139,20 @@ pub fn run_suite_in(
     let key = curves_key("plain", params)
         .hash("graph", crate::cache::graph_hash(&t.graph))
         .finish();
-    with_curve_cache(ctx, key, || {
+    with_curve_cache(ctx, key.clone(), || {
         let src = PlainBalls { graph: &t.graph };
-        run_with_source(ctx, &src, t.graph.node_count(), params)
+        run_with_source(ctx, &src, t.graph.node_count(), params, &key)
     })
+}
+
+/// The store key [`run_suite_in`] caches `t`'s plain curves under —
+/// exposed so resume drills (the check suite's checkpoint invariant,
+/// the CI kill-and-resume job) can evict exactly the final entry and
+/// force the next run to rebuild from persisted batch partials.
+pub fn plain_curves_key(t: &BuiltTopology, params: &SuiteParams) -> String {
+    curves_key("plain", params)
+        .hash("graph", crate::cache::graph_hash(&t.graph))
+        .finish()
 }
 
 /// Run the three metrics over policy-induced balls (Appendix E); the
@@ -126,12 +184,12 @@ pub fn run_suite_policy_in(
             crate::cache::annotations_hash(ann, t.graph.edge_count()),
         )
         .finish();
-    with_curve_cache(ctx, key, || {
+    with_curve_cache(ctx, key.clone(), || {
         let src = PolicyBalls {
             graph: &t.graph,
             annotations: ann,
         };
-        run_with_source(ctx, &src, t.graph.node_count(), params)
+        run_with_source(ctx, &src, t.graph.node_count(), params, &key)
     })
 }
 
@@ -168,7 +226,7 @@ pub fn run_suite_rl_policy_in(
             crate::cache::annotations_hash(&ov.annotations, ov.as_graph.edge_count()),
         )
         .finish();
-    with_curve_cache(ctx, key, || {
+    with_curve_cache(ctx, key.clone(), || {
         let overlay = topogen_policy::overlay::RouterOverlay::new(
             &t.graph,
             router_as,
@@ -176,21 +234,30 @@ pub fn run_suite_rl_policy_in(
             &ov.annotations,
         );
         let src = topogen_metrics::balls::OverlayBalls { overlay };
-        run_with_source(ctx, &src, t.graph.node_count(), params)
+        run_with_source(ctx, &src, t.graph.node_count(), params, &key)
     })
 }
 
 /// Common key prefix for cached metric curves: ball mode + every
 /// sampling/budget knob that shapes the curves.
 fn curves_key(mode: &str, params: &SuiteParams) -> topogen_store::key::KeyBuilder {
-    topogen_store::key::KeyBuilder::new("metric-curves")
+    let kb = topogen_store::key::KeyBuilder::new("metric-curves")
         .field("mode", mode)
         .u64("centers", params.centers as u64)
         .u64("expansion_sources", params.expansion_sources as u64)
         .u64("max_radius", params.max_radius as u64)
         .u64("max_ball_nodes", params.max_ball_nodes as u64)
         .u64("restarts", params.restarts as u64)
-        .u64("seed", params.seed)
+        .u64("seed", params.seed);
+    // The bootstrap knob changes the cached *payload* (an extra CI
+    // section) but never the curves; render it only when set so every
+    // historical (small/paper) key stays byte-identical. `batch` is
+    // deliberately absent: batched and one-shot runs produce the same
+    // bits.
+    match params.bootstrap {
+        Some(b) => kb.u64("bootstrap", b as u64),
+        None => kb,
+    }
 }
 
 /// Serve a suite run from the context's artifact store when possible.
@@ -226,11 +293,13 @@ fn with_curve_cache(
                 distortion,
                 signature,
                 timings,
+                cis: crate::cache::decode_curve_cis(&bytes),
             };
         }
     }
     let mut r = compute();
-    let bytes = crate::cache::encode_curves(&r.expansion, &r.resilience, &r.distortion);
+    let bytes =
+        crate::cache::encode_curves_ci(&r.expansion, &r.resilience, &r.distortion, r.cis.as_ref());
     store.put(&key, &bytes);
     r.timings.store_misses += 1;
     r.timings.store_bytes_written += bytes.len() as u64;
@@ -242,6 +311,7 @@ fn run_with_source<S: BallSource>(
     src: &S,
     n: usize,
     params: &SuiteParams,
+    cache_key: &str,
 ) -> SuiteResult {
     // Sampling order (expansion sources, then ball centers) is part of
     // the seeded contract: reordering would shift every curve.
@@ -265,15 +335,66 @@ fn run_with_source<S: BallSource>(
     // the cap mirrors `max_ball_nodes`, above which both suite metrics
     // decline a ball — so the bitset path can skip constructing
     // oversized balls without changing any output bit.
-    let out = BallPlan::new(src, params.max_radius, params.seed)
+    let plan = BallPlan::new(src, params.max_radius, params.seed)
         .ball_centers(centers)
         .expansion_centers(exp_sources)
         .metric(&res_metric)
         .metric(&dis_metric)
         .kernel(ctx.kernel)
         .ball_size_cap(Some(params.max_ball_nodes))
-        .context(ctx.engine())
-        .run();
+        .context(ctx.engine());
+
+    let (out, mut timings, outputs) = match params.batch {
+        // Historical one-shot path, untouched: small/paper runs never
+        // take the decomposed branch below.
+        None if params.bootstrap.is_none() => {
+            let out = plan.run();
+            let timings = TimingReport::from(&out.report);
+            (out, timings, None)
+        }
+        batch => {
+            let jobs = plan.jobs();
+            let chunk = batch.unwrap_or(jobs.len().max(1));
+            let mut outputs = Vec::with_capacity(jobs.len());
+            let mut timings = TimingReport::default();
+            for (i, slice) in jobs.chunks(chunk.max(1)).enumerate() {
+                // Serve completed batches from the store (that is the
+                // whole restart story: a killed run left them behind),
+                // compute and persist the rest before moving on.
+                let pkey = ctx
+                    .store
+                    .as_ref()
+                    .map(|_| crate::cache::suite_partial_key(cache_key, chunk, i));
+                let cached = ctx.store.as_deref().zip(pkey.as_deref()).and_then(
+                    |(store, pkey)| -> Option<Vec<topogen_metrics::engine::JobOut>> {
+                        let bytes = store.get(pkey)?;
+                        let outs = crate::cache::decode_suite_partial(&bytes)?;
+                        (outs.len() == slice.len()).then(|| {
+                            timings.store_hits += 1;
+                            timings.store_bytes_read += bytes.len() as u64;
+                            outs
+                        })
+                    },
+                );
+                match cached {
+                    Some(mut outs) => outputs.append(&mut outs),
+                    None => {
+                        let (outs, report) = plan.run_collect(slice);
+                        timings.merge(&TimingReport::from(&report));
+                        if let (Some(store), Some(pkey)) = (ctx.store.as_deref(), pkey.as_deref()) {
+                            let bytes = crate::cache::encode_suite_partial(&outs);
+                            store.put(pkey, &bytes);
+                            timings.store_misses += 1;
+                            timings.store_bytes_written += bytes.len() as u64;
+                        }
+                        outputs.extend(outs);
+                    }
+                }
+            }
+            let out = plan.aggregate(&outputs, Default::default());
+            (out, timings, Some((jobs, outputs)))
+        }
+    };
     let expansion = out.expansion;
     let resilience = out.curves[0].clone();
     let distortion = out.curves[1].clone();
@@ -284,13 +405,134 @@ fn run_with_source<S: BallSource>(
         resilience: classify_resilience(&resilience, &th),
         distortion: classify_distortion(&distortion, &th),
     };
+    let cis = match (params.bootstrap, &outputs) {
+        (Some(resamples), Some((jobs, outs))) => Some(bootstrap_cis(
+            jobs,
+            outs,
+            n,
+            params.max_radius as usize + 1,
+            resamples,
+            params.seed,
+        )),
+        _ => None,
+    };
     SuiteResult {
         expansion,
         resilience,
         distortion,
         signature,
-        timings: TimingReport::from(&out.report),
+        timings: std::mem::take(&mut timings),
+        cis,
     }
+}
+
+/// Bootstrap the three classification summaries over centers: resample
+/// expansion sources (for the growth rate) and ball centers (for the
+/// resilience peak and distortion headline) with replacement,
+/// recompute each statistic per resample through the same aggregation
+/// the real curves use, and take the 2.5th/97.5th percentiles. Fully
+/// seeded — the CIs are as deterministic as the curves themselves.
+fn bootstrap_cis(
+    jobs: &[(topogen_graph::NodeId, bool, bool)],
+    outputs: &[topogen_metrics::engine::JobOut],
+    n: usize,
+    radii: usize,
+    resamples: u32,
+    seed: u64,
+) -> SuiteCis {
+    use rand::Rng;
+    let exp_idx: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].2).collect();
+    let ball_idx: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].1).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB007_57A9);
+    let mut rate = Vec::with_capacity(resamples as usize);
+    let mut peak = Vec::with_capacity(resamples as usize);
+    let mut last = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        if !exp_idx.is_empty() {
+            let denom = exp_idx.len() as f64 * n as f64;
+            let mut curve = vec![0.0f64; radii];
+            for _ in 0..exp_idx.len() {
+                let j = exp_idx[rng.gen_range(0..exp_idx.len())];
+                if let (_, Some(cum)) = &outputs[j] {
+                    for (h, &c) in cum.iter().enumerate().take(radii) {
+                        curve[h] += c as f64;
+                    }
+                }
+            }
+            for v in &mut curve {
+                *v /= denom;
+            }
+            rate.push(topogen_metrics::expansion::expansion_growth_rate(&curve));
+        }
+        if !ball_idx.is_empty() {
+            // Re-aggregate both per-ball metrics (resilience = column
+            // 0, distortion = column 1) over the resampled centers,
+            // mirroring BallPlan::aggregate's finite-only averaging.
+            let picks: Vec<usize> = (0..ball_idx.len())
+                .map(|_| ball_idx[rng.gen_range(0..ball_idx.len())])
+                .collect();
+            let curve_for = |mi: usize| -> Vec<CurvePoint> {
+                (0..radii as u32)
+                    .map(|h| {
+                        let mut size_sum = 0.0;
+                        let mut val_sum = 0.0;
+                        let mut val_n = 0usize;
+                        for &j in &picks {
+                            if let (Some(rows), _) = &outputs[j] {
+                                if let Some((s, vals)) = rows.get(h as usize) {
+                                    if vals[mi].is_finite() {
+                                        size_sum += *s;
+                                        val_sum += vals[mi];
+                                        val_n += 1;
+                                    }
+                                }
+                            }
+                        }
+                        CurvePoint {
+                            radius: h,
+                            avg_size: if val_n > 0 {
+                                size_sum / val_n as f64
+                            } else {
+                                0.0
+                            },
+                            value: if val_n > 0 {
+                                val_sum / val_n as f64
+                            } else {
+                                f64::NAN
+                            },
+                        }
+                    })
+                    .collect()
+            };
+            peak.push(crate::classify::resilience_peak(&curve_for(0)).1);
+            last.push(
+                crate::classify::distortion_headline(&curve_for(1))
+                    .map(|(_, v)| v)
+                    .unwrap_or(f64::NAN),
+            );
+        }
+    }
+    SuiteCis {
+        expansion_rate: percentile_interval(&mut rate),
+        resilience_peak: percentile_interval(&mut peak),
+        distortion_last: percentile_interval(&mut last),
+    }
+}
+
+/// Nearest-rank 2.5%/97.5% interval over finite samples; `(NaN, NaN)`
+/// when nothing finite was observed.
+fn percentile_interval(samples: &mut Vec<f64>) -> (f64, f64) {
+    samples.retain(|v| v.is_finite());
+    if samples.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    samples.sort_by(f64::total_cmp);
+    let b = samples.len();
+    let lo = samples[((b as f64 * 0.025) as usize).min(b - 1)];
+    let hi = samples[((b as f64 * 0.975).ceil() as usize)
+        .saturating_sub(1)
+        .min(b - 1)];
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -347,6 +589,92 @@ mod tests {
         let t = build(&TopologySpec::MeasuredRl, Scale::Small, 42);
         let r = run_suite_rl_policy(&t, &SuiteParams::quick());
         assert_eq!(r.signature.to_string(), "HHL");
+    }
+
+    #[test]
+    fn batched_checkpointed_suite_matches_one_shot() {
+        // The checkpointing contract: any batch size, with or without a
+        // store, reproduces the one-shot curves bit-for-bit — and a
+        // second run over the same store serves every batch from the
+        // persisted partials without touching the engine.
+        let t = build(&TopologySpec::Mesh { side: 14 }, Scale::Small, 21);
+        let params = SuiteParams::quick();
+        let one_shot = run_suite_in(&crate::ctx::RunCtx::new(), &t, &params);
+        assert!(one_shot.cis.is_none());
+
+        let fp = |r: &SuiteResult| {
+            (
+                r.expansion.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                r.resilience
+                    .iter()
+                    .map(|p| (p.radius, p.avg_size.to_bits(), p.value.to_bits()))
+                    .collect::<Vec<_>>(),
+                r.distortion
+                    .iter()
+                    .map(|p| (p.radius, p.avg_size.to_bits(), p.value.to_bits()))
+                    .collect::<Vec<_>>(),
+                r.signature.to_string(),
+            )
+        };
+
+        for batch in [1usize, 3, 1000] {
+            let mut p = params;
+            p.batch = Some(batch);
+            // No store: batched collection, nothing persisted.
+            let r = run_suite_in(&crate::ctx::RunCtx::new(), &t, &p);
+            assert_eq!(fp(&r), fp(&one_shot), "batch={batch}, no store");
+        }
+
+        let dir = std::env::temp_dir().join(format!("topogen-suite-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = std::sync::Arc::new(topogen_store::Store::open(&dir).unwrap());
+        let ctx = crate::ctx::RunCtx::new().with_store(store);
+        let mut p = params;
+        p.batch = Some(4);
+        p.bootstrap = Some(50);
+        let cold = run_suite_in(&ctx, &t, &p);
+        assert_eq!(fp(&cold), fp(&one_shot), "batched+stored");
+        let cis = cold.cis.expect("bootstrap CIs at sampled settings");
+        assert!(cis.expansion_rate.0 <= cis.expansion_rate.1);
+        assert!(cis.resilience_peak.0 <= cis.resilience_peak.1);
+        // Warm run: the final curves entry hits, CIs replay from it.
+        let warm = run_suite_in(&ctx, &t, &p);
+        assert_eq!(fp(&warm), fp(&one_shot), "warm replay");
+        assert_eq!(warm.cis, Some(cis), "CIs survive the cache round-trip");
+        assert!(warm.timings.store_hits >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_checkpoints_resume_without_recompute() {
+        // Simulate a mid-suite kill: run with a store (partials land on
+        // disk), delete only the final curves entry, then re-run. The
+        // resumed run must rebuild the result purely from partial hits.
+        let t = build(&TopologySpec::Mesh { side: 12 }, Scale::Small, 33);
+        let mut p = SuiteParams::quick();
+        p.batch = Some(3);
+        let dir = std::env::temp_dir().join(format!("topogen-suite-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = std::sync::Arc::new(topogen_store::Store::open(&dir).unwrap());
+        let ctx = crate::ctx::RunCtx::new().with_store(store.clone());
+        let cold = run_suite_in(&ctx, &t, &p);
+        // Drop the aggregate entry, keep the partials — the state a
+        // SIGKILL between the last batch and the final put leaves.
+        let key = curves_key("plain", &p)
+            .hash("graph", crate::cache::graph_hash(&t.graph))
+            .finish();
+        store.remove(&key);
+        let resumed = run_suite_in(&ctx, &t, &p);
+        assert!(
+            resumed.timings.store_hits >= 3,
+            "all batches must replay: {:?}",
+            resumed.timings.store_hits
+        );
+        for (a, b) in resumed.expansion.iter().zip(&cold.expansion) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(resumed.signature.to_string(), cold.signature.to_string());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -334,12 +334,49 @@ fn build_uncached(
     // arms a `build` entry (optionally scoped to this topology's name).
     topogen_par::faults::inject("build", &name);
     let (graph, annotations, router_as) = match spec {
-        TopologySpec::Tree { k, depth } => (canonical::kary_tree(*k, *depth), None, None),
-        TopologySpec::Mesh { side } => (canonical::mesh(*side, *side), None, None),
-        TopologySpec::Linear { n } => (canonical::linear(*n), None, None),
-        TopologySpec::Complete { n } => (canonical::complete(*n), None, None),
+        // The canonical and degree-sequence generators all emit through
+        // `EdgeSink`s: under a memory budget (`repro --mem-budget`) they
+        // stream into a bounded spill-to-disk builder instead of an
+        // unbounded in-memory edge vector. One generic body serves both
+        // sinks, so the budgeted graph is identical bit-for-bit.
+        TopologySpec::Tree { k, depth } => (
+            match ctx.mem_budget {
+                Some(b) => build_streamed(b, |s| canonical::kary_tree_into(*k, *depth, s)),
+                None => canonical::kary_tree(*k, *depth),
+            },
+            None,
+            None,
+        ),
+        TopologySpec::Mesh { side } => (
+            match ctx.mem_budget {
+                Some(b) => build_streamed(b, |s| canonical::mesh_into(*side, *side, s)),
+                None => canonical::mesh(*side, *side),
+            },
+            None,
+            None,
+        ),
+        TopologySpec::Linear { n } => (
+            match ctx.mem_budget {
+                Some(b) => build_streamed(b, |s| canonical::linear_into(*n, s)),
+                None => canonical::linear(*n),
+            },
+            None,
+            None,
+        ),
+        TopologySpec::Complete { n } => (
+            match ctx.mem_budget {
+                Some(b) => build_streamed(b, |s| canonical::complete_into(*n, s)),
+                None => canonical::complete(*n),
+            },
+            None,
+            None,
+        ),
         TopologySpec::Random { n, p } => (
-            largest_component(&canonical::random_gnp(*n, *p, &mut rng)).0,
+            largest_component(&match ctx.mem_budget {
+                Some(b) => build_streamed(b, |s| canonical::random_gnp_into(*n, *p, &mut rng, s)),
+                None => canonical::random_gnp(*n, *p, &mut rng),
+            })
+            .0,
             None,
             None,
         ),
@@ -349,7 +386,19 @@ fn build_uncached(
         TopologySpec::Waxman(p) => (p.generate(&mut rng), None, None),
         TopologySpec::TransitStub(p) => (p.generate(&mut rng), None, None),
         TopologySpec::Tiers(p) => (p.generate(&mut rng), None, None),
-        TopologySpec::Plrg(p) => (p.generate(&mut rng), None, None),
+        TopologySpec::Plrg(p) => (
+            match ctx.mem_budget {
+                Some(b) => {
+                    largest_component(&build_streamed(b, |s| {
+                        topogen_generators::plrg::plrg_into(p, &mut rng, s)
+                    }))
+                    .0
+                }
+                None => p.generate(&mut rng),
+            },
+            None,
+            None,
+        ),
         TopologySpec::Ba(p) => (p.generate(&mut rng), None, None),
         TopologySpec::AlbertBarabasi(p) => (p.generate(&mut rng), None, None),
         TopologySpec::Brite(p) => (p.generate(&mut rng), None, None),
@@ -403,6 +452,27 @@ fn build_uncached(
         as_overlay: None,
         spec: spec.clone(),
     }
+}
+
+/// Build a graph through the memory-budgeted streaming CSR path: edges
+/// emit into a [`topogen_graph::stream::StreamingBuilder`] whose fill
+/// buffer is bounded by `budget` bytes (overflow spills sorted runs
+/// under `out/`, merged k-way at build time). The peak buffer bytes and
+/// spill-run count are published to the process-wide instrument
+/// high-water marks, which the bench runner drains into the ledger —
+/// the same plumbing the metric arenas use.
+fn build_streamed<F>(budget: u64, emit: F) -> Graph
+where
+    F: FnOnce(&mut topogen_graph::stream::StreamingBuilder),
+{
+    let dir = std::path::PathBuf::from("out");
+    let _ = std::fs::create_dir_all(&dir);
+    let mut b = topogen_graph::stream::StreamingBuilder::new(0, Some(budget), &dir);
+    emit(&mut b);
+    let (g, stats) = b.build();
+    topogen_par::record_arena_highwater(stats.peak_bytes);
+    topogen_par::record_spill_runs(stats.spill_runs);
+    g
 }
 
 #[cfg(test)]
@@ -477,6 +547,39 @@ mod tests {
         let s = TopologySpec::PlrgRewired(Box::new(TopologySpec::Ba(BaParams { n: 300, m: 2 })));
         let t = build(&s, Scale::Small, 3);
         assert!(t.graph.node_count() > 200);
+    }
+
+    #[test]
+    fn budgeted_builds_match_unbudgeted() {
+        // A tiny budget forces real spill runs on every streaming-
+        // capable spec; the resulting graphs must be bit-identical to
+        // the in-memory builds (shared generator bodies, same RNG
+        // draws, order-independent sort+dedup).
+        let specs = [
+            TopologySpec::Tree { k: 3, depth: 6 },
+            TopologySpec::Mesh { side: 20 },
+            TopologySpec::Linear { n: 400 },
+            TopologySpec::Complete { n: 60 },
+            TopologySpec::Random { n: 800, p: 0.004 },
+            TopologySpec::Plrg(PlrgParams {
+                n: 900,
+                alpha: 2.246,
+                max_degree: None,
+            }),
+        ];
+        let plain = crate::ctx::RunCtx::new();
+        let budgeted = crate::ctx::RunCtx::new().with_mem_budget(Some(64 * 1024));
+        for spec in specs {
+            let a = build_in(&plain, &spec, Scale::Small, 13);
+            let b = build_in(&budgeted, &spec, Scale::Small, 13);
+            assert_eq!(a.graph.edges(), b.graph.edges(), "{}", spec.name());
+            assert_eq!(
+                a.graph.node_count(),
+                b.graph.node_count(),
+                "{}",
+                spec.name()
+            );
+        }
     }
 
     #[test]

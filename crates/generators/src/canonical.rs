@@ -6,15 +6,22 @@
 //! known low/high metric signatures anchor the classification table.
 
 use rand::Rng;
+use topogen_graph::stream::EdgeSink;
 use topogen_graph::{Graph, GraphBuilder, NodeId};
 
-/// Complete k-ary tree of the given `depth` (depth 0 = a single root).
-/// The paper's Tree instance is `k = 3, D = 6` → 1093 nodes, the node
-/// count `(k^(D+1) - 1) / (k - 1)`.
-///
-/// # Panics
-/// Panics if `k == 0`, or if `k == 1` (use [`linear`] for chains).
-pub fn kary_tree(k: usize, depth: usize) -> Graph {
+/// Finalize an in-memory sink-built graph: the shared tail of every
+/// `fn xyz() -> Graph` convenience wrapper around its `xyz_into` body.
+fn collect<F: FnOnce(&mut GraphBuilder)>(f: F) -> Graph {
+    let mut b = GraphBuilder::new(0);
+    f(&mut b);
+    b.build()
+}
+
+/// [`kary_tree`] emitting through an arbitrary [`EdgeSink`] — the
+/// memory-budgeted build path. All `*_into` variants share the exact
+/// emission (and RNG-consumption) order of their in-memory wrappers, so
+/// a streamed build is identical to the in-memory one by construction.
+pub fn kary_tree_into<S: EdgeSink>(k: usize, depth: usize, sink: &mut S) {
     assert!(k >= 2, "k-ary tree needs k >= 2");
     // Node count: (k^(depth+1) - 1) / (k - 1).
     let mut n: usize = 1;
@@ -23,45 +30,62 @@ pub fn kary_tree(k: usize, depth: usize) -> Graph {
         level *= k;
         n += level;
     }
-    let mut b = GraphBuilder::new(n);
+    sink.ensure_nodes(n);
     // Children of node v are k*v + 1 ... k*v + k (standard heap layout).
     for v in 0..n {
         for c in 1..=k {
             let child = k * v + c;
             if child < n {
-                b.add_edge(v as NodeId, child as NodeId);
+                sink.add_edge(v as NodeId, child as NodeId);
             }
         }
     }
-    b.build()
+}
+
+/// Complete k-ary tree of the given `depth` (depth 0 = a single root).
+/// The paper's Tree instance is `k = 3, D = 6` → 1093 nodes, the node
+/// count `(k^(D+1) - 1) / (k - 1)`.
+///
+/// # Panics
+/// Panics if `k == 0`, or if `k == 1` (use [`linear`] for chains).
+pub fn kary_tree(k: usize, depth: usize) -> Graph {
+    collect(|b| kary_tree_into(k, depth, b))
+}
+
+/// [`mesh`] emitting through an arbitrary [`EdgeSink`].
+pub fn mesh_into<S: EdgeSink>(rows: usize, cols: usize, sink: &mut S) {
+    let n = rows * cols;
+    sink.ensure_nodes(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                sink.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                sink.add_edge(v, v + cols as NodeId);
+            }
+        }
+    }
 }
 
 /// Rectangular grid ("Mesh") with `rows × cols` nodes, 4-neighbor
 /// connectivity. The paper uses a 30×30 grid (900 nodes).
 pub fn mesh(rows: usize, cols: usize) -> Graph {
-    let n = rows * cols;
-    let mut b = GraphBuilder::new(n);
-    for r in 0..rows {
-        for c in 0..cols {
-            let v = (r * cols + c) as NodeId;
-            if c + 1 < cols {
-                b.add_edge(v, v + 1);
-            }
-            if r + 1 < rows {
-                b.add_edge(v, v + cols as NodeId);
-            }
-        }
+    collect(|b| mesh_into(rows, cols, b))
+}
+
+/// [`linear`] emitting through an arbitrary [`EdgeSink`].
+pub fn linear_into<S: EdgeSink>(n: usize, sink: &mut S) {
+    sink.ensure_nodes(n);
+    for i in 1..n {
+        sink.add_edge((i - 1) as NodeId, i as NodeId);
     }
-    b.build()
 }
 
 /// Linear chain of `n` nodes (the paper's low/low/low reference network).
 pub fn linear(n: usize) -> Graph {
-    let mut b = GraphBuilder::new(n);
-    for i in 1..n {
-        b.add_edge((i - 1) as NodeId, i as NodeId);
-    }
-    b.build()
+    collect(|b| linear_into(n, b))
 }
 
 /// Cycle of `n` nodes.
@@ -77,35 +101,32 @@ pub fn ring(n: usize) -> Graph {
     b.build()
 }
 
+/// [`complete`] emitting through an arbitrary [`EdgeSink`].
+pub fn complete_into<S: EdgeSink>(n: usize, sink: &mut S) {
+    sink.ensure_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sink.add_edge(i as NodeId, j as NodeId);
+        }
+    }
+}
+
 /// Complete graph on `n` nodes (the paper's high/high/low reference — the
 /// only standard network sharing the Internet's metric signature).
 pub fn complete(n: usize) -> Graph {
-    let mut b = GraphBuilder::new(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            b.add_edge(i as NodeId, j as NodeId);
-        }
-    }
-    b.build()
+    collect(|b| complete_into(n, b))
 }
 
-/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
-/// independently with probability `p`. The paper's Random instance is
-/// `n = 5018, p = 0.0008` (Figure 1 — the node count is the largest
-/// connected component of a slightly larger draw).
-///
-/// May be disconnected; callers typically extract the largest component.
-///
-/// Implementation: geometric skipping over the ordered edge list, O(n + m)
-/// expected time rather than O(n²) Bernoulli trials.
-pub fn random_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+/// [`random_gnp`] emitting through an arbitrary [`EdgeSink`].
+pub fn random_gnp_into<S: EdgeSink, R: Rng>(n: usize, p: f64, rng: &mut R, sink: &mut S) {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut b = GraphBuilder::new(n);
+    sink.ensure_nodes(n);
     if p <= 0.0 || n < 2 {
-        return b.build();
+        return;
     }
     if p >= 1.0 {
-        return complete(n);
+        complete_into(n, sink);
+        return;
     }
     // Iterate potential edges in lexicographic order, skipping ahead by
     // geometric jumps (Batagelj–Brandes).
@@ -122,9 +143,21 @@ pub fn random_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
         }
         let e = idx as u64;
         let (u, v) = unrank_edge(n as u64, e);
-        b.add_edge(u as NodeId, v as NodeId);
+        sink.add_edge(u as NodeId, v as NodeId);
     }
-    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
+/// independently with probability `p`. The paper's Random instance is
+/// `n = 5018, p = 0.0008` (Figure 1 — the node count is the largest
+/// connected component of a slightly larger draw).
+///
+/// May be disconnected; callers typically extract the largest component.
+///
+/// Implementation: geometric skipping over the ordered edge list, O(n + m)
+/// expected time rather than O(n²) Bernoulli trials.
+pub fn random_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    collect(|b| random_gnp_into(n, p, rng, b))
 }
 
 /// Map an index `0 <= e < n(n-1)/2` to the e-th edge in lexicographic

@@ -23,11 +23,14 @@
 //! requested sequence.
 
 use rand::Rng;
+use topogen_graph::stream::EdgeSink;
 use topogen_graph::{Graph, GraphBuilder, NodeId};
 
-/// PLRG clone matching \[1\]: make `d(v)` copies of node `v`, shuffle,
-/// pair adjacent copies. Self-loops/duplicates dropped at build time.
-pub fn match_plrg<R: Rng>(degrees: &[usize], rng: &mut R) -> Graph {
+/// [`match_plrg`] emitting through an arbitrary [`EdgeSink`] — the
+/// memory-budgeted build path. One body serves both builders, so the
+/// RNG consumption (and therefore the matching) is identical whether
+/// the raw pairs land in memory or spill to sorted runs.
+pub fn match_plrg_into<S: EdgeSink, R: Rng>(degrees: &[usize], rng: &mut R, sink: &mut S) {
     let mut clones: Vec<NodeId> = Vec::with_capacity(degrees.iter().sum());
     for (v, &d) in degrees.iter().enumerate() {
         clones.extend(std::iter::repeat_n(v as NodeId, d));
@@ -37,10 +40,17 @@ pub fn match_plrg<R: Rng>(degrees: &[usize], rng: &mut R) -> Graph {
         let j = rng.gen_range(0..=i);
         clones.swap(i, j);
     }
-    let mut b = GraphBuilder::new(degrees.len());
+    sink.ensure_nodes(degrees.len());
     for pair in clones.chunks_exact(2) {
-        b.add_edge(pair[0], pair[1]);
+        sink.add_edge(pair[0], pair[1]);
     }
+}
+
+/// PLRG clone matching \[1\]: make `d(v)` copies of node `v`, shuffle,
+/// pair adjacent copies. Self-loops/duplicates dropped at build time.
+pub fn match_plrg<R: Rng>(degrees: &[usize], rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::new(0);
+    match_plrg_into(degrees, rng, &mut b);
     b.build()
 }
 

@@ -55,12 +55,26 @@ impl PlrgParams {
 /// assert!(lcc.max_degree() as f64 > 5.0 * lcc.average_degree());
 /// ```
 pub fn plrg<R: Rng>(params: &PlrgParams, rng: &mut R) -> Graph {
+    let mut b = topogen_graph::GraphBuilder::new(0);
+    plrg_into(params, rng, &mut b);
+    b.build()
+}
+
+/// [`plrg`] emitting the raw matching through an arbitrary
+/// [`EdgeSink`](topogen_graph::stream::EdgeSink) — the memory-budgeted
+/// build path for the xl tier. Shares one body (and RNG order) with
+/// [`plrg`], so the streamed graph is identical by construction.
+pub fn plrg_into<S: topogen_graph::stream::EdgeSink, R: Rng>(
+    params: &PlrgParams,
+    rng: &mut R,
+    sink: &mut S,
+) {
     let cutoff = params
         .max_degree
         .unwrap_or_else(|| natural_cutoff(params.n, params.alpha));
     let mut degrees = power_law_degrees(params.n, params.alpha, cutoff, rng);
     evenize(&mut degrees);
-    match_plrg(&degrees, rng)
+    crate::connectivity::match_plrg_into(&degrees, rng, sink);
 }
 
 /// Fallible PLRG: draws the degree sequence through the bounded

@@ -33,6 +33,9 @@
 //!   footnote-22 center-to-surface flow metric).
 //! * [`prune`] — recursive degree-1 pruning ("core" extraction, the
 //!   paper's footnote 29).
+//! * [`stream`] — memory-budgeted streaming CSR construction: generators
+//!   emit through an [`stream::EdgeSink`], spilling sorted runs to disk
+//!   and k-way merging when over budget (the xl-tier build path).
 //! * [`apsp`] — all-pairs shortest paths over small subgraphs.
 //! * [`io`] — a tiny edge-list interchange format.
 //!
@@ -52,6 +55,7 @@ pub mod geometry;
 mod graph;
 pub mod io;
 pub mod prune;
+pub mod stream;
 pub mod subgraph;
 pub mod tree;
 pub mod unionfind;

@@ -10,9 +10,11 @@
 //!
 //! The engine is parallel and arena-backed: sources are spread over
 //! worker threads (each computes its whole DAG plus all of its pairs'
-//! accumulations independently), per-pair link weights go into a dense
-//! epoch-stamped scratch array indexed by edge id (no hashing in the
-//! inner loop), and the per-source contributions are merged in ascending
+//! accumulations independently), per-pair link weights go through a
+//! frontier-local compressed `(link, share)` scratch sized by one pair's
+//! path states (not the whole edge set — the former dense epoch-stamped
+//! arrays pinned 12·m bytes per worker, which dominated memory at the
+//! large/xl tiers), and the per-source contributions are merged in ascending
 //! source order into one flat CSR-style arena ([`LinkTraversals`]) — a
 //! counting pass, one buffer, one offsets array. Because the merge order
 //! is fixed and every floating-point operation happens within a single
@@ -100,6 +102,10 @@ struct SourceContrib {
     states_visited: u64,
     /// Pairs accumulated (reachable targets above the source).
     pairs: u64,
+    /// Peak frontier-local scratch entries held by any single pair's
+    /// accumulation (the compressed replacement for the former dense
+    /// per-edge arrays).
+    scratch_peak: usize,
 }
 
 /// Compute all traversal sets under the given path mode. Pairs are
@@ -178,6 +184,12 @@ pub fn link_traversals_threads(
         ins.add_dag_states(contribs.iter().map(|c| c.states_visited).sum());
         ins.add_pairs_accumulated(contribs.iter().map(|c| c.pairs).sum());
         ins.add_arena_bytes(t.arena_bytes() as u64);
+        // High-water of the compressed per-pair scratch across all
+        // workers — a max over sources, so thread-order free. The former
+        // dense scratch pinned 12·m bytes per worker; this is what the
+        // perf gate ratchets instead.
+        let scratch = contribs.iter().map(|c| c.scratch_peak).max().unwrap_or(0);
+        ins.record_scratch_peak((scratch * std::mem::size_of::<(u32, f64)>()) as u64);
         // Also feed the process-wide high-water mark: the run ledger
         // records the largest single arena a unit held, complementing
         // the cumulative byte counter above.
@@ -189,10 +201,10 @@ pub fn link_traversals_threads(
 
 /// All of one source's backward accumulations: build the DAG, then for
 /// each reachable target `v > u` distribute the unit of traffic and
-/// record per-link weights through a dense epoch-stamped scratch.
+/// aggregate per-link weights through a frontier-local compressed
+/// scratch (see [`accumulate_pair`]).
 fn source_contrib(g: &Graph, mode: &PathMode<'_>, u: NodeId) -> SourceContrib {
     let n = g.node_count();
-    let m = g.edge_count();
     let dag = match mode {
         PathMode::Shortest => PathDag::plain(g, u),
         PathMode::Policy(ann) => PathDag::policy(g, ann, u),
@@ -222,35 +234,44 @@ fn source_contrib(g: &Graph, mode: &PathMode<'_>, u: NodeId) -> SourceContrib {
         .collect();
     let mut frac = vec![0.0f64; dag.state_count()];
     let mut touched: Vec<u32> = Vec::new();
-    // Per-link scratch, reused across the source's pairs: `link_stamp[l]
-    // == v` marks `link_w[l]` as belonging to the current target `v`
-    // (targets strictly increase, and no stamp starts at UNREACHED).
-    let mut link_w = vec![0.0f64; m];
-    let mut link_stamp = vec![UNREACHED; m];
-    let mut links_touched: Vec<u32> = Vec::new();
+    // Frontier-local compressed scratch, reused across the source's
+    // pairs: raw `(link, share)` contributions in DAG-processing order.
+    // Sized by the states on ONE pair's shortest paths — the former
+    // dense epoch-stamped arrays were sized by the whole edge set
+    // (12·m bytes per worker), which dominated worker memory at
+    // large/xl.
+    let mut contribs: Vec<(u32, f64)> = Vec::new();
     let mut out = SourceContrib {
         entries: Vec::new(),
         states_visited: 0,
         pairs: 0,
+        scratch_peak: 0,
     };
     for v in (u + 1)..n as NodeId {
         if dag.node_dist[v as usize] == UNREACHED || dag.node_dist[v as usize] == 0 {
             continue;
         }
-        accumulate_pair(
-            &dag,
-            &pred_edge,
-            v,
-            &mut frac,
-            &mut touched,
-            &mut link_w,
-            &mut link_stamp,
-            &mut links_touched,
-        );
+        accumulate_pair(&dag, &pred_edge, v, &mut frac, &mut touched, &mut contribs);
         out.pairs += 1;
         out.states_visited += touched.len() as u64;
-        for &l in &links_touched {
-            out.entries.push((l, v, link_w[l as usize]));
+        out.scratch_peak = out.scratch_peak.max(contribs.len());
+        // Aggregate the raw contributions per link. The sort is STABLE,
+        // so within one link the shares keep their emission order, and
+        // the running sum below performs the exact float additions (in
+        // the exact order) the dense scratch's `+=` used to — the
+        // compressed path is bit-identical by construction.
+        contribs.sort_by_key(|&(l, _)| l);
+        let mut i = 0usize;
+        while i < contribs.len() {
+            let l = contribs[i].0;
+            let mut w = contribs[i].1;
+            let mut j = i + 1;
+            while j < contribs.len() && contribs[j].0 == l {
+                w += contribs[j].1;
+                j += 1;
+            }
+            out.entries.push((l, v, w));
+            i = j;
         }
     }
     out
@@ -261,22 +282,20 @@ fn source_contrib(g: &Graph, mode: &PathMode<'_>, u: NodeId) -> SourceContrib {
 const SAME_NODE: u32 = u32::MAX;
 
 /// Backward accumulation for one (source, target) pair: distribute the
-/// unit of traffic over the shortest-path DAG, leaving each crossed
-/// link's weight in `link_w` (stamped with `v`) and the crossed link ids
-/// in `links_touched`. `pred_edge` mirrors `dag.preds` with each
-/// transition's pre-resolved graph-edge index.
-#[allow(clippy::too_many_arguments)]
+/// unit of traffic over the shortest-path DAG, emitting one raw
+/// `(link, share)` pair into `contribs` per crossed transition (the
+/// caller aggregates per link; see [`source_contrib`]). `pred_edge`
+/// mirrors `dag.preds` with each transition's pre-resolved graph-edge
+/// index.
 fn accumulate_pair(
     dag: &PathDag,
     pred_edge: &[Vec<u32>],
     v: NodeId,
     frac: &mut [f64],
     touched: &mut Vec<u32>,
-    link_w: &mut [f64],
-    link_stamp: &mut [u32],
-    links_touched: &mut Vec<u32>,
+    contribs: &mut Vec<(u32, f64)>,
 ) {
-    links_touched.clear();
+    contribs.clear();
     touched.clear();
     let terminals = dag.terminal_states(v);
     let sigma_tot: f64 = terminals.iter().map(|&s| dag.sigma[s as usize]).sum();
@@ -302,17 +321,12 @@ fn accumulate_pair(
         for (&p, &e) in dag.preds[s as usize].iter().zip(&pred_edge[s as usize]) {
             let share = fs * dag.sigma[p as usize] / dag.sigma[s as usize];
             if e != SAME_NODE {
-                let idx = e as usize;
-                // Per-pair link weights can receive multiple
-                // contributions (policy states); aggregate through the
-                // epoch-stamped scratch instead of a per-pair map.
-                if link_stamp[idx] == v {
-                    link_w[idx] += share;
-                } else {
-                    link_stamp[idx] = v;
-                    link_w[idx] = share;
-                    links_touched.push(idx as u32);
-                }
+                // A link can receive multiple contributions per pair
+                // (policy states); emit them raw and let the caller's
+                // stable-sorted run-sum aggregate — the scratch stays
+                // proportional to one pair's path states, not the whole
+                // edge set.
+                contribs.push((e, share));
             }
             if frac[p as usize] == 0.0 {
                 touched.push(p);

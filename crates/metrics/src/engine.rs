@@ -70,9 +70,20 @@ pub trait BallMetric: Sync {
     fn measure(&self, ball: &Graph, ctx: &MeasureCtx<'_>) -> Option<f64>;
 }
 
-/// Per-job output: per-metric `(size, value)` rows for ball centers,
-/// expansion cumulative counts for expansion centers.
-type JobOut = (Option<Vec<(f64, Vec<f64>)>>, Option<Vec<usize>>);
+/// Per-job output of the measurement phase: per-metric `(size, value)`
+/// rows for ball centers, expansion cumulative counts for expansion
+/// centers.
+///
+/// A job's output depends only on the plan's seed, radius budget and the
+/// job's own `(center, is_ball, is_expansion)` triple — never on which
+/// other jobs ran alongside it (per-center seeds come from
+/// [`mix_seed`], ring counts are exact integers on every kernel). That
+/// independence is what makes batched, checkpointed suite runs
+/// bit-identical to one-shot runs: collect any partition of
+/// [`BallPlan::jobs`] in any number of [`BallPlan::run_collect`] calls,
+/// concatenate in job order, and [`BallPlan::aggregate`] reproduces
+/// [`BallPlan::run`] exactly.
+pub type JobOut = (Option<Vec<(f64, Vec<f64>)>>, Option<Vec<usize>>);
 
 /// SplitMix64 finalizer: decorrelates per-center/per-radius seeds.
 fn mix_seed(seed: u64, salt: u64) -> u64 {
@@ -339,8 +350,31 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
         }
     }
 
-    fn run_inner(&self) -> PlanResult {
-        let t_total = Instant::now();
+    /// The deduplicated, sorted job list this plan runs: one
+    /// `(center, is_ball, is_expansion)` triple per distinct center.
+    /// Checkpointed suites partition this list into batches and feed
+    /// each through [`run_collect`](Self::run_collect).
+    pub fn jobs(&self) -> Vec<(NodeId, bool, bool)> {
+        self.merge_centers()
+    }
+
+    /// Measurement phase only, over an explicit job slice: returns one
+    /// [`JobOut`] per job (same order) plus the instrument snapshot of
+    /// just this batch. See [`JobOut`] for the batching-independence
+    /// contract that makes partial collects resumable.
+    pub fn run_collect(&self, jobs: &[(NodeId, bool, bool)]) -> (Vec<JobOut>, InstrumentReport) {
+        let body = || {
+            let instrument = Instrument::new();
+            let outputs = self.collect_with(jobs, &instrument);
+            (outputs, instrument.report())
+        };
+        match &self.ctx {
+            Some(ctx) => ctx.scope(body),
+            None => body(),
+        }
+    }
+
+    fn collect_with(&self, jobs: &[(NodeId, bool, bool)], instrument: &Instrument) -> Vec<JobOut> {
         // Fault site + deadline checkpoint at the phase boundary; both
         // are no-ops unless armed / a deadline is ambient.
         topogen_par::faults::inject(
@@ -349,8 +383,6 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
         );
         topogen_par::cancel::checkpoint();
         let _plan_span = topogen_par::trace::span("ball-plan");
-        let instrument = Instrument::new();
-        let jobs = self.merge_centers();
         let radii = self.max_radius as usize + 1;
 
         // Kernel selection: the batched bitset path needs plain
@@ -365,16 +397,21 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
             choice.tag(),
         ));
 
-        let outputs: Vec<JobOut> = match (choice, self.source.plain_graph()) {
-            (KernelChoice::Bitset, Some(g)) => self.run_jobs_bitset(g, &jobs, &instrument, radii),
-            _ => par_map_threads(&jobs, self.threads, |&job| {
-                self.run_job_scalar(job, &instrument, radii)
+        match (choice, self.source.plain_graph()) {
+            (KernelChoice::Bitset, Some(g)) => self.run_jobs_bitset(g, jobs, instrument, radii),
+            _ => par_map_threads(jobs, self.threads, |&job| {
+                self.run_job_scalar(job, instrument, radii)
             }),
-        };
+        }
+    }
 
-        // Phase boundary between measurement and aggregation.
-        topogen_par::cancel::checkpoint();
-
+    /// Aggregation phase: fold concatenated per-job outputs (in job
+    /// order — see [`Self::jobs`]) into the final [`PlanResult`], with
+    /// `report` as the run's instrument snapshot. `run` =
+    /// `aggregate(run_collect(jobs))`; checkpointed suites call this
+    /// once after the last batch lands.
+    pub fn aggregate(&self, outputs: &[JobOut], report: InstrumentReport) -> PlanResult {
+        let radii = self.max_radius as usize + 1;
         // Aggregate in fixed job order: bit-identical for any thread
         // count, and matching the legacy ball_curve semantics (only
         // finite values contribute to the size/value averages).
@@ -385,7 +422,7 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
                         let mut size_sum = 0.0;
                         let mut val_sum = 0.0;
                         let mut val_n = 0usize;
-                        for (rows, _) in &outputs {
+                        for (rows, _) in outputs {
                             if let Some(rows) = rows {
                                 if let Some((s, vals)) = rows.get(h as usize) {
                                     let v = vals[mi];
@@ -435,13 +472,23 @@ impl<'a, S: BallSource> BallPlan<'a, S> {
                 .collect()
         };
 
-        instrument.add_phase("total", t_total.elapsed());
         PlanResult {
             names: self.metrics.iter().map(|m| m.name()).collect(),
             curves,
             expansion,
-            report: instrument.report(),
+            report,
         }
+    }
+
+    fn run_inner(&self) -> PlanResult {
+        let t_total = Instant::now();
+        let instrument = Instrument::new();
+        let jobs = self.merge_centers();
+        let outputs = self.collect_with(&jobs, &instrument);
+        // Phase boundary between measurement and aggregation.
+        topogen_par::cancel::checkpoint();
+        instrument.add_phase("total", t_total.elapsed());
+        self.aggregate(&outputs, instrument.report())
     }
 
     /// One scalar job: the PR-1 per-center path, verbatim — one

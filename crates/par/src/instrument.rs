@@ -42,6 +42,12 @@ pub struct Instrument {
     /// Frontier-expansion passes executed by the batched BFS kernels
     /// (one per level per direction-optimized sweep).
     frontier_passes: AtomicU64,
+    /// Peak per-source scratch bytes of the hierarchy traversal stage
+    /// (a max across sources, not a sum — the compressed frontier-local
+    /// representation's high-water mark).
+    scratch_bytes: AtomicU64,
+    /// Sorted runs spilled to disk by memory-budgeted streaming builds.
+    spill_runs: AtomicU64,
     /// Artifact-store lookups served from disk (`repro --cache`).
     store_hits: AtomicU64,
     /// Artifact-store lookups that fell through to computation.
@@ -105,6 +111,17 @@ impl Instrument {
         self.frontier_passes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the per-source scratch high-water mark to at least `n`
+    /// bytes (deterministic: a max over sources is thread-order free).
+    pub fn record_scratch_peak(&self, n: u64) {
+        self.scratch_bytes.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` spilled streaming-build runs.
+    pub fn add_spill_runs(&self, n: u64) {
+        self.spill_runs.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record artifact-store traffic: `hits`/`misses` lookups plus the
     /// bytes read from and written to the store.
     pub fn add_store_traffic(&self, hits: u64, misses: u64, bytes_read: u64, bytes_written: u64) {
@@ -150,6 +167,8 @@ impl Instrument {
             arena_bytes: self.arena_bytes.load(Ordering::Relaxed),
             words_scanned: self.words_scanned.load(Ordering::Relaxed),
             frontier_passes: self.frontier_passes.load(Ordering::Relaxed),
+            scratch_bytes: self.scratch_bytes.load(Ordering::Relaxed),
+            spill_runs: self.spill_runs.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_bytes_read: self.store_bytes_read.load(Ordering::Relaxed),
@@ -182,6 +201,23 @@ pub fn take_arena_highwater() -> u64 {
     ARENA_HIGHWATER.swap(0, Ordering::Relaxed)
 }
 
+/// Process-wide tally of streaming-build spill runs, mirroring
+/// [`ARENA_HIGHWATER`]'s publish/drain shape: topology builds happen
+/// deep inside store cache-miss closures with no instrument in reach,
+/// so the builder's caller publishes here and the runner drains the
+/// count into each unit's timing report.
+static SPILL_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` spilled streaming-build runs against the process tally.
+pub fn record_spill_runs(n: u64) {
+    SPILL_RUNS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read and reset the process-wide spill-run tally.
+pub fn take_spill_runs() -> u64 {
+    SPILL_RUNS.swap(0, Ordering::Relaxed)
+}
+
 /// Wall time attributed to one named engine phase.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseTiming {
@@ -212,6 +248,10 @@ pub struct InstrumentReport {
     pub words_scanned: u64,
     /// Frontier-expansion passes executed by the batched BFS kernels.
     pub frontier_passes: u64,
+    /// Peak per-source hierarchy-traversal scratch bytes (max, not sum).
+    pub scratch_bytes: u64,
+    /// Sorted runs spilled by memory-budgeted streaming builds.
+    pub spill_runs: u64,
     /// Artifact-store lookups served from disk.
     pub store_hits: u64,
     /// Artifact-store lookups that fell through to computation.
@@ -237,6 +277,8 @@ impl InstrumentReport {
         self.arena_bytes += other.arena_bytes;
         self.words_scanned += other.words_scanned;
         self.frontier_passes += other.frontier_passes;
+        self.scratch_bytes = self.scratch_bytes.max(other.scratch_bytes);
+        self.spill_runs += other.spill_runs;
         self.store_hits += other.store_hits;
         self.store_misses += other.store_misses;
         self.store_bytes_read += other.store_bytes_read;

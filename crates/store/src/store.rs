@@ -423,6 +423,21 @@ impl Store {
         drop(guard);
     }
 
+    /// Drop the entry stored under `key`, if any. Best-effort like the
+    /// rest of the store: a failed unlink is swallowed (the entry just
+    /// stays warm), and removing a key that was never stored is a
+    /// no-op. The ledger records the eviction so recency ranking stays
+    /// honest about what is actually on disk.
+    pub fn remove(&self, key: &str) {
+        let hash = key_hash(key);
+        let path = self.entry_path(hash);
+        let guard = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        if fs::remove_file(&path).is_ok() {
+            self.append_ledger_locked("del", hash, 0, key);
+        }
+        drop(guard);
+    }
+
     fn walk_entries(&self) -> Vec<(String, PathBuf, u64)> {
         let mut out = Vec::new();
         let Ok(shards) = fs::read_dir(&self.root) else {
